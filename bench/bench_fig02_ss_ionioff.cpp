@@ -1,0 +1,44 @@
+// Reproduction of Fig. 2: NFET inverse subthreshold slope and on/off
+// current ratio (at V_dd = 250 mV) across the super-V_th roadmap.
+// Paper claims: S_S degrades 11 % and I_on/I_off drops 60 % between the
+// 90nm and 32nm nodes.
+
+#include "common.h"
+#include "compact/mosfet.h"
+
+using namespace subscale;
+
+int main() {
+  bench::header("Fig. 2 — S_S and I_on/I_off (V_dd = 250 mV), super-V_th",
+                "S_S +11 % and I_on/I_off -60 % from 90nm to 32nm");
+
+  io::Series ss("ss_mv_dec"), ratio("ion_over_ioff");
+  io::TextTable t(
+      {"node", "SS [mV/dec]", "Ion(0.25,0.25) [nA/um]", "Ioff(0,0.25) [pA/um]",
+       "Ion/Ioff"});
+  const auto& devices = bench::study().super_devices();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const compact::CompactMosfet fet(devices[i].spec,
+                                     bench::study().calibration());
+    const double ion = fet.ion_at(0.25);
+    const double ioff = fet.drain_current(0.0, 0.25);
+    ss.add(bench::node_nm(i), fet.subthreshold_swing() * 1e3);
+    ratio.add(bench::node_nm(i), ion / ioff);
+    t.add_row({devices[i].node.name, io::fmt(fet.subthreshold_swing() * 1e3, 4),
+               io::fmt(ion / devices[i].spec.width * 1e9 * 1e-6, 4),
+               io::fmt(ioff / devices[i].spec.width * 1e12 * 1e-6, 4),
+               io::fmt(ion / ioff, 4)});
+  }
+  std::printf("%s\n", t.render(2).c_str());
+
+  const double ss_rise = ss.total_relative_change();
+  const double ratio_drop = -ratio.total_relative_change();
+  std::printf("S_S 90->32nm: %+.1f%% (paper +11%%)\n", ss_rise * 100.0);
+  std::printf("Ion/Ioff 90->32nm: %+.1f%% (paper -60%%)\n",
+              -ratio_drop * 100.0);
+
+  const bool ok = ss_rise > 0.08 && ss_rise < 0.25 && ratio_drop > 0.45 &&
+                  ratio_drop < 0.80;
+  bench::footer_shape(ok, "S_S degrades ~11-20%, Ion/Ioff drops ~50-75%");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,119 @@
+// Library-performance microbenchmarks (google-benchmark): the numerical
+// kernels behind the reproduction — banded LU, compact-model evaluation,
+// VTC solves, FO1 transients, and a full TCAD Gummel bias point.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "circuits/delay.h"
+#include "circuits/inverter.h"
+#include "circuits/vtc.h"
+#include "compact/mosfet.h"
+#include "linalg/banded.h"
+#include "opt/golden_section.h"
+#include "scaling/supervth_strategy.h"
+#include "tcad/gummel.h"
+
+using namespace subscale;
+
+namespace {
+
+compact::DeviceSpec spec_90() {
+  return compact::make_spec_from_table(doping::Polarity::kNfet, 65, 2.10,
+                                       1.52e18, 3.63e18, 1.2, 1.0);
+}
+
+void BM_BandedLuFactorSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t bw = 41;
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::BandedMatrix a(n, bw, bw);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = (i > bw ? i - bw : 0); j <= std::min(n - 1, i + bw);
+         ++j) {
+      a.at(i, j) = (i == j) ? 8.0 + dist(rng) : dist(rng);
+    }
+  }
+  std::vector<double> b(n, 1.0);
+  for (auto _ : state) {
+    linalg::BandedLu lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_BandedLuFactorSolve)->Arg(400)->Arg(1000)->Arg(2000);
+
+void BM_CompactModelConstruction(benchmark::State& state) {
+  const auto spec = spec_90();
+  for (auto _ : state) {
+    compact::CompactMosfet fet(spec);
+    benchmark::DoNotOptimize(fet.subthreshold_swing());
+  }
+}
+BENCHMARK(BM_CompactModelConstruction);
+
+void BM_CompactDrainCurrent(benchmark::State& state) {
+  const compact::CompactMosfet fet(spec_90());
+  double v = 0.0;
+  for (auto _ : state) {
+    v += 1e-7;
+    benchmark::DoNotOptimize(fet.drain_current(0.3 + v, 0.25));
+  }
+}
+BENCHMARK(BM_CompactDrainCurrent);
+
+void BM_VtcOutput(benchmark::State& state) {
+  const auto inv = circuits::make_inverter(spec_90()).at_vdd(0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuits::vtc_output(inv, 0.125));
+  }
+}
+BENCHMARK(BM_VtcOutput);
+
+void BM_NoiseMargins(benchmark::State& state) {
+  const auto inv = circuits::make_inverter(spec_90()).at_vdd(0.25);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuits::noise_margins(inv));
+  }
+}
+BENCHMARK(BM_NoiseMargins);
+
+void BM_Fo1DelayTransient(benchmark::State& state) {
+  const auto inv = circuits::make_inverter(spec_90());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(circuits::fo1_delay(inv).tp);
+  }
+}
+BENCHMARK(BM_Fo1DelayTransient);
+
+void BM_SuperVthDesignFlow(benchmark::State& state) {
+  const auto& node = scaling::paper_nodes()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scaling::design_supervth_device(node));
+  }
+}
+BENCHMARK(BM_SuperVthDesignFlow);
+
+void BM_TcadEquilibrium(benchmark::State& state) {
+  const tcad::DeviceStructure dev(spec_90());
+  for (auto _ : state) {
+    tcad::DriftDiffusionSolver solver(dev);
+    solver.solve_equilibrium();
+    benchmark::DoNotOptimize(solver.psi());
+  }
+}
+BENCHMARK(BM_TcadEquilibrium)->Unit(benchmark::kMillisecond);
+
+void BM_GoldenSection(benchmark::State& state) {
+  const auto f = [](double x) { return (x - 0.3) * (x - 0.3); };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        opt::golden_section_minimize(f, -3.0, 3.0, 1e-9));
+  }
+}
+BENCHMARK(BM_GoldenSection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

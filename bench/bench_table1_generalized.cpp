@@ -1,0 +1,35 @@
+// Reproduction of Table 1: generalized scaling factors (Baccarani et
+// al., the paper's ref [8]) for a representative alpha = 1/0.7 and the
+// constant-field special case epsilon = 1.
+
+#include "common.h"
+#include "scaling/generalized_scaling.h"
+
+using namespace subscale;
+
+int main() {
+  bench::header("Table 1 — generalized scaling",
+                "dimensions 1/a, doping ea, Vdd e/a, area 1/a^2, delay 1/a, "
+                "power e^2/a^2");
+
+  const double alpha = 1.0 / 0.7;  // the 30 %/generation shrink
+  for (const double eps : {1.0, 1.1}) {
+    const auto f = scaling::generalized_scaling(alpha, eps);
+    std::printf("alpha = %.4f, epsilon = %.2f\n", alpha, eps);
+    io::TextTable t({"parameter", "factor (formula)", "value"});
+    t.add_row({"physical dimensions", "1/alpha", io::fmt(f.physical_dimensions)});
+    t.add_row({"N_ch", "eps*alpha", io::fmt(f.channel_doping)});
+    t.add_row({"V_dd", "eps/alpha", io::fmt(f.supply_voltage)});
+    t.add_row({"area", "1/alpha^2", io::fmt(f.area)});
+    t.add_row({"delay", "1/alpha", io::fmt(f.delay)});
+    t.add_row({"power", "eps^2/alpha^2", io::fmt(f.power)});
+    std::printf("%s\n", t.render(2).c_str());
+  }
+
+  // Shape check: Dennard limit recovers the textbook identities.
+  const auto d = scaling::generalized_scaling(alpha, 1.0);
+  const bool ok = d.power == d.area && d.delay == d.physical_dimensions &&
+                  d.supply_voltage == d.physical_dimensions;
+  bench::footer_shape(ok, "constant-field limit identities hold");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// Reproduction of Table 3: NFET parameters under the proposed sub-V_th
+// scaling strategy — energy-optimal L_poly with co-optimized doping and
+// I_off fixed at 100 pA/um; the C_L S_S^2 / C_L S_S factors are the
+// paper's energy and delay metrics (Eqs. 6 and 8).
+
+#include <cmath>
+
+#include "common.h"
+
+using namespace subscale;
+
+int main() {
+  bench::header(
+      "Table 3 — NFET parameters under sub-V_th scaling",
+      "Lpoly 95/75/60/45nm, Nsub 1.61/1.99/2.53/3.19e18, Nhalo 2.02/2.73/"
+      "2.93/4.89e18, CL*SS^2 1.00/0.80/0.65/0.51, CL*SS 1.00/0.80/0.65/0.50");
+
+  struct PaperRow {
+    double lpoly, nsub, nhalo, efac, dfac;
+  };
+  const PaperRow paper[4] = {
+      {95.0, 1.61, 2.02, 1.00, 1.00},
+      {75.0, 1.99, 2.73, 0.80, 0.80},
+      {60.0, 2.53, 2.93, 0.65, 0.65},
+      {45.0, 3.19, 4.89, 0.51, 0.50},
+  };
+
+  const auto& devices = bench::study().sub_devices();
+  const double e0 = devices.front().energy_factor_raw;
+  const double d0 = devices.front().delay_factor_raw;
+
+  io::TextTable t({"node", "Lpoly,opt[nm] (paper)", "Tox[nm]",
+                   "Nsub[e18] (paper)", "Nhalo[e18] (paper)", "SS[mV/dec]",
+                   "Ioff[pA/um]", "CL*SS^2 (paper)", "CL*SS (paper)"});
+  bool lpoly_within = true;
+  bool factors_fall = true;
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    const auto& s = devices[i];
+    const double efac = s.energy_factor_raw / e0;
+    const double dfac = s.delay_factor_raw / d0;
+    t.add_row({s.device.node.name,
+               io::fmt(s.lpoly_opt_nm, 3) + " (" + io::fmt(paper[i].lpoly, 2) +
+                   ")",
+               io::fmt(s.device.node.tox_nm, 3),
+               io::fmt(s.device.nsub_cm3 / 1e18, 3) + " (" +
+                   io::fmt(paper[i].nsub, 3) + ")",
+               io::fmt(s.device.nhalo_net_cm3 / 1e18, 3) + " (" +
+                   io::fmt(paper[i].nhalo, 3) + ")",
+               io::fmt(s.device.ss_mv_dec, 3),
+               io::fmt(s.device.ioff_pa_um, 4),
+               io::fmt(efac, 3) + " (" + io::fmt(paper[i].efac, 2) + ")",
+               io::fmt(dfac, 3) + " (" + io::fmt(paper[i].dfac, 2) + ")"});
+    if (std::abs(s.lpoly_opt_nm / paper[i].lpoly - 1.0) > 0.15) {
+      lpoly_within = false;
+    }
+    if (i > 0 && (efac >= devices[i - 1].energy_factor_raw / e0 ||
+                  dfac >= devices[i - 1].delay_factor_raw / d0)) {
+      factors_fall = false;
+    }
+  }
+  std::printf("%s\n", t.render(2).c_str());
+
+  bench::footer_shape(lpoly_within && factors_fall,
+                      "energy-optimal Lpoly within 15% of Table 3 at every "
+                      "node; both factors fall monotonically");
+  return (lpoly_within && factors_fall) ? 0 : 1;
+}

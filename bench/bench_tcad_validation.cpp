@@ -1,0 +1,60 @@
+// Cross-validation bench: the from-scratch 2-D drift-diffusion solver
+// (the MEDICI substitute) against the calibrated compact model on the
+// 90nm super-V_th device — subthreshold slope, leakage scale and DIBL
+// sign. This is the "device-level behaviour" check behind Sec. 2.3.1.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common.h"
+#include "compact/mosfet.h"
+#include "physics/units.h"
+#include "tcad/device_sim.h"
+#include "tcad/extract.h"
+
+using namespace subscale;
+
+int main() {
+  bench::header("TCAD cross-validation — 2-D drift-diffusion vs compact",
+                "MEDICI-class device simulation must agree with the "
+                "calibrated analytical model on S_S and leakage scale");
+
+  const auto spec = compact::make_spec_from_table(
+      doping::Polarity::kNfet, 65, 2.10, 1.52e18, 3.63e18, 1.2, 1.0);
+  const compact::CompactMosfet fet(spec);
+
+  tcad::TcadDevice dev(spec);
+  const auto sweep = dev.id_vg(0.25, 0.0, 0.45, 12);
+  const auto ex = tcad::extract_from_sweep(sweep);
+
+  io::TextTable t({"quantity", "TCAD (2-D DD)", "compact (calibrated)"});
+  t.add_row({"S_S [mV/dec]", io::fmt(ex.ss * 1e3, 4),
+             io::fmt(fet.subthreshold_swing() * 1e3, 4)});
+  t.add_row({"Ioff(0, 0.25V) [pA/um]",
+             io::fmt(units::to_pA_per_um(ex.ioff), 4),
+             io::fmt(units::to_pA_per_um(fet.drain_current(0.0, 0.25) /
+                                         spec.width),
+                     4)});
+  t.add_row({"Id(0.45, 0.25V) [nA/um]",
+             io::fmt(ex.ion * 1e9 * 1e-6, 4),
+             io::fmt(fet.drain_current(0.45, 0.25) / spec.width * 1e3, 4)});
+  std::printf("%s\n", t.render(2).c_str());
+
+  // DIBL sign: more drain bias must raise the subthreshold current.
+  const double i_lo = dev.id_at(0.1, 0.10);
+  const double i_hi = dev.id_at(0.1, 0.50);
+  std::printf("DIBL check: Id(vg=0.1) at vd=0.1 -> 0.5: %.3e -> %.3e A/m\n",
+              i_lo, i_hi);
+
+  const double ss_err = std::abs(ex.ss / fet.subthreshold_swing() - 1.0);
+  const double decades =
+      std::log10(sweep.back().id / sweep.front().id);
+  const bool ok = ss_err < 0.20 && i_hi > i_lo && decades > 3.0 &&
+                  ex.ss_r2 > 0.995;
+  std::printf("S_S agreement: %.1f%%; sweep spans %.1f decades\n",
+              ss_err * 100.0, decades);
+  bench::footer_shape(ok,
+                      "S_S within 20%, clean exponential over >3 decades, "
+                      "positive DIBL");
+  return ok ? 0 : 1;
+}

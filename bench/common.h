@@ -1,0 +1,39 @@
+#pragma once
+
+/// Shared scaffolding for the figure/table reproduction benches. Every
+/// bench prints the paper's reported values next to this library's
+/// measured values, and states the shape criterion it targets.
+
+#include <cstdio>
+#include <string>
+
+#include "core/scaling_study.h"
+#include "io/series.h"
+#include "io/table.h"
+
+namespace bench {
+
+/// One study shared inside a binary (each binary is its own process).
+inline const subscale::core::ScalingStudy& study() {
+  static const subscale::core::ScalingStudy s;
+  return s;
+}
+
+inline void header(const char* title, const char* paper_claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+inline void footer_shape(bool ok, const char* what) {
+  std::printf("[shape %s] %s\n\n", ok ? "OK " : "MISS", what);
+}
+
+/// Node x-axis value (nm) for series.
+inline double node_nm(std::size_t i) {
+  static const double kNm[4] = {90.0, 65.0, 45.0, 32.0};
+  return kNm[i];
+}
+
+}  // namespace bench

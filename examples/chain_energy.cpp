@@ -1,0 +1,49 @@
+// Minimum-energy-point analysis of a logic path: sweep the supply of a
+// 30-inverter chain on the 32nm devices of both scaling strategies,
+// print the full E(V_dd) curves with their dynamic/leakage split, and
+// compare against a 5-stage ring oscillator's frequency at each supply —
+// the workload behind the paper's Figs. 6 and 12.
+
+#include <cstdio>
+
+#include "circuits/ring_oscillator.h"
+#include "circuits/vmin.h"
+#include "core/scaling_study.h"
+#include "io/table.h"
+#include "physics/units.h"
+
+using namespace subscale;
+namespace u = subscale::units;
+
+int main() {
+  const core::ScalingStudy study;
+  const std::size_t node = 3;  // 32nm
+
+  for (const bool use_sub : {false, true}) {
+    const auto inv = use_sub ? study.sub_inverter(node, 0.3)
+                             : study.super_inverter(node, 0.3);
+    std::printf("=== 32nm %s-V_th device, 30-inverter chain, a = 0.1 ===\n",
+                use_sub ? "sub" : "super");
+    io::TextTable t({"Vdd [mV]", "tp [ns]", "f_clk [MHz]", "E_dyn [fJ]",
+                     "E_leak [fJ]", "E_total [fJ]"});
+    for (double vdd = 0.14; vdd <= 0.46; vdd += 0.04) {
+      const auto r = circuits::chain_energy(inv, vdd);
+      t.add_row({io::fmt(vdd * 1e3, 3), io::fmt(u::to_ns(r.stage_delay), 3),
+                 io::fmt(1e-6 / r.cycle_time, 3),
+                 io::fmt(u::to_fJ(r.e_dynamic), 3),
+                 io::fmt(u::to_fJ(r.e_leakage), 3),
+                 io::fmt(u::to_fJ(r.e_total), 3)});
+    }
+    std::printf("%s", t.render(2).c_str());
+    const auto vm = circuits::find_vmin(inv);
+    std::printf("V_min = %.0f mV, E_min = %.3f fJ/cycle\n", vm.vmin * 1e3,
+                u::to_fJ(vm.at_vmin.e_total));
+
+    // Independent check: a real simulated ring oscillator at V_min.
+    const auto ring =
+        circuits::simulate_ring(inv.at_vdd(vm.vmin), {.stages = 5});
+    std::printf("5-stage ring at V_min: f = %.2f MHz (stage delay %.1f ns)\n\n",
+                ring.frequency * 1e-6, u::to_ns(ring.stage_delay));
+  }
+  return 0;
+}

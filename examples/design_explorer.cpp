@@ -1,0 +1,70 @@
+// Design explorer: the paper's Sec. 3.1 methodology as a tool. For a
+// chosen technology node, sweep the gate length with co-optimized
+// doping, print the energy/delay factor landscape, and report the
+// energy-optimal sub-V_th device — then show how it behaves across
+// temperature (S_S scales with vT, so hot silicon needs more margin).
+//
+// Usage: design_explorer [node]        (node: 90nm|65nm|45nm|32nm)
+
+#include <cstdio>
+#include <string>
+
+#include "compact/mosfet.h"
+#include "io/table.h"
+#include "physics/units.h"
+#include "scaling/subvth_strategy.h"
+
+using namespace subscale;
+namespace u = subscale::units;
+
+int main(int argc, char** argv) {
+  const std::string node_name = argc > 1 ? argv[1] : "65nm";
+  const auto& node = scaling::node_by_name(node_name);
+  std::printf("exploring the %s node (Tox=%.2fnm, min Lpoly=%.0fnm, "
+              "Ioff target 100 pA/um)\n\n",
+              node.name.c_str(), node.tox_nm, node.lpoly_nm);
+
+  // Gate-length landscape with co-optimized doping.
+  io::TextTable t({"Lpoly [nm]", "Nsub [e18]", "Nhalo [e18]", "SS [mV/dec]",
+                   "CL*SS^2 (norm)", "CL*SS (norm)"});
+  double e0 = 0.0, d0 = 0.0;
+  for (double lpoly = node.lpoly_nm; lpoly <= 2.6 * node.lpoly_nm;
+       lpoly += 0.2 * node.lpoly_nm) {
+    const auto spec = scaling::optimize_subvth_doping(node, lpoly);
+    const compact::CompactMosfet fet(spec);
+    const double e = scaling::energy_factor(spec);
+    const double d = scaling::delay_factor(spec);
+    if (e0 == 0.0) {
+      e0 = e;
+      d0 = d;
+    }
+    t.add_row({io::fmt(lpoly, 3),
+               io::fmt(u::to_per_cm3(spec.levels.nsub) / 1e18, 3),
+               io::fmt(u::to_per_cm3(spec.levels.nsub + spec.levels.np_halo) /
+                           1e18,
+                       3),
+               io::fmt(fet.subthreshold_swing() * 1e3, 4),
+               io::fmt(e / e0, 3), io::fmt(d / d0, 3)});
+  }
+  std::printf("%s\n", t.render(2).c_str());
+
+  // The optimal device.
+  const auto best = scaling::design_subvth_device(node);
+  std::printf("energy-optimal device: Lpoly = %.1f nm, SS = %.1f mV/dec, "
+              "Nsub = %.2fe18, Nhalo = %.2fe18\n\n",
+              best.lpoly_opt_nm, best.device.ss_mv_dec,
+              best.device.nsub_cm3 / 1e18, best.device.nhalo_net_cm3 / 1e18);
+
+  // Temperature behaviour of the chosen device (S_S ~ 2.3 vT m).
+  io::TextTable tt({"T [K]", "SS [mV/dec]", "Ioff [pA/um]"});
+  for (double temp : {250.0, 300.0, 350.0, 400.0}) {
+    compact::DeviceSpec spec = best.device.spec;
+    spec.temperature = temp;
+    const compact::CompactMosfet fet(spec);
+    tt.add_row({io::fmt(temp, 3), io::fmt(fet.subthreshold_swing() * 1e3, 4),
+                io::fmt(u::to_pA_per_um(fet.ioff() / spec.width), 4)});
+  }
+  std::printf("temperature sensitivity of the optimal device:\n%s",
+              tt.render(2).c_str());
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Quickstart: build the paper's 45nm super-V_th device, inspect its
+// subthreshold characteristics, and evaluate an inverter built on it —
+// the five-minute tour of the library's public API.
+
+#include <cstdio>
+
+#include "circuits/delay.h"
+#include "circuits/inverter.h"
+#include "circuits/vmin.h"
+#include "circuits/vtc.h"
+#include "compact/mosfet.h"
+#include "physics/units.h"
+#include "scaling/supervth_strategy.h"
+
+using namespace subscale;
+namespace u = subscale::units;
+
+int main() {
+  // 1. Design a device: run the paper's Fig. 1(c) flow at the 45nm node.
+  const auto& node = scaling::node_by_name("45nm");
+  const auto designed = scaling::design_supervth_device(node);
+  std::printf("designed %s NFET: Lpoly=%.0fnm Tox=%.2fnm\n",
+              node.name.c_str(), node.lpoly_nm, node.tox_nm);
+  std::printf("  Nsub  = %.2fe18 cm^-3\n", designed.nsub_cm3 / 1e18);
+  std::printf("  Nhalo = %.2fe18 cm^-3 (net peak)\n",
+              designed.nhalo_net_cm3 / 1e18);
+
+  // 2. Inspect the compact model.
+  const compact::CompactMosfet fet(designed.spec);
+  std::printf("device characteristics:\n");
+  std::printf("  S_S      = %.1f mV/dec\n", fet.subthreshold_swing() * 1e3);
+  std::printf("  V_th,sat = %.0f mV (constant-current extraction)\n",
+              u::to_mV(fet.vth_sat_extracted()));
+  std::printf("  I_off    = %.0f pA/um at V_dd = %.1f V\n",
+              u::to_pA_per_um(fet.ioff() / designed.spec.width),
+              designed.spec.vdd);
+  std::printf("  I_on     = %.1f uA/um\n",
+              u::to_uA_per_um(fet.ion() / designed.spec.width));
+
+  // 3. Build a balanced inverter and operate it in subthreshold.
+  const auto inv = circuits::make_inverter(designed.spec).at_vdd(0.25);
+  const auto nm = circuits::noise_margins(inv);
+  const auto tp = circuits::fo1_delay(inv);
+  std::printf("inverter at V_dd = 250 mV:\n");
+  std::printf("  SNM = %.1f mV (peak gain %.1f)\n", nm.snm * 1e3,
+              nm.peak_gain);
+  std::printf("  FO1 delay = %.1f ns\n", u::to_ns(tp.tp));
+
+  // 4. Find the minimum-energy point of a 30-inverter chain.
+  const auto vmin = circuits::find_vmin(inv);
+  std::printf("30-inverter chain, activity 0.1:\n");
+  std::printf("  V_min = %.0f mV, E/cycle = %.2f fJ (dyn %.2f + leak %.2f)\n",
+              vmin.vmin * 1e3, u::to_fJ(vmin.at_vmin.e_total),
+              u::to_fJ(vmin.at_vmin.e_dynamic),
+              u::to_fJ(vmin.at_vmin.e_leakage));
+  return 0;
+}

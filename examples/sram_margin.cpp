@@ -1,0 +1,44 @@
+// Subthreshold SRAM margins: the paper motivates its SNM analysis with
+// sub-200mV SRAM (Sec. 2.3.2, ref [16]). This example builds 6T cells
+// on both scaling strategies' devices at every node and reports hold and
+// read static noise margins across supply voltages — showing how the
+// proposed sub-V_th devices keep SRAM viable deeper into scaling.
+
+#include <cstdio>
+
+#include "circuits/sram6t.h"
+#include "core/scaling_study.h"
+#include "io/table.h"
+
+using namespace subscale;
+
+int main() {
+  const core::ScalingStudy study;
+
+  std::printf("6T SRAM static noise margins in subthreshold (cell ratio 1.5)\n\n");
+
+  for (const double vdd : {0.25, 0.30, 0.40}) {
+    io::TextTable t({"node", "hold SNM super [mV]", "read SNM super [mV]",
+                     "hold SNM sub [mV]", "read SNM sub [mV]"});
+    for (std::size_t i = 0; i < study.node_count(); ++i) {
+      auto super_cell =
+          circuits::make_sram_cell(study.super_devices()[i].spec);
+      auto sub_cell =
+          circuits::make_sram_cell(study.sub_devices()[i].device.spec);
+      super_cell.vdd = vdd;
+      sub_cell.vdd = vdd;
+      t.add_row({study.node(i).name,
+                 io::fmt(circuits::sram_hold_snm(super_cell) * 1e3, 4),
+                 io::fmt(circuits::sram_read_snm(super_cell) * 1e3, 4),
+                 io::fmt(circuits::sram_hold_snm(sub_cell) * 1e3, 4),
+                 io::fmt(circuits::sram_read_snm(sub_cell) * 1e3, 4)});
+    }
+    std::printf("V_dd = %.0f mV\n%s\n", vdd * 1e3, t.render(2).c_str());
+  }
+
+  std::printf(
+      "reading guide: read SNM is the binding constraint (access transistor\n"
+      "fights the pull-down); the sub-V_th strategy's flat S_S keeps both\n"
+      "margins from collapsing at the 32nm node.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+#include "circuits/dc_solver.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/newton.h"
+
+namespace subscale::circuits {
+
+namespace {
+
+std::vector<double> assemble_full_voltages(const Circuit& circuit,
+                                           const std::vector<NodeId>& free,
+                                           const std::vector<double>& x) {
+  std::vector<double> v(circuit.node_count(), 0.0);
+  for (NodeId id = 0; id < circuit.node_count(); ++id) {
+    if (circuit.is_fixed(id)) v[id] = circuit.fixed_voltage(id);
+  }
+  for (std::size_t k = 0; k < free.size(); ++k) v[free[k]] = x[k];
+  return v;
+}
+
+}  // namespace
+
+DcResult solve_dc(const Circuit& circuit,
+                  const std::vector<double>& initial_guess,
+                  const DcOptions& options) {
+  const std::vector<NodeId> free = circuit.free_nodes();
+  DcResult result;
+  if (free.empty()) {
+    result.voltages = assemble_full_voltages(circuit, free, {});
+    result.converged = true;
+    return result;
+  }
+  if (!initial_guess.empty() && initial_guess.size() != circuit.node_count()) {
+    throw std::invalid_argument("solve_dc: initial guess size mismatch");
+  }
+
+  std::vector<double> x0(free.size(), 0.0);
+  if (!initial_guess.empty()) {
+    for (std::size_t k = 0; k < free.size(); ++k) x0[k] = initial_guess[free[k]];
+  }
+
+  const auto residual = [&](const std::vector<double>& x) {
+    const std::vector<double> v = assemble_full_voltages(circuit, free, x);
+    std::vector<double> f(free.size());
+    for (std::size_t k = 0; k < free.size(); ++k) {
+      f[k] = circuit.node_device_current(free[k], v);
+    }
+    return f;
+  };
+  const auto jacobian = [&](const std::vector<double>& x) {
+    return linalg::finite_difference_jacobian(residual, x, 1e-7);
+  };
+
+  const linalg::NewtonResult newton = linalg::newton_solve(
+      residual, jacobian, x0,
+      {.max_iterations = options.max_iterations,
+       .residual_tolerance = options.residual_tolerance,
+       .step_tolerance = 1e-15,
+       .max_step = options.max_step});
+
+  result.voltages = assemble_full_voltages(circuit, free, newton.x);
+  result.converged = newton.converged;
+  result.iterations = newton.iterations;
+  result.residual_norm = newton.residual_norm;
+  return result;
+}
+
+double rail_current(const Circuit& circuit, NodeId rail,
+                    const std::vector<double>& voltages) {
+  // Current out of the rail node into the devices.
+  return circuit.node_device_current(rail, voltages) -
+         circuit.gmin() * voltages[rail];
+}
+
+}  // namespace subscale::circuits

@@ -1,0 +1,50 @@
+#include "circuits/inverter.h"
+
+#include <stdexcept>
+
+namespace subscale::circuits {
+
+InverterDevices InverterDevices::at_vdd(double new_vdd) const {
+  if (new_vdd <= 0.0) {
+    throw std::invalid_argument("InverterDevices::at_vdd: vdd must be > 0");
+  }
+  InverterDevices out = *this;
+  out.vdd = new_vdd;
+  return out;
+}
+
+InverterDevices make_inverter(const compact::DeviceSpec& nfet_spec,
+                              const compact::Calibration& calib) {
+  if (nfet_spec.polarity != doping::Polarity::kNfet) {
+    throw std::invalid_argument("make_inverter: spec must be an NFET");
+  }
+  InverterDevices inv;
+  inv.vdd = nfet_spec.vdd;
+  inv.nfet = std::make_shared<compact::CompactMosfet>(nfet_spec, calib);
+
+  compact::DeviceSpec pfet_spec = nfet_spec;
+  pfet_spec.polarity = doping::Polarity::kPfet;
+  // Probe the weak-inversion current ratio at equal width, then up-size
+  // the PFET so the inverter's pull-up and pull-down I_o match.
+  const compact::CompactMosfet pfet_probe(pfet_spec, calib);
+  const double v_probe = 0.15;  // deep subthreshold for any of our devices
+  const double i_n = inv.nfet->drain_current(v_probe, v_probe);
+  const double i_p = pfet_probe.drain_current(v_probe, v_probe);
+  if (i_p <= 0.0 || i_n <= 0.0) {
+    throw std::logic_error("make_inverter: non-positive probe current");
+  }
+  pfet_spec.width = nfet_spec.width * (i_n / i_p);
+  inv.pfet = std::make_shared<compact::CompactMosfet>(pfet_spec, calib);
+  return inv;
+}
+
+double inverter_leakage(const InverterDevices& inv, bool input_high) {
+  // Input high: NFET on, output low, PFET leaks at |vds| = vdd.
+  // Input low: PFET on, output high, NFET leaks at vds = vdd.
+  if (input_high) {
+    return inv.pfet->drain_current(0.0, inv.vdd);
+  }
+  return inv.nfet->drain_current(0.0, inv.vdd);
+}
+
+}  // namespace subscale::circuits

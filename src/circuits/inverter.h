@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file inverter.h
+/// The CMOS inverter device pair used throughout the paper's circuit
+/// experiments. The PFET mirrors the NFET's geometry and doping (the
+/// paper derives PFET values analogously and finds nearly identical
+/// optima); its width is up-sized to balance the weak-inversion currents
+/// (the paper's Eq. 3 assumes I_o,N = I_o,P for a symmetric VTC).
+
+#include <memory>
+
+#include "compact/mosfet.h"
+
+namespace subscale::circuits {
+
+struct InverterDevices {
+  std::shared_ptr<const compact::CompactMosfet> nfet;
+  std::shared_ptr<const compact::CompactMosfet> pfet;
+  double vdd = 0.0;  ///< operating rail for this instance [V]
+
+  /// FO1 load: the gate capacitance of an identical inverter [F].
+  double fanout_capacitance() const {
+    return nfet->gate_capacitance() + pfet->gate_capacitance();
+  }
+  /// Per-stage wire/junction load from the calibration [F]. It scales
+  /// with the node's feature shrink (wires scale with the process, not
+  /// with the gate-length choice) and with the total driven gate width
+  /// (wider stages mean longer local wires and bigger junctions). This
+  /// makes the circuit C_L exactly proportional to the scaling module's
+  /// analytical load C_g + c_wire*W, so circuit-level energy follows the
+  /// paper's C_L*S_S^2 factor.
+  double wire_capacitance() const {
+    return nfet->calibration().c_wire *
+           nfet->spec().geometry.feature_shrink *
+           (nfet->spec().width + pfet->spec().width);
+  }
+  /// Total switched capacitance per stage: (FO1 gate load + wire load),
+  /// plus drain-junction self-loading as a fraction of both.
+  double stage_capacitance(double self_load_factor = 0.5) const {
+    return (1.0 + self_load_factor) *
+           (fanout_capacitance() + wire_capacitance());
+  }
+
+  /// The same devices re-rated for a different supply (used by the V_min
+  /// sweep; the device models themselves are bias-independent).
+  InverterDevices at_vdd(double new_vdd) const;
+};
+
+/// Build a balanced inverter from an NFET spec: the PFET copies geometry
+/// and doping, and its width is scaled by the weak-inversion N/P current
+/// ratio so that I_o,N = I_o,P.
+InverterDevices make_inverter(const compact::DeviceSpec& nfet_spec,
+                              const compact::Calibration& calib =
+                                  compact::paper_calibration());
+
+/// Static current drawn from the rail by one inverter with input held at
+/// logic `input_high` [A] — the off-device's subthreshold leakage at the
+/// given rail voltage.
+double inverter_leakage(const InverterDevices& inv, bool input_high);
+
+}  // namespace subscale::circuits

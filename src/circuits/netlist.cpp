@@ -1,0 +1,112 @@
+#include "circuits/netlist.h"
+
+#include <stdexcept>
+
+#include "doping/mosfet_doping.h"
+
+namespace subscale::circuits {
+
+Circuit::Circuit() {
+  names_.push_back("0");
+  fixed_.push_back(true);
+  fixed_voltages_.push_back(0.0);
+}
+
+NodeId Circuit::add_node(std::string name) {
+  names_.push_back(std::move(name));
+  fixed_.push_back(false);
+  fixed_voltages_.push_back(0.0);
+  return names_.size() - 1;
+}
+
+NodeId Circuit::add_fixed_node(std::string name, double voltage) {
+  const NodeId id = add_node(std::move(name));
+  fixed_[id] = true;
+  fixed_voltages_[id] = voltage;
+  return id;
+}
+
+void Circuit::set_fixed_voltage(NodeId node, double voltage) {
+  if (node >= names_.size() || !fixed_[node]) {
+    throw std::invalid_argument("Circuit::set_fixed_voltage: not a fixed node");
+  }
+  fixed_voltages_[node] = voltage;
+}
+
+double Circuit::fixed_voltage(NodeId node) const {
+  if (node >= names_.size() || !fixed_[node]) {
+    throw std::invalid_argument("Circuit::fixed_voltage: not a fixed node");
+  }
+  return fixed_voltages_[node];
+}
+
+std::vector<NodeId> Circuit::free_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < names_.size(); ++id) {
+    if (!fixed_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+void Circuit::add_mosfet(std::shared_ptr<const compact::CompactMosfet> model,
+                         NodeId drain, NodeId gate, NodeId source) {
+  if (!model) {
+    throw std::invalid_argument("Circuit::add_mosfet: null model");
+  }
+  if (drain >= names_.size() || gate >= names_.size() ||
+      source >= names_.size()) {
+    throw std::out_of_range("Circuit::add_mosfet: bad node id");
+  }
+  mosfets_.push_back({std::move(model), drain, gate, source});
+}
+
+void Circuit::add_capacitor(NodeId a, NodeId b, double capacitance) {
+  if (a >= names_.size() || b >= names_.size()) {
+    throw std::out_of_range("Circuit::add_capacitor: bad node id");
+  }
+  if (capacitance < 0.0) {
+    throw std::invalid_argument("Circuit::add_capacitor: negative capacitance");
+  }
+  capacitors_.push_back({a, b, capacitance});
+}
+
+double Circuit::mosfet_drain_current(const MosfetInstance& m,
+                                     const std::vector<double>& v) const {
+  if (m.model->spec().polarity == doping::Polarity::kNfet) {
+    const double vgs = v[m.gate] - v[m.source];
+    const double vds = v[m.drain] - v[m.source];
+    return m.model->drain_current(vgs, vds);
+  }
+  // PFET in magnitude space: source-referenced with inverted polarities.
+  const double vsg = v[m.source] - v[m.gate];
+  const double vsd = v[m.source] - v[m.drain];
+  // drain_current(vsg, vsd) > 0 means conventional current source -> drain,
+  // i.e. current *entering* the drain terminal is positive.
+  return m.model->drain_current(vsg, vsd);
+}
+
+double Circuit::node_device_current(NodeId node,
+                                    const std::vector<double>& v) const {
+  double out = 0.0;
+  for (const MosfetInstance& m : mosfets_) {
+    const double id = mosfet_drain_current(m, v);
+    const bool is_n = m.model->spec().polarity == doping::Polarity::kNfet;
+    // NFET: +id enters drain and exits source. PFET (magnitude form):
+    // +id enters source and exits drain.
+    if (m.drain == node) out += is_n ? id : -id;
+    if (m.source == node) out += is_n ? -id : id;
+  }
+  // gmin leak to ground.
+  out += gmin_ * v[node];
+  return out;
+}
+
+double Circuit::node_total_capacitance(NodeId node) const {
+  double c = 0.0;
+  for (const CapacitorInstance& cap : capacitors_) {
+    if (cap.a == node || cap.b == node) c += cap.capacitance;
+  }
+  return c;
+}
+
+}  // namespace subscale::circuits

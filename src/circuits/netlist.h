@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file netlist.h
+/// Minimal circuit representation for the paper's experiments: MOSFETs
+/// (compact model), linear capacitors, and nodes that are either FREE
+/// (solved) or FIXED (rails and driven inputs). This is the element set a
+/// SPICE DC/TRAN engine needs for inverters, chains, ring oscillators and
+/// SRAM cells.
+///
+/// Sign convention: element currents are reported as current flowing
+/// *out of* a node (so KCL at a free node reads sum = 0).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compact/mosfet.h"
+
+namespace subscale::circuits {
+
+using NodeId = std::size_t;
+
+/// A MOSFET instance: a shared compact model + terminal connections.
+/// The bulk is implicitly tied to the source rail (0 for NFET, V_dd for
+/// PFET) — body effect within a stack is not modelled, which is adequate
+/// for the paper's inverter-class circuits.
+struct MosfetInstance {
+  std::shared_ptr<const compact::CompactMosfet> model;
+  NodeId drain = 0;
+  NodeId gate = 0;
+  NodeId source = 0;
+};
+
+struct CapacitorInstance {
+  NodeId a = 0;
+  NodeId b = 0;
+  double capacitance = 0.0;  ///< [F]
+};
+
+/// The circuit under construction/simulation.
+class Circuit {
+ public:
+  Circuit();
+
+  /// The pre-made ground node (always fixed at 0 V).
+  NodeId ground() const { return 0; }
+
+  /// Create a node. Fixed nodes are rails/inputs with imposed voltage.
+  NodeId add_node(std::string name);
+  NodeId add_fixed_node(std::string name, double voltage);
+
+  /// Re-drive a fixed node (input stimulus). Throws if the node is free.
+  void set_fixed_voltage(NodeId node, double voltage);
+
+  bool is_fixed(NodeId node) const { return fixed_[node]; }
+  double fixed_voltage(NodeId node) const;
+  const std::string& node_name(NodeId node) const { return names_[node]; }
+  std::size_t node_count() const { return names_.size(); }
+
+  /// Indices of the free (solved) nodes, in creation order.
+  std::vector<NodeId> free_nodes() const;
+
+  void add_mosfet(std::shared_ptr<const compact::CompactMosfet> model,
+                  NodeId drain, NodeId gate, NodeId source);
+  void add_capacitor(NodeId a, NodeId b, double capacitance);
+
+  const std::vector<MosfetInstance>& mosfets() const { return mosfets_; }
+  const std::vector<CapacitorInstance>& capacitors() const {
+    return capacitors_;
+  }
+
+  /// Tiny conductance from every free node to ground that keeps the
+  /// Jacobian nonsingular when all attached devices are off [S].
+  double gmin() const { return gmin_; }
+  void set_gmin(double gmin) { gmin_ = gmin; }
+
+  /// Static current drawn *out of* `node` by all MOSFETs, given the full
+  /// voltage vector (indexed by NodeId).
+  double node_device_current(NodeId node,
+                             const std::vector<double>& voltages) const;
+
+  /// Signed drain current of mosfet `m` (positive = conventional current
+  /// entering the drain terminal), given node voltages.
+  double mosfet_drain_current(const MosfetInstance& m,
+                              const std::vector<double>& voltages) const;
+
+  /// Total capacitance attached between `node` and anything (used for
+  /// diagnostics and energy accounting).
+  double node_total_capacitance(NodeId node) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<bool> fixed_;
+  std::vector<double> fixed_voltages_;
+  std::vector<MosfetInstance> mosfets_;
+  std::vector<CapacitorInstance> capacitors_;
+  double gmin_ = 1e-12;
+};
+
+}  // namespace subscale::circuits

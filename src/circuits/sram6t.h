@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file sram6t.h
+/// 6T SRAM cell static noise margins in the subthreshold regime — the
+/// paper's Sec. 2.3.2 motivates SNM scaling with its own sub-200mV SRAM
+/// work (ref [16]). Hold SNM uses the cross-coupled inverter butterfly;
+/// read SNM adds the access transistors with bitlines precharged to V_dd.
+
+#include "circuits/inverter.h"
+#include "circuits/vtc.h"
+
+namespace subscale::circuits {
+
+/// Device complement of a 6T cell. The cell ratio (driver/access width
+/// ratio) and pull-up ratio are expressed through the specs' widths.
+struct Sram6tCell {
+  std::shared_ptr<const compact::CompactMosfet> pull_down;  ///< NFET
+  std::shared_ptr<const compact::CompactMosfet> pull_up;    ///< PFET
+  std::shared_ptr<const compact::CompactMosfet> access;     ///< NFET
+  double vdd = 0.0;
+};
+
+/// Build a cell from an NFET spec: pull-down at `cell_ratio` x the access
+/// width, pull-up PFET balanced as in make_inverter then scaled by
+/// `pullup_ratio`.
+Sram6tCell make_sram_cell(const compact::DeviceSpec& nfet_spec,
+                          double cell_ratio = 1.5, double pullup_ratio = 1.0,
+                          const compact::Calibration& calib =
+                              compact::paper_calibration());
+
+/// Internal-node transfer curve with the access device participating
+/// (wordline at V_dd, bitline at `vbl`); with the access device absent
+/// this is the plain inverter VTC.
+VtcCurve sram_read_vtc(const Sram6tCell& cell, std::size_t points = 301);
+VtcCurve sram_hold_vtc(const Sram6tCell& cell, std::size_t points = 301);
+
+/// Butterfly SNMs.
+double sram_hold_snm(const Sram6tCell& cell);
+double sram_read_snm(const Sram6tCell& cell);
+
+}  // namespace subscale::circuits

@@ -1,0 +1,82 @@
+#include "circuits/transient.h"
+
+#include <stdexcept>
+
+#include "circuits/dc_solver.h"
+#include "linalg/newton.h"
+
+namespace subscale::circuits {
+
+TransientSim::TransientSim(Circuit& circuit,
+                           std::vector<double> initial_voltages,
+                           const TransientOptions& options)
+    : circuit_(circuit), options_(options), v_(std::move(initial_voltages)) {
+  if (v_.size() != circuit_.node_count()) {
+    throw std::invalid_argument("TransientSim: initial voltage size mismatch");
+  }
+}
+
+void TransientSim::step(double dt) {
+  if (dt <= 0.0) {
+    throw std::invalid_argument("TransientSim::step: dt must be positive");
+  }
+  const std::vector<NodeId> free = circuit_.free_nodes();
+  const std::vector<double> v_old = v_;
+
+  // Impose (possibly updated) fixed-node voltages for the new time point.
+  std::vector<double> v_fixed(circuit_.node_count());
+  for (NodeId id = 0; id < circuit_.node_count(); ++id) {
+    v_fixed[id] = circuit_.is_fixed(id) ? circuit_.fixed_voltage(id) : 0.0;
+  }
+
+  const auto assemble = [&](const std::vector<double>& x) {
+    std::vector<double> v = v_fixed;
+    for (std::size_t k = 0; k < free.size(); ++k) v[free[k]] = x[k];
+    return v;
+  };
+
+  const auto residual = [&](const std::vector<double>& x) {
+    const std::vector<double> v = assemble(x);
+    std::vector<double> f(free.size(), 0.0);
+    for (std::size_t k = 0; k < free.size(); ++k) {
+      f[k] = circuit_.node_device_current(free[k], v);
+    }
+    // Capacitor displacement currents (backward Euler).
+    for (const CapacitorInstance& cap : circuit_.capacitors()) {
+      const double dv_new = v[cap.a] - v[cap.b];
+      const double dv_old = v_old[cap.a] - v_old[cap.b];
+      const double i_cap = cap.capacitance * (dv_new - dv_old) / dt;
+      // i_cap flows out of node a into node b.
+      for (std::size_t k = 0; k < free.size(); ++k) {
+        if (free[k] == cap.a) f[k] += i_cap;
+        if (free[k] == cap.b) f[k] -= i_cap;
+      }
+    }
+    return f;
+  };
+  const auto jacobian = [&](const std::vector<double>& x) {
+    return linalg::finite_difference_jacobian(residual, x, 1e-7);
+  };
+
+  std::vector<double> x0(free.size());
+  for (std::size_t k = 0; k < free.size(); ++k) x0[k] = v_[free[k]];
+
+  const linalg::NewtonResult newton = linalg::newton_solve(
+      residual, jacobian, x0,
+      {.max_iterations = options_.max_newton_iterations,
+       .residual_tolerance = options_.newton_tolerance,
+       .step_tolerance = 1e-16,
+       .max_step = options_.max_step});
+  if (!newton.converged) {
+    throw std::runtime_error("TransientSim::step: Newton did not converge");
+  }
+
+  v_ = assemble(newton.x);
+  time_ += dt;
+}
+
+double TransientSim::rail_device_current(NodeId rail) const {
+  return rail_current(circuit_, rail, v_);
+}
+
+}  // namespace subscale::circuits

@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file transient.h
+/// Backward-Euler transient simulation (L-stable — the right choice for
+/// the stiff exponential dynamics of subthreshold circuits, where node
+/// time-constants span six orders of magnitude between on and off states).
+
+#include <vector>
+
+#include "circuits/netlist.h"
+
+namespace subscale::circuits {
+
+struct TransientOptions {
+  double newton_tolerance = 1e-15;  ///< [A]
+  std::size_t max_newton_iterations = 200;
+  double max_step = 0.3;  ///< Newton voltage clamp per iteration [V]
+};
+
+/// Integrates the circuit's node equations in time. Inputs are changed by
+/// calling Circuit::set_fixed_voltage between steps (the circuit is held
+/// by reference and not owned).
+class TransientSim {
+ public:
+  /// \param initial_voltages  full per-node voltage vector (e.g. from
+  ///        solve_dc); fixed nodes are re-imposed at each step.
+  TransientSim(Circuit& circuit, std::vector<double> initial_voltages,
+               const TransientOptions& options = {});
+
+  /// Advance one backward-Euler step of length dt [s].
+  /// Throws std::runtime_error if the step's Newton fails to converge.
+  void step(double dt);
+
+  double time() const { return time_; }
+  const std::vector<double>& voltages() const { return v_; }
+  double voltage(NodeId node) const { return v_[node]; }
+
+  /// Device current drawn from a fixed rail at the end of the last step
+  /// [A] (positive = flowing out of the rail into the circuit).
+  double rail_device_current(NodeId rail) const;
+
+ private:
+  Circuit& circuit_;
+  TransientOptions options_;
+  std::vector<double> v_;
+  double time_ = 0.0;
+};
+
+}  // namespace subscale::circuits

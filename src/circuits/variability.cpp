@@ -1,0 +1,103 @@
+#include "circuits/variability.h"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "circuits/delay.h"
+#include "physics/constants.h"
+
+namespace subscale::circuits {
+
+double MismatchModel::sigma_vth(const compact::DeviceSpec& spec) const {
+  const double area = spec.width * spec.geometry.lpoly;
+  if (area <= 0.0) {
+    throw std::invalid_argument("MismatchModel::sigma_vth: non-positive area");
+  }
+  return a_vt / std::sqrt(area);
+}
+
+namespace {
+
+/// Rebuild a device model with a shifted threshold (the calibration's
+/// delta_vth is exactly an additive V_th term, so mismatch composes with
+/// it directly).
+std::shared_ptr<const compact::CompactMosfet> shifted(
+    const compact::CompactMosfet& base, double dvth) {
+  compact::Calibration calib = base.calibration();
+  calib.delta_vth += dvth;
+  return std::make_shared<compact::CompactMosfet>(base.spec(), calib);
+}
+
+}  // namespace
+
+DelayVariabilityResult delay_variability(const InverterDevices& inv,
+                                         const MismatchModel& mismatch,
+                                         const VariabilityOptions& options) {
+  if (options.samples < 2) {
+    throw std::invalid_argument("delay_variability: need >= 2 samples");
+  }
+  std::mt19937_64 rng(options.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  const double sigma_n = mismatch.sigma_vth(inv.nfet->spec());
+  const double sigma_p = mismatch.sigma_vth(inv.pfet->spec());
+
+  std::vector<double> delays;
+  delays.reserve(options.samples);
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    InverterDevices sample = inv;
+    sample.nfet = shifted(*inv.nfet, sigma_n * gauss(rng));
+    sample.pfet = shifted(*inv.pfet, sigma_p * gauss(rng));
+    double tp = 0.0;
+    if (options.simulate_transient) {
+      tp = fo1_delay(sample).tp;
+    } else {
+      // Per-transition Eq. 4: each edge is driven by one device, so the
+      // two V_th shifts enter separate exponentials (this is what makes
+      // the delay distribution lognormal).
+      const double cl = sample.stage_capacitance();
+      const double v = sample.vdd;
+      const double tphl =
+          options.kd * cl * v / sample.nfet->drain_current(v, v);
+      const double tplh =
+          options.kd * cl * v / sample.pfet->drain_current(v, v);
+      tp = 0.5 * (tphl + tplh);
+    }
+    delays.push_back(tp);
+  }
+
+  DelayVariabilityResult r;
+  r.samples = delays.size();
+  double sum = 0.0, sum_ln = 0.0;
+  for (const double d : delays) {
+    sum += d;
+    sum_ln += std::log(d);
+  }
+  r.mean = sum / static_cast<double>(delays.size());
+  const double mean_ln = sum_ln / static_cast<double>(delays.size());
+  double var = 0.0, var_ln = 0.0;
+  for (const double d : delays) {
+    var += (d - r.mean) * (d - r.mean);
+    var_ln += (std::log(d) - mean_ln) * (std::log(d) - mean_ln);
+  }
+  var /= static_cast<double>(delays.size() - 1);
+  var_ln /= static_cast<double>(delays.size() - 1);
+  r.sigma = std::sqrt(var);
+  r.sigma_over_mean = r.sigma / r.mean;
+  r.sigma_ln = std::sqrt(var_ln);
+
+  // Closed form: delay ~ exp(dVth/(m vT)) per transition; averaging the
+  // two transitions halves the per-edge variance contribution of each
+  // device, so sigma_ln^2 ~ (sigma_n^2 + sigma_p^2) / (2 m vT)^2 ... to
+  // first order with equal weighting of rise/fall:
+  const double m_n = inv.nfet->slope_factor();
+  const double m_p = inv.pfet->slope_factor();
+  const double vt = physics::thermal_voltage(inv.nfet->spec().temperature);
+  const double s2 = 0.25 * (sigma_n * sigma_n / (m_n * m_n) +
+                            sigma_p * sigma_p / (m_p * m_p));
+  r.sigma_ln_predicted = std::sqrt(s2) / vt;
+  return r;
+}
+
+}  // namespace subscale::circuits

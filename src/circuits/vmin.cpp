@@ -1,0 +1,23 @@
+#include "circuits/vmin.h"
+
+#include <cmath>
+
+#include "opt/golden_section.h"
+
+namespace subscale::circuits {
+
+VminResult find_vmin(const InverterDevices& devices, const ChainSpec& chain,
+                     const VminOptions& options) {
+  const auto energy = [&](double vdd) {
+    return chain_energy(devices, vdd, chain).e_total;
+  };
+  const opt::ScalarMinimum m = opt::scan_then_golden(
+      energy, options.v_lo, options.v_hi, options.scan_points,
+      options.v_tolerance);
+  VminResult result;
+  result.vmin = m.x;
+  result.at_vmin = chain_energy(devices, m.x, chain);
+  return result;
+}
+
+}  // namespace subscale::circuits

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file vmin.h
+/// Minimum-energy operating point: V_min = argmin_vdd E_cycle(vdd) for an
+/// inverter chain (paper Sec. 2.3.4, after refs [17][18]). Below V_min
+/// leakage energy explodes with the exponentially growing cycle time;
+/// above it dynamic CV^2 dominates.
+
+#include "circuits/chain.h"
+
+namespace subscale::circuits {
+
+struct VminResult {
+  double vmin = 0.0;        ///< energy-optimal supply [V]
+  ChainEnergyResult at_vmin;  ///< full breakdown at the optimum
+};
+
+struct VminOptions {
+  double v_lo = 0.10;  ///< search bracket [V]
+  double v_hi = 0.70;
+  double v_tolerance = 1e-3;
+  std::size_t scan_points = 13;  ///< coarse scan before refinement
+};
+
+/// Golden-section (with coarse scan) minimization of chain energy over
+/// the supply voltage.
+VminResult find_vmin(const InverterDevices& devices,
+                     const ChainSpec& chain = {},
+                     const VminOptions& options = {});
+
+}  // namespace subscale::circuits

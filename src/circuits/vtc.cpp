@@ -1,0 +1,156 @@
+#include "circuits/vtc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "opt/bisection.h"
+
+namespace subscale::circuits {
+
+double vtc_output(const InverterDevices& inv, double vin) {
+  const double vdd = inv.vdd;
+  // Balance f(vout) = I_n(vin, vout) - I_p(vdd - vin, vdd - vout).
+  // I_n grows and I_p falls with vout, so f is strictly increasing.
+  const auto balance = [&](double vout) {
+    const double i_n = inv.nfet->drain_current(vin, vout);
+    const double i_p = inv.pfet->drain_current(vdd - vin, vdd - vout);
+    return i_n - i_p;
+  };
+  const auto root = opt::bisect(balance, 0.0, vdd, 1e-13 * vdd, 400);
+  return root.x;
+}
+
+VtcCurve compute_vtc(const InverterDevices& inv, std::size_t points) {
+  if (points < 2) {
+    throw std::invalid_argument("compute_vtc: need at least 2 points");
+  }
+  VtcCurve curve;
+  curve.vin.resize(points);
+  curve.vout.resize(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double vin =
+        inv.vdd * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.vin[i] = vin;
+    curve.vout[i] = vtc_output(inv, vin);
+  }
+  return curve;
+}
+
+double vtc_gain(const InverterDevices& inv, double vin) {
+  const double h = 1e-5 * inv.vdd;
+  const double lo = std::max(0.0, vin - h);
+  const double hi = std::min(inv.vdd, vin + h);
+  return (vtc_output(inv, hi) - vtc_output(inv, lo)) / (hi - lo);
+}
+
+NoiseMargins noise_margins(const InverterDevices& inv) {
+  const double vdd = inv.vdd;
+  // Locate the switching point (most negative gain) with a coarse scan.
+  const std::size_t scan = 160;
+  double best_gain = 0.0;
+  double v_switch = 0.5 * vdd;
+  for (std::size_t i = 1; i + 1 < scan; ++i) {
+    const double v = vdd * static_cast<double>(i) / static_cast<double>(scan);
+    const double g = vtc_gain(inv, v);
+    if (g < best_gain) {
+      best_gain = g;
+      v_switch = v;
+    }
+  }
+  if (best_gain > -1.0) {
+    throw std::runtime_error(
+        "noise_margins: inverter gain never reaches -1 (no regenerative "
+        "transfer at this supply)");
+  }
+
+  // gain(v) + 1 changes sign once on each side of the switching point.
+  const auto gain_plus_one = [&](double v) { return vtc_gain(inv, v) + 1.0; };
+  const auto lo_root = opt::bisect(gain_plus_one, 1e-6 * vdd, v_switch,
+                                   1e-9 * vdd, 200);
+  const auto hi_root = opt::bisect(gain_plus_one, v_switch, vdd * (1 - 1e-6),
+                                   1e-9 * vdd, 200);
+
+  NoiseMargins nm;
+  nm.vil = lo_root.x;
+  nm.vih = hi_root.x;
+  nm.voh = vtc_output(inv, nm.vil);
+  nm.vol = vtc_output(inv, nm.vih);
+  nm.nml = nm.vil - nm.vol;
+  nm.nmh = nm.voh - nm.vih;
+  nm.snm = std::min(nm.nml, nm.nmh);
+  nm.peak_gain = best_gain;
+  return nm;
+}
+
+namespace {
+
+/// Linear interpolation of y(x) on a sampled monotone-x curve.
+double interp(const std::vector<double>& x, const std::vector<double>& y,
+              double xq) {
+  const auto it = std::lower_bound(x.begin(), x.end(), xq);
+  if (it == x.begin()) return y.front();
+  if (it == x.end()) return y.back();
+  const std::size_t hi = static_cast<std::size_t>(it - x.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (xq - x[lo]) / (x[hi] - x[lo]);
+  return y[lo] + t * (y[hi] - y[lo]);
+}
+
+}  // namespace
+
+namespace {
+
+/// Largest square inscribed in the upper-left butterfly eye of the latch
+/// whose two transfer functions are f1 (drives y from x) and f2 (drives x
+/// from y), both decreasing. A square of side s anchored at storage state
+/// y0 fits iff, with its left edge on the mirrored curve (x0 = f2(y0)),
+/// its top stays below the forward curve: y0 + s <= f1(x0 + s). f1 is
+/// decreasing, so the residual s - (f1(f2(y0)+s) - y0) is increasing in s
+/// and the maximal side solves it by bisection.
+double max_square_in_eye(const VtcCurve& forward, const VtcCurve& mirrored,
+                         double vdd) {
+  const auto f1 = [&](double x) {
+    return interp(forward.vin, forward.vout, x);
+  };
+  const auto f2 = [&](double y) {
+    return interp(mirrored.vin, mirrored.vout, y);
+  };
+  double best = 0.0;
+  const std::size_t samples = 240;
+  for (std::size_t k = 0; k < samples; ++k) {
+    const double y0 = vdd * static_cast<double>(k) / samples;
+    const double x0 = f2(y0);
+    // Bisect on the square side.
+    double lo = 0.0;
+    double hi = vdd;
+    const auto fits = [&](double s) { return y0 + s <= f1(x0 + s); };
+    if (!fits(0.0)) continue;  // y0 already above the forward curve
+    for (int it = 0; it < 60; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (fits(mid)) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    best = std::max(best, lo);
+  }
+  return best;
+}
+
+}  // namespace
+
+double butterfly_snm(const VtcCurve& forward, const VtcCurve& mirrored) {
+  if (forward.vin.size() < 2 || mirrored.vin.size() < 2) {
+    throw std::invalid_argument("butterfly_snm: curves too short");
+  }
+  const double vdd =
+      std::max(forward.vin.back(), mirrored.vin.back());
+  // Upper-left eye: forward on top. Lower-right eye: swap the roles.
+  const double upper = max_square_in_eye(forward, mirrored, vdd);
+  const double lower = max_square_in_eye(mirrored, forward, vdd);
+  return std::min(upper, lower);
+}
+
+}  // namespace subscale::circuits

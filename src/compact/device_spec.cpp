@@ -1,0 +1,53 @@
+#include "compact/device_spec.h"
+
+#include <stdexcept>
+
+#include "physics/units.h"
+
+namespace subscale::compact {
+
+void DeviceSpec::validate() const {
+  if (geometry.lpoly <= 0.0 || geometry.tox <= 0.0) {
+    throw std::invalid_argument("DeviceSpec: lpoly and tox must be positive");
+  }
+  if (geometry.leff() <= 0.0) {
+    throw std::invalid_argument("DeviceSpec: leff <= 0 (overlap too large)");
+  }
+  if (levels.nsub <= 0.0) {
+    throw std::invalid_argument("DeviceSpec: nsub must be positive");
+  }
+  if (levels.np_halo < 0.0) {
+    throw std::invalid_argument("DeviceSpec: np_halo must be non-negative");
+  }
+  if (vdd <= 0.0) {
+    throw std::invalid_argument("DeviceSpec: vdd must be positive");
+  }
+  if (temperature <= 0.0) {
+    throw std::invalid_argument("DeviceSpec: temperature must be positive");
+  }
+  if (width <= 0.0) {
+    throw std::invalid_argument("DeviceSpec: width must be positive");
+  }
+}
+
+DeviceSpec make_spec_from_table(doping::Polarity polarity, double lpoly_nm,
+                                double tox_nm, double nsub_cm3,
+                                double nhalo_net_cm3, double vdd,
+                                double feature_shrink) {
+  namespace u = subscale::units;
+  if (nhalo_net_cm3 < nsub_cm3) {
+    throw std::invalid_argument(
+        "make_spec_from_table: net halo peak must be >= substrate doping");
+  }
+  DeviceSpec spec;
+  spec.polarity = polarity;
+  spec.geometry = doping::MosfetGeometry::scaled(
+      u::nm(lpoly_nm), u::nm(tox_nm), feature_shrink);
+  spec.levels.nsub = u::per_cm3(nsub_cm3);
+  spec.levels.np_halo = u::per_cm3(nhalo_net_cm3 - nsub_cm3);
+  spec.vdd = vdd;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace subscale::compact

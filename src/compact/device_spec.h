@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file device_spec.h
+/// The four-parameter device description the paper scales (Sec. 2.2):
+/// physical gate length L_poly, oxide thickness T_ox, substrate doping
+/// N_sub and peak halo doping N_p,halo — plus V_dd. Geometry details
+/// (junction depth, halo straggles, overlaps) derive from the node's
+/// feature shrink via doping::MosfetGeometry.
+
+#include "doping/mosfet_doping.h"
+
+namespace subscale::compact {
+
+/// A fully specified transistor at some technology node.
+struct DeviceSpec {
+  doping::Polarity polarity = doping::Polarity::kNfet;
+  doping::MosfetGeometry geometry;
+  doping::MosfetDopingLevels levels;
+  double vdd = 1.2;            ///< nominal supply [V]
+  double temperature = 300.0;  ///< lattice temperature [K]
+  double width = 1e-6;         ///< reference gate width [m]
+
+  /// Validate invariants; throws std::invalid_argument on violation.
+  void validate() const;
+
+  /// Effective channel doping N_eff [m^-3] (substrate + averaged halo) at
+  /// unit halo weight. Model code should prefer the calibrated overload
+  /// below, which applies Calibration::k_halo.
+  double effective_channel_doping() const {
+    return doping::effective_channel_doping(geometry, levels);
+  }
+
+  /// Calibrated N_eff = nsub + k_halo * np_halo * f_halo [m^-3].
+  double effective_channel_doping(double k_halo) const {
+    return levels.nsub +
+           k_halo * levels.np_halo * doping::halo_channel_fraction(geometry);
+  }
+};
+
+/// Construct a spec from the paper's table units: lpoly/tox in nm, doping
+/// in cm^-3 (N_halo is the NET peak = N_sub + N_p,halo as tabulated),
+/// feature shrink per node.
+DeviceSpec make_spec_from_table(doping::Polarity polarity, double lpoly_nm,
+                                double tox_nm, double nsub_cm3,
+                                double nhalo_net_cm3, double vdd,
+                                double feature_shrink);
+
+}  // namespace subscale::compact

@@ -1,0 +1,121 @@
+#include "compact/mosfet.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "compact/ss_model.h"
+#include "compact/vth_model.h"
+#include "physics/constants.h"
+#include "physics/mobility.h"
+#include "physics/silicon.h"
+
+namespace subscale::compact {
+
+double softplus(double x) {
+  if (x > 40.0) return x;       // e^{-x} negligible
+  if (x < -40.0) return std::exp(x);
+  return std::log1p(std::exp(x));
+}
+
+CompactMosfet::CompactMosfet(DeviceSpec spec, const Calibration& calib)
+    : spec_(std::move(spec)), calib_(calib) {
+  spec_.validate();
+  neff_ = spec_.effective_channel_doping(calib_.k_halo);
+  wdep_ = depletion_width_at_threshold(neff_, spec_.temperature);
+  ss_ = compact::subthreshold_swing(neff_, spec_.geometry.tox,
+                                    spec_.geometry.leff(), spec_.temperature,
+                                    calib_);
+  n_ = slope_factor_from_swing(ss_, spec_.temperature);
+  cox_ = physics::oxide_capacitance(spec_.geometry.tox);
+  vt_ = physics::thermal_voltage(spec_.temperature);
+}
+
+double CompactMosfet::vth_long() const {
+  // Long-channel limit: drop the SCE/DIBL roll-off term.
+  const VthComponents c = threshold_components(spec_, calib_, 0.0);
+  return c.vth_body + calib_.delta_vth;
+}
+
+double CompactMosfet::vth(double vds) const {
+  return threshold_voltage(spec_, calib_, vds);
+}
+
+double CompactMosfet::gate_capacitance() const {
+  const double per_width = cox_ * spec_.geometry.lpoly +
+                           2.0 * (cox_ * spec_.geometry.lov + calib_.c_fringe);
+  return per_width * spec_.width;
+}
+
+double CompactMosfet::mu_eff(double vgs) const {
+  const auto carrier = spec_.polarity == doping::Polarity::kNfet
+                           ? physics::Carrier::kElectron
+                           : physics::Carrier::kHole;
+  // Effective normal field E_eff = (Q_dep + Q_inv/2)/eps_si: constant in
+  // deep subthreshold (Q_inv -> 0, so the measured log-slope equals the
+  // analytical S_S) and rising in strong inversion.
+  const double q_dep = physics::depletion_charge(neff_, spec_.temperature);
+  const double vov_smooth =
+      2.0 * n_ * vt_ * softplus((vgs - vth(0.0)) / (2.0 * n_ * vt_));
+  const double q_inv = cox_ * vov_smooth;
+  const double e_eff = (q_dep + 0.5 * q_inv) / physics::kEpsSi;
+  return physics::effective_channel_mobility(carrier, neff_, e_eff);
+}
+
+double CompactMosfet::specific_current(double vgs) const {
+  const double w_over_l = spec_.width / spec_.geometry.leff();
+  return calib_.k_io * 2.0 * n_ * mu_eff(vgs) * cox_ * vt_ * vt_ * w_over_l;
+}
+
+double CompactMosfet::drain_current(double vgs, double vds) const {
+  const double sign = (vds < 0.0) ? -1.0 : 1.0;
+  const double vds_mag = std::abs(vds);
+
+  const double vth_d = vth(vds_mag);
+  const double two_nvt = 2.0 * n_ * vt_;
+  const double xf = (vgs - vth_d) / two_nvt;
+  const double xr = (vgs - vth_d - n_ * vds_mag) / two_nvt;
+  const double qf = softplus(xf);
+  const double qr = softplus(xr);
+  const double i_norm = qf * qf - qr * qr;
+
+  // Velocity saturation: degrade by the smooth overdrive (-> 0 in weak
+  // inversion, -> Vov in strong inversion).
+  const auto carrier = spec_.polarity == doping::Polarity::kNfet
+                           ? physics::Carrier::kElectron
+                           : physics::Carrier::kHole;
+  const double vsat =
+      physics::saturation_velocity(carrier, spec_.temperature);
+  const double vov_smooth = two_nvt * qf;
+  const double mu = mu_eff(vgs);
+  const double denom = 1.0 + calib_.k_vsat * mu * vov_smooth /
+                                 (2.0 * vsat * spec_.geometry.leff());
+
+  return sign * specific_current(vgs) * i_norm / denom;
+}
+
+double CompactMosfet::vth_sat_extracted() const {
+  // Bisection for vgs where Id(vgs, vdd) = j_crit * W/Leff.
+  const double target =
+      calib_.j_crit * spec_.width / spec_.geometry.leff();
+  double lo = -0.5;
+  double hi = spec_.vdd + 1.5;
+  if (drain_current(hi, spec_.vdd) < target) {
+    throw std::runtime_error(
+        "vth_sat_extracted: extraction current never reached");
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (drain_current(mid, spec_.vdd) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double CompactMosfet::intrinsic_delay() const {
+  return gate_capacitance() * spec_.vdd / ion();
+}
+
+}  // namespace subscale::compact

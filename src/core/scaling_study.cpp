@@ -1,0 +1,43 @@
+#include "core/scaling_study.h"
+
+#include <stdexcept>
+
+namespace subscale::core {
+
+ScalingStudy::ScalingStudy(const compact::Calibration& calib,
+                           const StudyOptions& options)
+    : calib_(calib), options_(options) {}
+
+const std::vector<scaling::DesignedDevice>& ScalingStudy::super_devices()
+    const {
+  if (super_.empty()) {
+    super_ = scaling::supervth_roadmap(calib_, options_.super);
+  }
+  return super_;
+}
+
+const std::vector<scaling::SubVthDevice>& ScalingStudy::sub_devices() const {
+  if (sub_.empty()) {
+    sub_ = scaling::subvth_roadmap(options_.sub, calib_);
+  }
+  return sub_;
+}
+
+circuits::InverterDevices ScalingStudy::super_inverter(std::size_t i,
+                                                       double vdd) const {
+  if (i >= super_devices().size()) {
+    throw std::out_of_range("ScalingStudy::super_inverter: bad node index");
+  }
+  return circuits::make_inverter(super_devices()[i].spec, calib_).at_vdd(vdd);
+}
+
+circuits::InverterDevices ScalingStudy::sub_inverter(std::size_t i,
+                                                     double vdd) const {
+  if (i >= sub_devices().size()) {
+    throw std::out_of_range("ScalingStudy::sub_inverter: bad node index");
+  }
+  return circuits::make_inverter(sub_devices()[i].device.spec, calib_)
+      .at_vdd(vdd);
+}
+
+}  // namespace subscale::core

@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file scaling_study.h
+/// The top-level facade of the library: runs both of the paper's scaling
+/// strategies across the 90/65/45/32nm nodes once, caches the designed
+/// devices, and hands out circuit-level views (inverters) for the
+/// figure-reproduction experiments. Every bench builds on this class.
+
+#include <vector>
+
+#include "circuits/inverter.h"
+#include "compact/calibration.h"
+#include "scaling/subvth_strategy.h"
+#include "scaling/supervth_strategy.h"
+
+namespace subscale::core {
+
+struct StudyOptions {
+  scaling::SuperVthOptions super;
+  scaling::SubVthOptions sub;
+  double vdd_subthreshold = 0.25;  ///< the paper's sub-V_th test supply [V]
+};
+
+class ScalingStudy {
+ public:
+  explicit ScalingStudy(
+      const compact::Calibration& calib = compact::paper_calibration(),
+      const StudyOptions& options = {});
+
+  const compact::Calibration& calibration() const { return calib_; }
+  const StudyOptions& options() const { return options_; }
+
+  std::size_t node_count() const { return scaling::paper_nodes().size(); }
+  const scaling::NodeInput& node(std::size_t i) const {
+    return scaling::paper_nodes()[i];
+  }
+
+  /// Designed devices (lazily computed once).
+  const std::vector<scaling::DesignedDevice>& super_devices() const;
+  const std::vector<scaling::SubVthDevice>& sub_devices() const;
+
+  /// Balanced inverters on the designed devices. `vdd` overrides the
+  /// operating rail (pass node(i).vdd for nominal, or
+  /// options().vdd_subthreshold for the paper's 250 mV points).
+  circuits::InverterDevices super_inverter(std::size_t i, double vdd) const;
+  circuits::InverterDevices sub_inverter(std::size_t i, double vdd) const;
+
+ private:
+  compact::Calibration calib_;
+  StudyOptions options_;
+  mutable std::vector<scaling::DesignedDevice> super_;
+  mutable std::vector<scaling::SubVthDevice> sub_;
+};
+
+}  // namespace subscale::core

@@ -1,0 +1,97 @@
+#include "doping/mosfet_doping.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "physics/units.h"
+
+namespace subscale::doping {
+
+MosfetGeometry MosfetGeometry::scaled(double lpoly, double tox,
+                                      double feature_shrink) {
+  if (lpoly <= 0.0 || tox <= 0.0 || feature_shrink <= 0.0) {
+    throw std::invalid_argument("MosfetGeometry::scaled: invalid arguments");
+  }
+  namespace u = subscale::units;
+  const double s = feature_shrink;
+  MosfetGeometry g;
+  g.lpoly = lpoly;
+  g.tox = tox;
+  g.lov = u::nm(8.0) * s;
+  g.xj = u::nm(20.0) * s;
+  g.lsd = u::nm(60.0) * s;
+  g.substrate_depth = u::nm(120.0) * s + u::nm(60.0);
+  g.halo_depth = u::nm(12.0) * s;
+  g.halo_sigma_x = u::nm(12.0) * s;
+  g.halo_sigma_y = u::nm(14.0) * s;
+  g.sd_straggle_x = u::nm(4.0) * s;
+  g.sd_straggle_y = u::nm(4.0) * s;
+  g.feature_shrink = s;
+  if (g.leff() <= 0.0) {
+    throw std::invalid_argument(
+        "MosfetGeometry::scaled: lpoly too small for the overlap at this "
+        "feature shrink (leff <= 0)");
+  }
+  return g;
+}
+
+std::shared_ptr<const DopingProfile> make_mosfet_profile(
+    Polarity polarity, const MosfetGeometry& g,
+    const MosfetDopingLevels& levels) {
+  if (levels.nsub <= 0.0 || levels.nsd <= 0.0 || levels.np_halo < 0.0) {
+    throw std::invalid_argument("make_mosfet_profile: invalid doping levels");
+  }
+  const Species body =
+      polarity == Polarity::kNfet ? Species::kAcceptor : Species::kDonor;
+  const Species sd =
+      polarity == Polarity::kNfet ? Species::kDonor : Species::kAcceptor;
+
+  auto profile = std::make_shared<Superposition>();
+  // Uniform substrate.
+  profile->add(std::make_shared<UniformDoping>(body, levels.nsub));
+
+  // Source and drain diffusions. The metallurgical boxes reach in to
+  // -+leff/2 at the surface; they extend outward past the gate edge by lsd.
+  const double le = g.leff();
+  const double x_out = 0.5 * le + 2.0 * g.lov + g.lsd;
+  profile->add(std::make_shared<DiffusedBox>(sd, levels.nsd, -x_out,
+                                             -0.5 * le, g.xj, g.sd_straggle_x,
+                                             g.sd_straggle_y));
+  profile->add(std::make_shared<DiffusedBox>(sd, levels.nsd, 0.5 * le, x_out,
+                                             g.xj, g.sd_straggle_x,
+                                             g.sd_straggle_y));
+
+  // Halo pair at the channel edges.
+  if (levels.np_halo > 0.0) {
+    profile->add(std::make_shared<GaussianBump2d>(
+        body, levels.np_halo, -0.5 * le, g.halo_depth, g.halo_sigma_x,
+        g.halo_sigma_y));
+    profile->add(std::make_shared<GaussianBump2d>(
+        body, levels.np_halo, 0.5 * le, g.halo_depth, g.halo_sigma_x,
+        g.halo_sigma_y));
+  }
+  return profile;
+}
+
+double halo_channel_fraction(const MosfetGeometry& g) {
+  const double le = g.leff();
+  if (le <= 0.0) {
+    throw std::invalid_argument("halo_channel_fraction: leff <= 0");
+  }
+  const double sx = g.halo_sigma_x;
+  const double lateral = (2.0 * sx * std::sqrt(std::numbers::pi / 2.0) / le) *
+                         std::erf(le / (std::sqrt(2.0) * sx));
+  const double dz = g.halo_depth / g.halo_sigma_y;
+  const double vertical = std::exp(-0.5 * dz * dz);
+  // The lateral average cannot exceed 1 even for halos much wider than the
+  // channel (the Gaussians then fully overlap the channel).
+  return std::min(1.0, lateral) * vertical;
+}
+
+double effective_channel_doping(const MosfetGeometry& g,
+                                const MosfetDopingLevels& levels) {
+  return levels.nsub + levels.np_halo * halo_channel_fraction(g);
+}
+
+}  // namespace subscale::doping

@@ -1,0 +1,151 @@
+#include "doping/profile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::doping {
+
+// ---- UniformDoping --------------------------------------------------------
+
+UniformDoping::UniformDoping(Species species, double concentration)
+    : species_(species), concentration_(concentration) {
+  if (concentration < 0.0) {
+    throw std::invalid_argument("UniformDoping: negative concentration");
+  }
+}
+
+double UniformDoping::donors(double /*x*/, double /*y*/) const {
+  return species_ == Species::kDonor ? concentration_ : 0.0;
+}
+
+double UniformDoping::acceptors(double /*x*/, double /*y*/) const {
+  return species_ == Species::kAcceptor ? concentration_ : 0.0;
+}
+
+// ---- GaussianBump2d --------------------------------------------------------
+
+GaussianBump2d::GaussianBump2d(Species species, double peak, double x0,
+                               double y0, double sigma_x, double sigma_y)
+    : species_(species),
+      peak_(peak),
+      x0_(x0),
+      y0_(y0),
+      sigma_x_(sigma_x),
+      sigma_y_(sigma_y) {
+  if (peak < 0.0 || sigma_x <= 0.0 || sigma_y <= 0.0) {
+    throw std::invalid_argument("GaussianBump2d: invalid parameters");
+  }
+}
+
+double GaussianBump2d::value(double x, double y) const {
+  const double dx = (x - x0_) / sigma_x_;
+  const double dy = (y - y0_) / sigma_y_;
+  const double arg = 0.5 * (dx * dx + dy * dy);
+  if (arg > 80.0) return 0.0;  // below any representable doping
+  return peak_ * std::exp(-arg);
+}
+
+double GaussianBump2d::donors(double x, double y) const {
+  return species_ == Species::kDonor ? value(x, y) : 0.0;
+}
+
+double GaussianBump2d::acceptors(double x, double y) const {
+  return species_ == Species::kAcceptor ? value(x, y) : 0.0;
+}
+
+// ---- DiffusedBox -------------------------------------------------------------
+
+DiffusedBox::DiffusedBox(Species species, double peak, double x0, double x1,
+                         double junction_depth, double lateral_straggle,
+                         double vertical_straggle)
+    : species_(species),
+      peak_(peak),
+      x0_(x0),
+      x1_(x1),
+      xj_(junction_depth),
+      sx_(lateral_straggle),
+      sy_(vertical_straggle) {
+  if (peak < 0.0 || x1 <= x0 || junction_depth <= 0.0 || sx_ <= 0.0 ||
+      sy_ <= 0.0) {
+    throw std::invalid_argument("DiffusedBox: invalid parameters");
+  }
+}
+
+double DiffusedBox::value(double x, double y) const {
+  // Distance outside the box in each direction.
+  double dx = 0.0;
+  if (x < x0_) {
+    dx = (x0_ - x) / sx_;
+  } else if (x > x1_) {
+    dx = (x - x1_) / sx_;
+  }
+  double dy = 0.0;
+  if (y < 0.0) {
+    return 0.0;  // no dopant above the silicon surface
+  }
+  if (y > xj_) {
+    dy = (y - xj_) / sy_;
+  }
+  const double arg = 0.5 * (dx * dx + dy * dy);
+  if (arg > 80.0) return 0.0;
+  return peak_ * std::exp(-arg);
+}
+
+double DiffusedBox::donors(double x, double y) const {
+  return species_ == Species::kDonor ? value(x, y) : 0.0;
+}
+
+double DiffusedBox::acceptors(double x, double y) const {
+  return species_ == Species::kAcceptor ? value(x, y) : 0.0;
+}
+
+// ---- RetrogradeWell ----------------------------------------------------------
+
+RetrogradeWell::RetrogradeWell(Species species, double extra_concentration,
+                               double onset_depth, double straggle)
+    : species_(species),
+      extra_(extra_concentration),
+      y0_(onset_depth),
+      s_(straggle) {
+  if (extra_concentration < 0.0 || onset_depth <= 0.0 || straggle <= 0.0) {
+    throw std::invalid_argument("RetrogradeWell: invalid parameters");
+  }
+}
+
+double RetrogradeWell::value(double y) const {
+  if (y <= 0.0) return 0.0;  // nothing above the silicon surface
+  return extra_ * 0.5 * (1.0 + std::erf((y - y0_) / (std::sqrt(2.0) * s_)));
+}
+
+double RetrogradeWell::donors(double x, double y) const {
+  (void)x;
+  return species_ == Species::kDonor ? value(y) : 0.0;
+}
+
+double RetrogradeWell::acceptors(double x, double y) const {
+  (void)x;
+  return species_ == Species::kAcceptor ? value(y) : 0.0;
+}
+
+// ---- Superposition --------------------------------------------------------
+
+void Superposition::add(std::shared_ptr<const DopingProfile> profile) {
+  if (!profile) {
+    throw std::invalid_argument("Superposition::add: null profile");
+  }
+  parts_.push_back(std::move(profile));
+}
+
+double Superposition::donors(double x, double y) const {
+  double acc = 0.0;
+  for (const auto& p : parts_) acc += p->donors(x, y);
+  return acc;
+}
+
+double Superposition::acceptors(double x, double y) const {
+  double acc = 0.0;
+  for (const auto& p : parts_) acc += p->acceptors(x, y);
+  return acc;
+}
+
+}  // namespace subscale::doping

@@ -1,0 +1,131 @@
+#pragma once
+
+/// \file profile.h
+/// Two-dimensional doping profiles. A profile reports donor and acceptor
+/// concentrations [m^-3] at a point (x, y) of the device cross-section
+/// (x along the channel, y depth below the Si/SiO2 interface, y >= 0 in
+/// silicon). Net doping is donors - acceptors (positive = n-type).
+///
+/// The paper models halo regions as "a pair of two-dimensional Gaussian
+/// distributions superimposed on a uniformly doped substrate" (Sec. 2.2);
+/// GaussianBump2d + Superposition reproduce exactly that construction.
+
+#include <memory>
+#include <vector>
+
+namespace subscale::doping {
+
+enum class Species { kDonor, kAcceptor };
+
+/// Interface: donor/acceptor concentration fields.
+class DopingProfile {
+ public:
+  virtual ~DopingProfile() = default;
+
+  /// Donor concentration at (x, y) [m^-3].
+  virtual double donors(double x, double y) const = 0;
+  /// Acceptor concentration at (x, y) [m^-3].
+  virtual double acceptors(double x, double y) const = 0;
+
+  /// Net doping Nd - Na [m^-3] (positive = n-type).
+  double net(double x, double y) const {
+    return donors(x, y) - acceptors(x, y);
+  }
+  /// Total |Nd| + |Na| [m^-3] (drives mobility degradation).
+  double total(double x, double y) const {
+    return donors(x, y) + acceptors(x, y);
+  }
+};
+
+/// Spatially uniform doping of one species.
+class UniformDoping final : public DopingProfile {
+ public:
+  UniformDoping(Species species, double concentration);
+
+  double donors(double x, double y) const override;
+  double acceptors(double x, double y) const override;
+
+ private:
+  Species species_;
+  double concentration_;
+};
+
+/// A 2-D Gaussian doping bump: peak * exp(-(x-x0)^2/2sx^2 - (y-y0)^2/2sy^2).
+class GaussianBump2d final : public DopingProfile {
+ public:
+  GaussianBump2d(Species species, double peak, double x0, double y0,
+                 double sigma_x, double sigma_y);
+
+  double donors(double x, double y) const override;
+  double acceptors(double x, double y) const override;
+
+  double peak() const { return peak_; }
+
+ private:
+  double value(double x, double y) const;
+  Species species_;
+  double peak_;
+  double x0_, y0_;
+  double sigma_x_, sigma_y_;
+};
+
+/// Source/drain-style region: constant `peak` inside the box
+/// [x0, x1] x [0, xj], decaying as a Gaussian with the given lateral and
+/// vertical straggles outside it. This gives the smooth junction the
+/// drift-diffusion solver needs.
+class DiffusedBox final : public DopingProfile {
+ public:
+  DiffusedBox(Species species, double peak, double x0, double x1,
+              double junction_depth, double lateral_straggle,
+              double vertical_straggle);
+
+  double donors(double x, double y) const override;
+  double acceptors(double x, double y) const override;
+
+ private:
+  double value(double x, double y) const;
+  Species species_;
+  double peak_;
+  double x0_, x1_;
+  double xj_;
+  double sx_, sy_;
+};
+
+/// Retrograde well: extra doping that turns on smoothly BELOW a depth,
+/// uniform laterally: extra * 0.5 * (1 + erf((y - y0)/(sqrt(2) s))).
+/// Real processes use this to block sub-surface punch-through; it is a
+/// deep-profile completion that leaves the surface channel (and thus the
+/// paper's four surface scaling parameters) untouched.
+class RetrogradeWell final : public DopingProfile {
+ public:
+  RetrogradeWell(Species species, double extra_concentration,
+                 double onset_depth, double straggle);
+
+  double donors(double x, double y) const override;
+  double acceptors(double x, double y) const override;
+
+ private:
+  double value(double y) const;
+  Species species_;
+  double extra_;
+  double y0_;
+  double s_;
+};
+
+/// Sum of component profiles.
+class Superposition final : public DopingProfile {
+ public:
+  Superposition() = default;
+
+  void add(std::shared_ptr<const DopingProfile> profile);
+
+  double donors(double x, double y) const override;
+  double acceptors(double x, double y) const override;
+
+  std::size_t component_count() const { return parts_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<const DopingProfile>> parts_;
+};
+
+}  // namespace subscale::doping

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file csv.h
+/// CSV export of data series (so figure data can be re-plotted outside).
+
+#include <string>
+#include <vector>
+
+#include "io/series.h"
+
+namespace subscale::io {
+
+/// Render series sharing an x axis as CSV text: header "x,name1,name2,...",
+/// one row per x of the FIRST series; other series must have identical x
+/// values (throws std::invalid_argument otherwise).
+std::string to_csv(const std::vector<Series>& series);
+
+/// Write CSV text to a file (throws std::runtime_error on I/O failure).
+void write_csv_file(const std::string& path, const std::vector<Series>& series);
+
+}  // namespace subscale::io

@@ -1,0 +1,54 @@
+#include "io/series.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace subscale::io {
+
+double Series::y_min() const {
+  if (points_.empty()) throw std::logic_error("Series::y_min: empty series");
+  return std::min_element(points_.begin(), points_.end(),
+                          [](const DataPoint& a, const DataPoint& b) {
+                            return a.y < b.y;
+                          })
+      ->y;
+}
+
+double Series::y_max() const {
+  if (points_.empty()) throw std::logic_error("Series::y_max: empty series");
+  return std::max_element(points_.begin(), points_.end(),
+                          [](const DataPoint& a, const DataPoint& b) {
+                            return a.y < b.y;
+                          })
+      ->y;
+}
+
+Series Series::normalized_to_first() const {
+  if (points_.empty()) {
+    throw std::logic_error("Series::normalized_to_first: empty series");
+  }
+  const double y0 = points_.front().y;
+  if (y0 == 0.0) {
+    throw std::logic_error("Series::normalized_to_first: first y is zero");
+  }
+  Series out(name_ + " (norm)");
+  for (const DataPoint& p : points_) out.add(p.x, p.y / y0);
+  return out;
+}
+
+std::vector<double> Series::consecutive_ratios() const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i + 1 < points_.size(); ++i) {
+    out.push_back(points_[i + 1].y / points_[i].y);
+  }
+  return out;
+}
+
+double Series::total_relative_change() const {
+  if (points_.size() < 2) {
+    throw std::logic_error("Series::total_relative_change: need >= 2 points");
+  }
+  return (points_.back().y - points_.front().y) / points_.front().y;
+}
+
+}  // namespace subscale::io

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file series.h
+/// Named (x, y) data series — the in-memory representation of a paper
+/// figure's curve, with helpers the benches use (normalization, per-
+/// generation change, min/max).
+
+#include <string>
+#include <vector>
+
+namespace subscale::io {
+
+struct DataPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One labelled curve.
+class Series {
+ public:
+  Series() = default;
+  explicit Series(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void add(double x, double y) { points_.push_back({x, y}); }
+
+  const std::vector<DataPoint>& points() const { return points_; }
+  std::size_t size() const { return points_.size(); }
+  const DataPoint& operator[](std::size_t i) const { return points_[i]; }
+
+  double y_min() const;
+  double y_max() const;
+
+  /// Series with every y divided by the first point's y.
+  Series normalized_to_first() const;
+
+  /// y[i+1]/y[i] for each consecutive pair (per-generation ratios).
+  std::vector<double> consecutive_ratios() const;
+
+  /// Relative change (y_last - y_first) / y_first.
+  double total_relative_change() const;
+
+ private:
+  std::string name_;
+  std::vector<DataPoint> points_;
+};
+
+}  // namespace subscale::io

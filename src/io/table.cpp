@@ -1,0 +1,72 @@
+#include "io/table.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace subscale::io {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("TextTable: need at least one column");
+  }
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TextTable::add_row: column count mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(int indent) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    out << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  out << pad;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c], '-');
+    if (c + 1 < headers_.size()) out << "  ";
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string fmt_sci(double value, int precision) {
+  std::ostringstream out;
+  out << std::scientific << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string fmt_pct(double ratio, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << (ratio * 100.0) << '%';
+  return out.str();
+}
+
+}  // namespace subscale::io

@@ -1,0 +1,143 @@
+#include "linalg/banded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::linalg {
+
+BandedMatrix::BandedMatrix(std::size_t n, std::size_t kl, std::size_t ku)
+    : n_(n), kl_(kl), ku_(ku), ldab_(2 * kl + ku + 1), ab_(ldab_ * n, 0.0) {
+  if (n == 0) throw std::invalid_argument("BandedMatrix: n must be > 0");
+}
+
+bool BandedMatrix::in_band(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) return false;
+  if (c > r) return (c - r) <= ku_;
+  return (r - c) <= kl_;
+}
+
+double& BandedMatrix::at(std::size_t r, std::size_t c) {
+  if (!in_band(r, c)) {
+    throw std::out_of_range("BandedMatrix::at: entry outside band");
+  }
+  return storage(r, c);
+}
+
+double BandedMatrix::at(std::size_t r, std::size_t c) const {
+  if (!in_band(r, c)) {
+    throw std::out_of_range("BandedMatrix::at: entry outside band");
+  }
+  return storage(r, c);
+}
+
+void BandedMatrix::set_zero() { std::fill(ab_.begin(), ab_.end(), 0.0); }
+
+std::vector<double> BandedMatrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("BandedMatrix::multiply: size mismatch");
+  }
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c_lo = (r > kl_) ? r - kl_ : 0;
+    const std::size_t c_hi = std::min(n_ - 1, r + ku_);
+    double acc = 0.0;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) acc += storage(r, c) * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+BandedLu::BandedLu(BandedMatrix a)
+    : lu_(std::move(a)), ipiv_(lu_.n_), row_scale_(lu_.n_, 1.0) {
+  const std::size_t n = lu_.n_;
+  const std::size_t kl = lu_.kl_;
+  const std::size_t ku = lu_.ku_;
+
+  // Row equilibration: scale every row so its largest entry is ~1.
+  for (std::size_t r = 0; r < n; ++r) {
+    const std::size_t c_lo = (r > kl) ? r - kl : 0;
+    const std::size_t c_hi = std::min(n - 1, r + ku);
+    double max_abs = 0.0;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) {
+      max_abs = std::max(max_abs, std::abs(lu_.storage(r, c)));
+    }
+    if (max_abs == 0.0 || !std::isfinite(max_abs)) {
+      throw std::runtime_error("BandedLu: zero or non-finite row");
+    }
+    row_scale_[r] = 1.0 / max_abs;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) {
+      lu_.storage(r, c) *= row_scale_[r];
+    }
+  }
+  // During factorization with partial pivoting the upper bandwidth grows to
+  // kl + ku; the storage already reserves that room (2*kl + ku + 1 rows).
+  const std::size_t ku_eff = kl + ku;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Pivot search in column k, rows k .. min(n-1, k+kl).
+    const std::size_t r_hi = std::min(n - 1, k + kl);
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(lu_.storage(k, k));
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      const double mag = std::abs(lu_.storage(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag == 0.0 || !std::isfinite(pivot_mag)) {
+      throw std::runtime_error("BandedLu: singular matrix");
+    }
+    ipiv_[k] = pivot_row;
+    if (pivot_row != k) {
+      // Swap rows k and pivot_row across the accessible band columns.
+      const std::size_t c_hi = std::min(n - 1, k + ku_eff);
+      for (std::size_t c = k; c <= c_hi; ++c) {
+        std::swap(lu_.storage(k, c), lu_.storage(pivot_row, c));
+      }
+    }
+    const double pivot = lu_.storage(k, k);
+    const std::size_t c_hi = std::min(n - 1, k + ku_eff);
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      const double factor = lu_.storage(r, k) / pivot;
+      lu_.storage(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c <= c_hi; ++c) {
+        lu_.storage(r, c) -= factor * lu_.storage(k, c);
+      }
+    }
+  }
+}
+
+std::vector<double> BandedLu::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.n_;
+  if (b.size() != n) {
+    throw std::invalid_argument("BandedLu::solve: size mismatch");
+  }
+  const std::size_t kl = lu_.kl_;
+  const std::size_t ku_eff = lu_.kl_ + lu_.ku_;
+  std::vector<double> x = b;
+  for (std::size_t r = 0; r < n; ++r) x[r] *= row_scale_[r];
+
+  // Apply row interchanges and forward-substitute with unit-lower L.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (ipiv_[k] != k) std::swap(x[k], x[ipiv_[k]]);
+    const std::size_t r_hi = std::min(n - 1, k + kl);
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      x[r] -= lu_.storage(r, k) * x[k];
+    }
+  }
+  // Back substitution with U.
+  for (std::size_t kk = n; kk-- > 0;) {
+    const std::size_t c_hi = std::min(n - 1, kk + ku_eff);
+    double acc = x[kk];
+    for (std::size_t c = kk + 1; c <= c_hi; ++c) {
+      acc -= lu_.storage(kk, c) * x[c];
+    }
+    x[kk] = acc / lu_.storage(kk, kk);
+  }
+  return x;
+}
+
+}  // namespace subscale::linalg

@@ -1,0 +1,97 @@
+#include "linalg/bicgstab.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/dense.h"
+#include "linalg/ilu0.h"
+
+namespace subscale::linalg {
+
+IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
+                         const BicgstabOptions& options) {
+  const std::size_t n = a.size();
+  if (b.size() != n) {
+    throw std::invalid_argument("bicgstab: size mismatch");
+  }
+  const Ilu0 precond(a);
+
+  IterativeResult result;
+  result.x.assign(n, 0.0);
+
+  std::vector<double> r = b;  // r = b - A*0
+  std::vector<double> r_hat = r;
+  std::vector<double> p(n, 0.0);
+  std::vector<double> v(n, 0.0);
+
+  double rho_prev = 1.0;
+  double alpha = 1.0;
+  double omega = 1.0;
+
+  const double b_norm = norm2(b);
+  const double target =
+      std::max(options.absolute_tolerance, options.relative_tolerance * b_norm);
+
+  double r_norm = norm2(r);
+  if (r_norm <= target) {
+    result.converged = true;
+    result.residual_norm = r_norm;
+    return result;
+  }
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    const double rho = dot(r_hat, r);
+    if (rho == 0.0) break;  // breakdown
+
+    if (it == 0) {
+      p = r;
+    } else {
+      const double beta = (rho / rho_prev) * (alpha / omega);
+      for (std::size_t i = 0; i < n; ++i) {
+        p[i] = r[i] + beta * (p[i] - omega * v[i]);
+      }
+    }
+    const std::vector<double> p_hat = precond.apply(p);
+    v = a.multiply(p_hat);
+    const double rhv = dot(r_hat, v);
+    if (rhv == 0.0) break;
+    alpha = rho / rhv;
+
+    std::vector<double> s = r;
+    axpy(-alpha, v, s);
+
+    if (norm2(s) <= target) {
+      axpy(alpha, p_hat, result.x);
+      result.converged = true;
+      result.iterations = it + 1;
+      result.residual_norm = norm2(s);
+      return result;
+    }
+
+    const std::vector<double> s_hat = precond.apply(s);
+    const std::vector<double> t = a.multiply(s_hat);
+    const double tt = dot(t, t);
+    if (tt == 0.0) break;
+    omega = dot(t, s) / tt;
+
+    axpy(alpha, p_hat, result.x);
+    axpy(omega, s_hat, result.x);
+
+    r = s;
+    axpy(-omega, t, r);
+
+    r_norm = norm2(r);
+    result.iterations = it + 1;
+    result.residual_norm = r_norm;
+    if (r_norm <= target) {
+      result.converged = true;
+      return result;
+    }
+    if (omega == 0.0) break;
+    rho_prev = rho;
+  }
+  result.residual_norm = r_norm;
+  return result;
+}
+
+}  // namespace subscale::linalg

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file bicgstab.h
+/// ILU(0)-preconditioned BiCGSTAB for nonsymmetric sparse systems.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+
+namespace subscale::linalg {
+
+struct IterativeResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+struct BicgstabOptions {
+  std::size_t max_iterations = 2000;
+  double relative_tolerance = 1e-10;
+  double absolute_tolerance = 1e-300;
+};
+
+/// Solve A x = b with right-preconditioned BiCGSTAB.
+IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
+                         const BicgstabOptions& options = {});
+
+}  // namespace subscale::linalg

@@ -1,0 +1,75 @@
+#include "linalg/csr_matrix.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace subscale::linalg {
+
+void SparseBuilder::add(std::size_t r, std::size_t c, double value) {
+  if (r >= n_ || c >= n_) {
+    throw std::out_of_range("SparseBuilder::add: index out of range");
+  }
+  rows_.push_back(r);
+  cols_.push_back(c);
+  vals_.push_back(value);
+}
+
+CsrMatrix::CsrMatrix(const SparseBuilder& builder) : n_(builder.n_) {
+  const std::size_t nnz_in = builder.rows_.size();
+  std::vector<std::size_t> order(nnz_in);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (builder.rows_[a] != builder.rows_[b]) {
+      return builder.rows_[a] < builder.rows_[b];
+    }
+    return builder.cols_[a] < builder.cols_[b];
+  });
+
+  row_ptr_.assign(n_ + 1, 0);
+  col_idx_.reserve(nnz_in);
+  vals_.reserve(nnz_in);
+
+  std::size_t i = 0;
+  while (i < nnz_in) {
+    const std::size_t r = builder.rows_[order[i]];
+    const std::size_t c = builder.cols_[order[i]];
+    double acc = 0.0;
+    while (i < nnz_in && builder.rows_[order[i]] == r &&
+           builder.cols_[order[i]] == c) {
+      acc += builder.vals_[order[i]];
+      ++i;
+    }
+    col_idx_.push_back(c);
+    vals_.push_back(acc);
+    ++row_ptr_[r + 1];
+  }
+  for (std::size_t r = 0; r < n_; ++r) row_ptr_[r + 1] += row_ptr_[r];
+}
+
+std::vector<double> CsrMatrix::multiply(const std::vector<double>& x) const {
+  if (x.size() != n_) {
+    throw std::invalid_argument("CsrMatrix::multiply: size mismatch");
+  }
+  std::vector<double> y(n_, 0.0);
+  for (std::size_t r = 0; r < n_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      acc += vals_[k] * x[col_idx_[k]];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+double CsrMatrix::at(std::size_t r, std::size_t c) const {
+  if (r >= n_ || c >= n_) {
+    throw std::out_of_range("CsrMatrix::at: index out of range");
+  }
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+    if (col_idx_[k] == c) return vals_[k];
+  }
+  return 0.0;
+}
+
+}  // namespace subscale::linalg

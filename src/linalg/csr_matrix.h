@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file csr_matrix.h
+/// Compressed-sparse-row matrix with triplet-based assembly, used by the
+/// iterative linear solvers and as an interchange format for the TCAD
+/// Jacobians.
+
+#include <cstddef>
+#include <vector>
+
+namespace subscale::linalg {
+
+/// Triplet (COO) assembler: accumulate duplicate entries, then compress.
+class SparseBuilder {
+ public:
+  explicit SparseBuilder(std::size_t n) : n_(n) {}
+
+  std::size_t size() const { return n_; }
+
+  /// Accumulate `value` into entry (r, c).
+  void add(std::size_t r, std::size_t c, double value);
+
+  std::size_t entry_count() const { return rows_.size(); }
+
+ private:
+  friend class CsrMatrix;
+  std::size_t n_;
+  std::vector<std::size_t> rows_;
+  std::vector<std::size_t> cols_;
+  std::vector<double> vals_;
+};
+
+/// Immutable CSR matrix.
+class CsrMatrix {
+ public:
+  /// Compress a triplet builder (duplicates are summed).
+  explicit CsrMatrix(const SparseBuilder& builder);
+
+  std::size_t size() const { return n_; }
+  std::size_t nonzeros() const { return vals_.size(); }
+
+  /// y = A x.
+  std::vector<double> multiply(const std::vector<double>& x) const;
+
+  /// Read-only access used by the preconditioners.
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::size_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return vals_; }
+
+  /// Value at (r, c), or 0 if not stored.
+  double at(std::size_t r, std::size_t c) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> vals_;
+};
+
+}  // namespace subscale::linalg

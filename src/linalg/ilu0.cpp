@@ -1,0 +1,80 @@
+#include "linalg/ilu0.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::linalg {
+
+Ilu0::Ilu0(const CsrMatrix& a)
+    : n_(a.size()),
+      row_ptr_(a.row_ptr()),
+      col_idx_(a.col_idx()),
+      vals_(a.values()),
+      diag_(n_) {
+  // Locate diagonals.
+  for (std::size_t r = 0; r < n_; ++r) {
+    bool found = false;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      if (col_idx_[k] == r) {
+        diag_[r] = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::runtime_error("Ilu0: missing diagonal entry");
+    }
+  }
+
+  // IKJ-variant ILU(0).
+  for (std::size_t i = 1; i < n_; ++i) {
+    for (std::size_t kk = row_ptr_[i]; kk < row_ptr_[i + 1]; ++kk) {
+      const std::size_t k = col_idx_[kk];
+      if (k >= i) break;  // only strictly-lower entries
+      const double piv = vals_[diag_[k]];
+      if (piv == 0.0 || !std::isfinite(piv)) {
+        throw std::runtime_error("Ilu0: zero pivot");
+      }
+      const double factor = vals_[kk] / piv;
+      vals_[kk] = factor;
+      // Subtract factor * row k from row i on the existing pattern.
+      for (std::size_t jj = diag_[k] + 1; jj < row_ptr_[k + 1]; ++jj) {
+        const std::size_t j = col_idx_[jj];
+        // Find (i, j) in row i.
+        for (std::size_t ii = kk + 1; ii < row_ptr_[i + 1]; ++ii) {
+          if (col_idx_[ii] == j) {
+            vals_[ii] -= factor * vals_[jj];
+            break;
+          }
+          if (col_idx_[ii] > j) break;
+        }
+      }
+    }
+  }
+}
+
+std::vector<double> Ilu0::apply(const std::vector<double>& r) const {
+  if (r.size() != n_) {
+    throw std::invalid_argument("Ilu0::apply: size mismatch");
+  }
+  std::vector<double> z = r;
+  // Forward solve L z = r (unit diagonal).
+  for (std::size_t i = 0; i < n_; ++i) {
+    double acc = z[i];
+    for (std::size_t k = row_ptr_[i]; k < diag_[i]; ++k) {
+      acc -= vals_[k] * z[col_idx_[k]];
+    }
+    z[i] = acc;
+  }
+  // Backward solve U z = z.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double acc = z[ii];
+    for (std::size_t k = diag_[ii] + 1; k < row_ptr_[ii + 1]; ++k) {
+      acc -= vals_[k] * z[col_idx_[k]];
+    }
+    z[ii] = acc / vals_[diag_[ii]];
+  }
+  return z;
+}
+
+}  // namespace subscale::linalg

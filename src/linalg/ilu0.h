@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file ilu0.h
+/// Zero-fill incomplete LU preconditioner for CSR matrices.
+
+#include <vector>
+
+#include "linalg/csr_matrix.h"
+
+namespace subscale::linalg {
+
+/// ILU(0): incomplete LU on the sparsity pattern of A.
+class Ilu0 {
+ public:
+  explicit Ilu0(const CsrMatrix& a);
+
+  /// Apply the preconditioner: solve (L U) z = r.
+  std::vector<double> apply(const std::vector<double>& r) const;
+
+ private:
+  std::size_t n_;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::size_t> col_idx_;
+  std::vector<double> vals_;
+  std::vector<std::size_t> diag_;  // index of the diagonal in each row
+};
+
+}  // namespace subscale::linalg

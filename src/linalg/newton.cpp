@@ -1,0 +1,109 @@
+#include "linalg/newton.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::linalg {
+
+NewtonResult newton_solve(const ResidualFn& residual, const JacobianFn& jacobian,
+                          std::vector<double> initial_guess,
+                          const NewtonOptions& options) {
+  NewtonResult result;
+  result.x = std::move(initial_guess);
+  std::vector<double> f = residual(result.x);
+  double f_norm = norm_inf(f);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it;
+    result.residual_norm = f_norm;
+    if (f_norm <= options.residual_tolerance) {
+      result.converged = true;
+      return result;
+    }
+
+    const DenseMatrix jac = jacobian(result.x);
+    std::vector<double> rhs(f.size());
+    for (std::size_t i = 0; i < f.size(); ++i) rhs[i] = -f[i];
+    std::vector<double> dx;
+    try {
+      const LuFactorization lu{jac};
+      dx = lu.solve(rhs);
+    } catch (const std::runtime_error&) {
+      // Singular Jacobian: give up, report non-convergence.
+      return result;
+    }
+
+    if (options.max_step > 0.0) {
+      for (double& d : dx) d = std::clamp(d, -options.max_step, options.max_step);
+    }
+
+    const double dx_norm = norm_inf(dx);
+    if (dx_norm <= options.step_tolerance) {
+      // Step has collapsed: accept if residual is small-ish.
+      result.converged = f_norm <= 1e3 * options.residual_tolerance;
+      return result;
+    }
+
+    // Backtracking line search on ||F||_inf.
+    double lambda = 1.0;
+    bool accepted = false;
+    std::vector<double> x_trial(result.x.size());
+    std::vector<double> f_trial;
+    for (std::size_t ls = 0; ls <= options.max_line_search_halvings; ++ls) {
+      for (std::size_t i = 0; i < result.x.size(); ++i) {
+        x_trial[i] = result.x[i] + lambda * dx[i];
+      }
+      f_trial = residual(x_trial);
+      const double f_trial_norm = norm_inf(f_trial);
+      if (std::isfinite(f_trial_norm) && f_trial_norm < f_norm) {
+        result.x = x_trial;
+        f = std::move(f_trial);
+        f_norm = f_trial_norm;
+        accepted = true;
+        break;
+      }
+      lambda *= 0.5;
+    }
+    if (!accepted) {
+      // Take the smallest step anyway; some circuit residuals have flat
+      // plateaus where the norm briefly stalls.
+      for (std::size_t i = 0; i < result.x.size(); ++i) {
+        result.x[i] += lambda * dx[i];
+      }
+      f = residual(result.x);
+      const double fn = norm_inf(f);
+      if (!std::isfinite(fn) || fn > 10.0 * f_norm) {
+        return result;  // diverging; bail out
+      }
+      f_norm = fn;
+    }
+  }
+  result.residual_norm = f_norm;
+  result.converged = f_norm <= options.residual_tolerance;
+  return result;
+}
+
+DenseMatrix finite_difference_jacobian(const ResidualFn& residual,
+                                       const std::vector<double>& x,
+                                       double relative_step) {
+  const std::size_t n = x.size();
+  const std::vector<double> f0 = residual(x);
+  if (f0.size() != n) {
+    throw std::invalid_argument("finite_difference_jacobian: F must map R^n->R^n");
+  }
+  DenseMatrix jac(n, n);
+  std::vector<double> xp = x;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double h = relative_step * std::max(1.0, std::abs(x[j]));
+    xp[j] = x[j] + h;
+    const std::vector<double> fj = residual(xp);
+    xp[j] = x[j];
+    for (std::size_t i = 0; i < n; ++i) {
+      jac(i, j) = (fj[i] - f0[i]) / h;
+    }
+  }
+  return jac;
+}
+
+}  // namespace subscale::linalg

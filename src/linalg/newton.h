@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file newton.h
+/// Damped Newton driver for dense nonlinear systems F(x) = 0, used by the
+/// circuit engine (nodal analysis) and available to any module that can
+/// provide residual + Jacobian callbacks.
+
+#include <functional>
+#include <vector>
+
+#include "linalg/dense.h"
+
+namespace subscale::linalg {
+
+struct NewtonOptions {
+  std::size_t max_iterations = 200;
+  double residual_tolerance = 1e-12;  ///< on ||F||_inf
+  double step_tolerance = 1e-12;      ///< on ||dx||_inf
+  double max_step = 0.0;  ///< if > 0, clamp each component of dx to +-max_step
+  std::size_t max_line_search_halvings = 30;
+};
+
+struct NewtonResult {
+  std::vector<double> x;
+  std::size_t iterations = 0;
+  double residual_norm = 0.0;
+  bool converged = false;
+};
+
+/// Callback computing the residual F(x) (size n).
+using ResidualFn = std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// Callback computing the Jacobian dF/dx (n x n).
+using JacobianFn = std::function<DenseMatrix(const std::vector<double>&)>;
+
+/// Solve F(x) = 0 with damped Newton + Armijo-style backtracking on ||F||.
+NewtonResult newton_solve(const ResidualFn& residual, const JacobianFn& jacobian,
+                          std::vector<double> initial_guess,
+                          const NewtonOptions& options = {});
+
+/// Convenience: finite-difference Jacobian of a residual function.
+DenseMatrix finite_difference_jacobian(const ResidualFn& residual,
+                                       const std::vector<double>& x,
+                                       double relative_step = 1e-7);
+
+}  // namespace subscale::linalg

@@ -1,0 +1,40 @@
+#include "linalg/tridiag.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::linalg {
+
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs) {
+  const std::size_t n = diag.size();
+  if (lower.size() != n || upper.size() != n || rhs.size() != n) {
+    throw std::invalid_argument("solve_tridiagonal: size mismatch");
+  }
+  std::vector<double> c_star(n, 0.0);
+  std::vector<double> d_star(n, 0.0);
+
+  if (diag[0] == 0.0) throw std::runtime_error("tridiagonal: zero pivot");
+  c_star[0] = upper[0] / diag[0];
+  d_star[0] = rhs[0] / diag[0];
+
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = diag[i] - lower[i] * c_star[i - 1];
+    if (m == 0.0 || !std::isfinite(m)) {
+      throw std::runtime_error("tridiagonal: zero pivot");
+    }
+    c_star[i] = upper[i] / m;
+    d_star[i] = (rhs[i] - lower[i] * d_star[i - 1]) / m;
+  }
+
+  std::vector<double> x(n);
+  x[n - 1] = d_star[n - 1];
+  for (std::size_t ii = n - 1; ii-- > 0;) {
+    x[ii] = d_star[ii] - c_star[ii] * x[ii + 1];
+  }
+  return x;
+}
+
+}  // namespace subscale::linalg

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file tridiag.h
+/// Thomas-algorithm solver for tridiagonal systems (used by the 1-D
+/// Poisson warm-start and line smoothers).
+
+#include <vector>
+
+namespace subscale::linalg {
+
+/// Solve a tridiagonal system in O(n).
+/// \param lower  sub-diagonal, lower[0] unused (size n)
+/// \param diag   main diagonal (size n)
+/// \param upper  super-diagonal, upper[n-1] unused (size n)
+/// \param rhs    right-hand side (size n)
+/// Throws std::runtime_error on zero pivot.
+std::vector<double> solve_tridiagonal(const std::vector<double>& lower,
+                                      const std::vector<double>& diag,
+                                      const std::vector<double>& upper,
+                                      const std::vector<double>& rhs);
+
+}  // namespace subscale::linalg

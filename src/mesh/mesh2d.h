@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file mesh2d.h
+/// Tensor-product rectilinear 2-D mesh with per-node material labels and
+/// named contact (Dirichlet boundary) sets. Node (i, j) sits at
+/// (x[i], y[j]); the linear index is j * nx + i so the x direction varies
+/// fastest — this gives the TCAD system matrices a bandwidth of nx.
+///
+/// Convention for MOSFET cross-sections: x runs along the channel
+/// (source -> drain), y runs downward into the device (y = 0 at the gate
+/// oxide top, increasing into the substrate).
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mesh/grid1d.h"
+
+namespace subscale::mesh {
+
+enum class Material : unsigned char {
+  kSilicon,
+  kOxide,
+};
+
+/// Finite-volume (box-method) tensor mesh.
+class TensorMesh2d {
+ public:
+  TensorMesh2d(Grid1d x_grid, Grid1d y_grid);
+
+  std::size_t nx() const { return x_.size(); }
+  std::size_t ny() const { return y_.size(); }
+  std::size_t node_count() const { return nx() * ny(); }
+
+  double x(std::size_t i) const { return x_[i]; }
+  double y(std::size_t j) const { return y_[j]; }
+  const Grid1d& x_grid() const { return x_; }
+  const Grid1d& y_grid() const { return y_; }
+
+  std::size_t index(std::size_t i, std::size_t j) const {
+    return j * nx() + i;
+  }
+  std::size_t i_of(std::size_t idx) const { return idx % nx(); }
+  std::size_t j_of(std::size_t idx) const { return idx / nx(); }
+
+  // ---- control volumes (box method) ---------------------------------
+
+  /// Half-widths of the control volume around tick i of the x grid.
+  double dx_minus(std::size_t i) const {
+    return (i == 0) ? 0.0 : 0.5 * (x_[i] - x_[i - 1]);
+  }
+  double dx_plus(std::size_t i) const {
+    return (i + 1 == nx()) ? 0.0 : 0.5 * (x_[i + 1] - x_[i]);
+  }
+  double dy_minus(std::size_t j) const {
+    return (j == 0) ? 0.0 : 0.5 * (y_[j] - y_[j - 1]);
+  }
+  double dy_plus(std::size_t j) const {
+    return (j + 1 == ny()) ? 0.0 : 0.5 * (y_[j + 1] - y_[j]);
+  }
+  /// Control-volume area of node (i, j) (per metre of device width).
+  double box_area(std::size_t i, std::size_t j) const {
+    return (dx_minus(i) + dx_plus(i)) * (dy_minus(j) + dy_plus(j));
+  }
+
+  // ---- materials ------------------------------------------------------
+
+  /// Assign a material to all nodes inside [x0, x1] x [y0, y1] (inclusive
+  /// with tolerance).
+  void set_material_box(Material m, double x0, double x1, double y0, double y1);
+
+  Material material(std::size_t i, std::size_t j) const {
+    return materials_[index(i, j)];
+  }
+  Material material_at(std::size_t idx) const { return materials_[idx]; }
+
+  // ---- contacts -------------------------------------------------------
+
+  /// Tag all nodes inside the closed box as belonging to a named contact.
+  /// A node may belong to at most one contact.
+  void add_contact_box(const std::string& name, double x0, double x1,
+                       double y0, double y1);
+
+  /// Node indices of a contact (throws if unknown).
+  const std::vector<std::size_t>& contact_nodes(const std::string& name) const;
+
+  bool has_contact(const std::string& name) const {
+    return contacts_.count(name) > 0;
+  }
+
+  /// Contact name owning node idx, or empty string.
+  const std::string& contact_of(std::size_t idx) const {
+    return contact_of_node_[idx];
+  }
+
+  std::vector<std::string> contact_names() const;
+
+ private:
+  Grid1d x_;
+  Grid1d y_;
+  std::vector<Material> materials_;
+  std::map<std::string, std::vector<std::size_t>> contacts_;
+  std::vector<std::string> contact_of_node_;
+};
+
+}  // namespace subscale::mesh

@@ -1,0 +1,86 @@
+#include "opt/bisection.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::opt {
+
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  double x_tolerance, std::size_t max_iterations) {
+  if (hi <= lo) throw std::invalid_argument("bisect: hi <= lo");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return {.x = lo, .f_at_x = 0.0, .converged = true};
+  if (fhi == 0.0) return {.x = hi, .f_at_x = 0.0, .converged = true};
+  if (flo * fhi > 0.0) {
+    throw std::invalid_argument("bisect: no sign change on [lo, hi]");
+  }
+  RootResult result;
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    result.iterations = it + 1;
+    if (fmid == 0.0 || hi - lo < x_tolerance) {
+      result.x = mid;
+      result.f_at_x = fmid;
+      result.converged = true;
+      return result;
+    }
+    if (flo * fmid < 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+      flo = fmid;
+    }
+  }
+  result.x = 0.5 * (lo + hi);
+  result.f_at_x = f(result.x);
+  result.converged = hi - lo < x_tolerance;
+  return result;
+}
+
+RootResult solve_monotone_log(const std::function<double(double)>& f,
+                              double target, double seed, double lo_limit,
+                              double hi_limit, double rel_tolerance,
+                              std::size_t max_iterations) {
+  if (seed <= 0.0 || lo_limit <= 0.0 || hi_limit <= lo_limit) {
+    throw std::invalid_argument("solve_monotone_log: bad domain");
+  }
+  const auto g = [&](double log_x) { return f(std::exp(log_x)) - target; };
+
+  // Establish direction from two probes.
+  double x0 = std::clamp(seed, lo_limit, hi_limit);
+  double lx = std::log(x0);
+  const double l_lo = std::log(lo_limit);
+  const double l_hi = std::log(hi_limit);
+
+  // Expand a bracket geometrically around the seed.
+  double a = lx;
+  double b = lx;
+  double ga = g(a);
+  double gb = ga;
+  double step = 0.3;  // ~35 % per expansion
+  std::size_t guard = 0;
+  while (ga * gb > 0.0 && guard++ < 100) {
+    a = std::max(l_lo, a - step);
+    b = std::min(l_hi, b + step);
+    ga = g(a);
+    gb = g(b);
+    step *= 1.6;
+    if (a == l_lo && b == l_hi && ga * gb > 0.0) {
+      // Target unreachable: return the closer endpoint, not converged.
+      RootResult r;
+      r.x = std::abs(ga) < std::abs(gb) ? std::exp(a) : std::exp(b);
+      r.f_at_x = f(r.x) - target;
+      r.converged = false;
+      return r;
+    }
+  }
+  RootResult inner =
+      bisect(g, a, b, rel_tolerance, max_iterations);
+  inner.x = std::exp(inner.x);
+  inner.f_at_x = f(inner.x) - target;
+  return inner;
+}
+
+}  // namespace subscale::opt

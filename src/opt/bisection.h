@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file bisection.h
+/// Root bracketing and bisection for monotone constraint equations
+/// (leakage targets, V_th targets, V_min brackets).
+
+#include <functional>
+
+namespace subscale::opt {
+
+struct RootResult {
+  double x = 0.0;
+  double f_at_x = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Find x in [lo, hi] with f(x) = 0 by bisection. Requires sign change
+/// f(lo)*f(hi) <= 0 (throws std::invalid_argument otherwise).
+RootResult bisect(const std::function<double(double)>& f, double lo, double hi,
+                  double x_tolerance, std::size_t max_iterations = 200);
+
+/// Solve f(x) = target for monotonically increasing or decreasing f on a
+/// log-spaced positive domain (useful for doping searches spanning
+/// decades). Brackets by geometric expansion from `seed` then bisects in
+/// log space.
+RootResult solve_monotone_log(const std::function<double(double)>& f,
+                              double target, double seed, double lo_limit,
+                              double hi_limit, double rel_tolerance = 1e-10,
+                              std::size_t max_iterations = 400);
+
+}  // namespace subscale::opt

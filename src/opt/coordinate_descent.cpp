@@ -1,0 +1,50 @@
+#include "opt/coordinate_descent.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "opt/golden_section.h"
+
+namespace subscale::opt {
+
+CoordinateDescentResult coordinate_descent(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const std::vector<BoundedVariable>& bounds,
+    const CoordinateDescentOptions& options) {
+  if (x0.size() != bounds.size() || x0.empty()) {
+    throw std::invalid_argument("coordinate_descent: size mismatch");
+  }
+  for (std::size_t i = 0; i < x0.size(); ++i) {
+    if (bounds[i].hi <= bounds[i].lo) {
+      throw std::invalid_argument("coordinate_descent: empty box");
+    }
+    x0[i] = std::clamp(x0[i], bounds[i].lo, bounds[i].hi);
+  }
+
+  CoordinateDescentResult result;
+  result.x = std::move(x0);
+  result.value = f(result.x);
+  result.evaluations = 1;
+
+  for (std::size_t sweep = 0; sweep < options.sweeps; ++sweep) {
+    for (std::size_t i = 0; i < result.x.size(); ++i) {
+      const double width = bounds[i].hi - bounds[i].lo;
+      auto line = [&](double xi) {
+        std::vector<double> trial = result.x;
+        trial[i] = xi;
+        return f(trial);
+      };
+      const ScalarMinimum m = golden_section_minimize(
+          line, bounds[i].lo, bounds[i].hi,
+          options.x_tolerance_fraction * width);
+      result.evaluations += m.evaluations;
+      if (m.value < result.value) {
+        result.x[i] = m.x;
+        result.value = m.value;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace subscale::opt

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file coordinate_descent.h
+/// Bounded cyclic coordinate descent for small smooth problems (the S_S
+/// calibration fit and the halo/substrate doping co-optimization).
+
+#include <functional>
+#include <vector>
+
+namespace subscale::opt {
+
+struct BoundedVariable {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+struct CoordinateDescentOptions {
+  std::size_t sweeps = 10;            ///< full passes over all variables
+  double x_tolerance_fraction = 1e-5; ///< golden tolerance per variable,
+                                      ///< as a fraction of the box width
+};
+
+struct CoordinateDescentResult {
+  std::vector<double> x;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Minimize f over the box given by `bounds`, starting from `x0` (clamped
+/// into the box). Each sweep does a golden-section line search per
+/// coordinate.
+CoordinateDescentResult coordinate_descent(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const std::vector<BoundedVariable>& bounds,
+    const CoordinateDescentOptions& options = {});
+
+}  // namespace subscale::opt

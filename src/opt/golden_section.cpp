@@ -1,0 +1,88 @@
+#include "opt/golden_section.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace subscale::opt {
+
+ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
+                                      double lo, double hi,
+                                      double x_tolerance,
+                                      std::size_t max_evaluations) {
+  if (hi <= lo) {
+    throw std::invalid_argument("golden_section_minimize: hi <= lo");
+  }
+  if (x_tolerance <= 0.0) {
+    throw std::invalid_argument("golden_section_minimize: tolerance <= 0");
+  }
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/phi
+
+  ScalarMinimum result;
+  double a = lo;
+  double b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c);
+  double fd = f(d);
+  result.evaluations = 2;
+
+  while (b - a > x_tolerance && result.evaluations < max_evaluations) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+    ++result.evaluations;
+  }
+  if (fc < fd) {
+    result.x = c;
+    result.value = fc;
+  } else {
+    result.x = d;
+    result.value = fd;
+  }
+  return result;
+}
+
+ScalarMinimum scan_then_golden(const std::function<double(double)>& f,
+                               double lo, double hi, std::size_t scan_points,
+                               double x_tolerance) {
+  if (scan_points < 3) {
+    throw std::invalid_argument("scan_then_golden: need >= 3 scan points");
+  }
+  std::vector<double> xs(scan_points);
+  std::size_t best = 0;
+  double best_val = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < scan_points; ++i) {
+    xs[i] = lo + (hi - lo) * static_cast<double>(i) /
+                     static_cast<double>(scan_points - 1);
+    const double v = f(xs[i]);
+    if (v < best_val) {
+      best_val = v;
+      best = i;
+    }
+  }
+  const double a = xs[best == 0 ? 0 : best - 1];
+  const double b = xs[best + 1 >= scan_points ? scan_points - 1 : best + 1];
+  if (b <= a) {
+    return {.x = xs[best], .value = best_val, .evaluations = scan_points};
+  }
+  ScalarMinimum refined = golden_section_minimize(f, a, b, x_tolerance);
+  refined.evaluations += scan_points;
+  if (best_val < refined.value) {
+    refined.x = xs[best];
+    refined.value = best_val;
+  }
+  return refined;
+}
+
+}  // namespace subscale::opt

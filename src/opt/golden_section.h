@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file golden_section.h
+/// Derivative-free 1-D minimization on an interval. Used for the energy-
+/// optimal L_poly search (paper Sec. 3.1), V_min extraction (Sec. 2.3.4)
+/// and the calibration fits.
+
+#include <functional>
+
+namespace subscale::opt {
+
+struct ScalarMinimum {
+  double x = 0.0;
+  double value = 0.0;
+  std::size_t evaluations = 0;
+};
+
+/// Golden-section search for the minimum of f on [lo, hi].
+/// Requires f unimodal on the interval for a guaranteed answer; on
+/// multimodal inputs it converges to *a* local minimum.
+/// \param x_tolerance  terminate when the bracket is narrower than this.
+ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
+                                      double lo, double hi,
+                                      double x_tolerance,
+                                      std::size_t max_evaluations = 200);
+
+/// Robust variant for possibly multimodal f: coarse scan with
+/// `scan_points` samples picks the best bracket, then golden-section
+/// refines inside it.
+ScalarMinimum scan_then_golden(const std::function<double(double)>& f,
+                               double lo, double hi, std::size_t scan_points,
+                               double x_tolerance);
+
+}  // namespace subscale::opt

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file constants.h
+/// Fundamental physical constants in SI units.
+///
+/// Everything in the library works in SI internally (metres, volts,
+/// amperes, farads, kelvin, m^-3).  The paper quotes doping in cm^-3 and
+/// current in pA/um; conversions live in units.h so that any boundary
+/// crossing is explicit.
+
+namespace subscale::physics {
+
+/// Elementary charge [C].
+inline constexpr double kQ = 1.602176634e-19;
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Vacuum permittivity [F/m].
+inline constexpr double kEps0 = 8.8541878128e-12;
+
+/// Relative permittivity of silicon.
+inline constexpr double kEpsRelSi = 11.7;
+
+/// Relative permittivity of SiO2 gate oxide.
+inline constexpr double kEpsRelSiO2 = 3.9;
+
+/// Absolute permittivity of silicon [F/m].
+inline constexpr double kEpsSi = kEpsRelSi * kEps0;
+
+/// Absolute permittivity of SiO2 [F/m].
+inline constexpr double kEpsSiO2 = kEpsRelSiO2 * kEps0;
+
+/// Reference lattice temperature [K] used by the paper (room temperature).
+inline constexpr double kT300 = 300.0;
+
+/// Thermal voltage at temperature T [V].
+inline constexpr double thermal_voltage(double temperature_kelvin) {
+  return kBoltzmann * temperature_kelvin / kQ;
+}
+
+/// Thermal voltage at 300 K [V] (~25.85 mV).
+inline constexpr double kVt300 = kBoltzmann * kT300 / kQ;
+
+}  // namespace subscale::physics

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file fermi.h
+/// Carrier-statistics helpers shared by the TCAD discretization:
+/// Boltzmann carrier densities from potentials and the Bernoulli function
+/// used in the Scharfetter–Gummel flux.
+
+namespace subscale::physics {
+
+/// The Bernoulli function B(x) = x / (exp(x) - 1), with a numerically
+/// stable series branch near x = 0 and an overflow-safe large-|x| branch.
+double bernoulli(double x);
+
+/// Derivative dB/dx, stable near zero.
+double bernoulli_derivative(double x);
+
+/// Electron density n = ni * exp((psi - phi_n)/vT) under Boltzmann
+/// statistics, with potentials referenced to the intrinsic level [m^-3].
+double electron_density(double psi, double phi_n, double ni, double vt);
+
+/// Hole density p = ni * exp((phi_p - psi)/vT) [m^-3].
+double hole_density(double psi, double phi_p, double ni, double vt);
+
+/// Equilibrium potential of a charge-neutral region with net doping
+/// N = Nd - Na (signed) [V]: psi = vT * asinh(N / (2 ni)).
+double neutral_potential(double net_doping, double ni, double vt);
+
+}  // namespace subscale::physics

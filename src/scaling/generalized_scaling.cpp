@@ -1,0 +1,29 @@
+#include "scaling/generalized_scaling.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::scaling {
+
+GeneralizedScalingFactors generalized_scaling(double alpha, double epsilon) {
+  if (alpha <= 0.0 || epsilon <= 0.0) {
+    throw std::invalid_argument("generalized_scaling: factors must be > 0");
+  }
+  GeneralizedScalingFactors f;
+  f.physical_dimensions = 1.0 / alpha;
+  f.channel_doping = epsilon * alpha;
+  f.supply_voltage = epsilon / alpha;
+  f.area = 1.0 / (alpha * alpha);
+  f.delay = 1.0 / alpha;
+  f.power = (epsilon * epsilon) / (alpha * alpha);
+  return f;
+}
+
+double after_generations(double per_generation_factor, int generations) {
+  if (generations < 0) {
+    throw std::invalid_argument("after_generations: negative generations");
+  }
+  return std::pow(per_generation_factor, generations);
+}
+
+}  // namespace subscale::scaling

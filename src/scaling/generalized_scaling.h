@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file generalized_scaling.h
+/// Generalized scaling theory (paper Table 1, after Baccarani/Wordeman/
+/// Dennard [8]): physical dimensions shrink by 1/alpha while the maximum
+/// channel field is allowed to grow by epsilon per generation.
+
+namespace subscale::scaling {
+
+/// The per-generation factors of Table 1 for given (alpha, epsilon).
+struct GeneralizedScalingFactors {
+  double physical_dimensions = 0.0;  ///< 1/alpha (L_poly, T_ox, W, wires)
+  double channel_doping = 0.0;       ///< epsilon * alpha (N_ch)
+  double supply_voltage = 0.0;       ///< epsilon / alpha (V_dd)
+  double area = 0.0;                 ///< 1/alpha^2
+  double delay = 0.0;                ///< 1/alpha
+  double power = 0.0;                ///< epsilon^2 / alpha^2
+};
+
+/// Evaluate Table 1. alpha > 1 shrinks; epsilon = 1 recovers Dennard's
+/// constant-field scaling [7].
+GeneralizedScalingFactors generalized_scaling(double alpha, double epsilon);
+
+/// Apply n generations of the factor (factor^n).
+double after_generations(double per_generation_factor, int generations);
+
+}  // namespace subscale::scaling

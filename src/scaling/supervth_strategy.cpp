@@ -1,0 +1,98 @@
+#include "scaling/supervth_strategy.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "compact/mosfet.h"
+#include "opt/bisection.h"
+#include "physics/units.h"
+
+namespace subscale::scaling {
+
+namespace {
+
+namespace u = subscale::units;
+
+/// I_off [A] of the device assembled from the node + doping choice, with
+/// the gate length overridden (long- vs short-channel probes).
+double ioff_of(const NodeInput& node, double lpoly_nm, double nsub,
+               double np_halo, const compact::Calibration& calib) {
+  compact::DeviceSpec spec;
+  spec.polarity = doping::Polarity::kNfet;
+  spec.geometry = doping::MosfetGeometry::scaled(
+      u::nm(lpoly_nm), u::nm(node.tox_nm), node.feature_shrink);
+  spec.levels.nsub = nsub;
+  spec.levels.np_halo = np_halo;
+  spec.vdd = node.vdd;
+  const compact::CompactMosfet fet(spec, calib);
+  return fet.ioff();
+}
+
+}  // namespace
+
+DesignedDevice design_supervth_device(const NodeInput& node,
+                                      const compact::Calibration& calib,
+                                      const SuperVthOptions& options) {
+  const double ioff_target = u::pA_per_um(node.ileak_max_pa_um) * 1e-6;
+
+  // Step 1: substrate doping from the long-channel device (no halo).
+  const double long_lpoly = options.long_channel_factor * node.lpoly_nm;
+  const auto long_leak = [&](double nsub) {
+    return std::log(ioff_of(node, long_lpoly, nsub, 0.0, calib));
+  };
+  const auto nsub_root = opt::solve_monotone_log(
+      long_leak, std::log(ioff_target), u::per_cm3(1.5e18),
+      u::per_cm3(options.nsub_lo_cm3), u::per_cm3(options.nsub_hi_cm3));
+  if (!nsub_root.converged) {
+    throw std::runtime_error(
+        "design_supervth_device: long-channel leakage target unreachable");
+  }
+  const double nsub = nsub_root.x;
+
+  // Step 2: halo doping from the short-channel device. If the minimum
+  // device already meets the cap without halo, none is needed.
+  double np_halo = 0.0;
+  if (ioff_of(node, node.lpoly_nm, nsub, 0.0, calib) > ioff_target) {
+    const auto short_leak = [&](double np) {
+      return std::log(ioff_of(node, node.lpoly_nm, nsub, np, calib));
+    };
+    const auto np_root = opt::solve_monotone_log(
+        short_leak, std::log(ioff_target), nsub, u::per_cm3(1e15),
+        u::per_cm3(1e20));
+    if (!np_root.converged) {
+      throw std::runtime_error(
+          "design_supervth_device: short-channel leakage target unreachable");
+    }
+    np_halo = np_root.x;
+  }
+
+  DesignedDevice out;
+  out.node = node;
+  out.spec.polarity = doping::Polarity::kNfet;
+  out.spec.geometry = doping::MosfetGeometry::scaled(
+      u::nm(node.lpoly_nm), u::nm(node.tox_nm), node.feature_shrink);
+  out.spec.levels.nsub = nsub;
+  out.spec.levels.np_halo = np_halo;
+  out.spec.vdd = node.vdd;
+  out.spec.validate();
+
+  const compact::CompactMosfet fet(out.spec, calib);
+  out.nsub_cm3 = u::to_per_cm3(nsub);
+  out.nhalo_net_cm3 = u::to_per_cm3(nsub + np_halo);
+  out.vth_sat_mv = u::to_mV(fet.vth_sat_extracted());
+  out.ioff_pa_um = u::to_pA_per_um(fet.ioff() / out.spec.width);
+  out.ss_mv_dec = fet.subthreshold_swing() * 1e3;
+  out.tau_ps = u::to_ps(fet.intrinsic_delay());
+  return out;
+}
+
+std::vector<DesignedDevice> supervth_roadmap(
+    const compact::Calibration& calib, const SuperVthOptions& options) {
+  std::vector<DesignedDevice> out;
+  for (const NodeInput& node : paper_nodes()) {
+    out.push_back(design_supervth_device(node, calib, options));
+  }
+  return out;
+}
+
+}  // namespace subscale::scaling

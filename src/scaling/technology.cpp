@@ -1,0 +1,63 @@
+#include "scaling/technology.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/units.h"
+
+namespace subscale::scaling {
+
+const std::array<NodeInput, 4>& paper_nodes() {
+  static const std::array<NodeInput, 4> nodes = {{
+      {"90nm", 0, 65.0, 2.10, 1.2, 1.000, 100.0},
+      {"65nm", 1, 46.0, 1.89, 1.1, 0.700, 125.0},
+      {"45nm", 2, 32.0, 1.70, 1.0, 0.490, 156.25},
+      {"32nm", 3, 22.0, 1.53, 0.9, 0.343, 195.3125},
+  }};
+  return nodes;
+}
+
+const NodeInput& node_by_name(const std::string& name) {
+  for (const NodeInput& node : paper_nodes()) {
+    if (node.name == name) return node;
+  }
+  throw std::invalid_argument("node_by_name: unknown node '" + name + "'");
+}
+
+NodeInput extrapolate_node(int generation) {
+  if (generation < 0) {
+    throw std::invalid_argument("extrapolate_node: negative generation");
+  }
+  if (generation < 4) {
+    return paper_nodes()[static_cast<std::size_t>(generation)];
+  }
+  NodeInput node;
+  const int g = generation;
+  // Node names continue the ITRS cadence: 90, 65, 45, 32, 22, 16, ...
+  static const char* kNames[] = {"90nm", "65nm", "45nm", "32nm",
+                                 "22nm", "16nm", "11nm", "8nm"};
+  node.name = g < 8 ? kNames[g] : ("gen" + std::to_string(g));
+  node.generation = g;
+  node.lpoly_nm = 65.0 * std::pow(0.7, g);
+  node.tox_nm = 2.10 * std::pow(0.9, g);
+  node.vdd = std::max(0.6, 1.2 - 0.1 * g);
+  node.feature_shrink = std::pow(0.7, g);
+  node.ileak_max_pa_um = 100.0 * std::pow(1.25, g);
+  return node;
+}
+
+compact::DeviceSpec make_node_spec(const NodeInput& node, double lpoly_nm,
+                                   const doping::MosfetDopingLevels& levels,
+                                   double vdd) {
+  namespace u = subscale::units;
+  compact::DeviceSpec spec;
+  spec.polarity = doping::Polarity::kNfet;
+  spec.geometry = doping::MosfetGeometry::scaled(
+      u::nm(lpoly_nm), u::nm(node.tox_nm), node.feature_shrink);
+  spec.levels = levels;
+  spec.vdd = vdd;
+  spec.validate();
+  return spec;
+}
+
+}  // namespace subscale::scaling

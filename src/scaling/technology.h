@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file technology.h
+/// Fixed per-node inputs of the paper's scaling study (Sec. 2.2):
+/// L_poly shrinks 30 %/generation, T_ox 10 %/generation, V_dd steps down
+/// 100 mV/generation from 1.2 V, and the super-V_th leakage cap starts at
+/// 100 pA/um and is allowed to grow 25 %/generation.
+
+#include <array>
+#include <string>
+
+#include "compact/device_spec.h"
+
+namespace subscale::scaling {
+
+struct NodeInput {
+  std::string name;            ///< "90nm" ... "32nm"
+  int generation = 0;          ///< 0 for 90nm
+  double lpoly_nm = 0.0;       ///< super-V_th (minimum) physical gate length
+  double tox_nm = 0.0;         ///< gate oxide thickness
+  double vdd = 0.0;            ///< nominal (super-V_th) supply [V]
+  double feature_shrink = 0.0; ///< 0.7^generation, scales all other features
+  double ileak_max_pa_um = 0.0;  ///< super-V_th leakage cap [pA/um]
+};
+
+/// The four nodes of the study (Table 2's headers and constraints).
+const std::array<NodeInput, 4>& paper_nodes();
+
+/// A node by name ("90nm", "65nm", "45nm", "32nm"); throws on unknown.
+const NodeInput& node_by_name(const std::string& name);
+
+/// Generate a node beyond the paper's range by continuing the same rules
+/// (e.g. generation 4 -> a "22nm"-class device). Used by the extension
+/// benches.
+NodeInput extrapolate_node(int generation);
+
+/// Assemble a device spec on this node's feature set with an arbitrary
+/// gate length and doping (the building block of both strategies and of
+/// the Fig. 7 sweeps).
+compact::DeviceSpec make_node_spec(const NodeInput& node, double lpoly_nm,
+                                   const doping::MosfetDopingLevels& levels,
+                                   double vdd);
+
+}  // namespace subscale::scaling

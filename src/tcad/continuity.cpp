@@ -1,0 +1,151 @@
+#include "tcad/continuity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/banded.h"
+#include "physics/constants.h"
+#include "physics/fermi.h"
+
+namespace subscale::tcad {
+
+double edge_mobility(const DeviceStructure& dev, physics::Carrier carrier,
+                     const std::vector<double>& psi, std::size_t node_a,
+                     std::size_t node_b, double dist,
+                     const ContinuityOptions& options) {
+  const double doping =
+      0.5 * (dev.total_doping()[node_a] + dev.total_doping()[node_b]);
+  double mu = physics::masetti_mobility(carrier, doping);
+  if (options.velocity_saturation) {
+    const double e_par = std::abs(psi[node_b] - psi[node_a]) / dist;
+    mu = physics::caughey_thomas_mobility(carrier, mu, e_par,
+                                          dev.spec().temperature);
+  }
+  return mu;
+}
+
+double edge_current(const DeviceStructure& dev, physics::Carrier carrier,
+                    const std::vector<double>& psi,
+                    const std::vector<double>& density, std::size_t node_a,
+                    std::size_t node_b, double dist, double area,
+                    const ContinuityOptions& options) {
+  const double vt = dev.vt();
+  const double mu = edge_mobility(dev, carrier, psi, node_a, node_b, dist,
+                                  options);
+  const double k = physics::kQ * mu * vt * area / dist;
+  const double dpsi = (psi[node_b] - psi[node_a]) / vt;
+  if (carrier == physics::Carrier::kElectron) {
+    // J_n(a->b) = k [ n_b B(dpsi) - n_a B(-dpsi) ].
+    return k * (density[node_b] * physics::bernoulli(dpsi) -
+                density[node_a] * physics::bernoulli(-dpsi));
+  }
+  // J_p(a->b) = k [ p_a B(dpsi) - p_b B(-dpsi) ].
+  return k * (density[node_a] * physics::bernoulli(dpsi) -
+              density[node_b] * physics::bernoulli(-dpsi));
+}
+
+void solve_continuity(const DeviceStructure& dev, physics::Carrier carrier,
+                      const std::vector<double>& psi,
+                      const std::vector<double>& other_density,
+                      std::vector<double>& density,
+                      const ContinuityOptions& options) {
+  const auto& m = dev.mesh();
+  const std::size_t n_nodes = m.node_count();
+  if (psi.size() != n_nodes || density.size() != n_nodes ||
+      other_density.size() != n_nodes) {
+    throw std::invalid_argument("solve_continuity: state size mismatch");
+  }
+  const double ni = dev.ni();
+  const double vt = dev.vt();
+  const std::size_t nx = m.nx();
+  const bool electrons = carrier == physics::Carrier::kElectron;
+
+  linalg::BandedMatrix a(n_nodes, nx, nx);
+  std::vector<double> rhs(n_nodes, 0.0);
+
+  for (std::size_t j = 0; j < m.ny(); ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t idx = m.index(i, j);
+      // Oxide nodes carry no carriers; contact silicon nodes are ohmic.
+      if (!dev.is_silicon(idx)) {
+        a.at(idx, idx) = 1.0;
+        rhs[idx] = 0.0;
+        continue;
+      }
+      if (dev.is_contact(idx)) {
+        double n_eq = 0.0, p_eq = 0.0;
+        dev.ohmic_carriers(idx, &n_eq, &p_eq);
+        a.at(idx, idx) = 1.0;
+        rhs[idx] = electrons ? n_eq : p_eq;
+        continue;
+      }
+
+      double diag = 0.0;
+      const auto add_edge = [&](std::size_t nb, double dist, double area) {
+        if (!dev.silicon_edge(idx, nb)) return;  // no flux into oxide
+        const double mu =
+            edge_mobility(dev, carrier, psi, idx, nb, dist, options);
+        const double k = mu * vt * area / dist;
+        const double dpsi = (psi[nb] - psi[idx]) / vt;
+        if (electrons) {
+          // sum_e k [ n_nb B(dpsi) - n_idx B(-dpsi) ] = box R
+          a.add(idx, nb, k * physics::bernoulli(dpsi));
+          diag -= k * physics::bernoulli(-dpsi);
+        } else {
+          // sum_e k [ p_idx B(dpsi) - p_nb B(-dpsi) ] + box R = 0
+          a.add(idx, nb, -k * physics::bernoulli(-dpsi));
+          diag += k * physics::bernoulli(dpsi);
+        }
+      };
+      if (i > 0) {
+        add_edge(m.index(i - 1, j), m.x(i) - m.x(i - 1),
+                 m.dy_minus(j) + m.dy_plus(j));
+      }
+      if (i + 1 < nx) {
+        add_edge(m.index(i + 1, j), m.x(i + 1) - m.x(i),
+                 m.dy_minus(j) + m.dy_plus(j));
+      }
+      if (j > 0) {
+        add_edge(m.index(i, j - 1), m.y(j) - m.y(j - 1),
+                 m.dx_minus(i) + m.dx_plus(i));
+      }
+      if (j + 1 < m.ny()) {
+        add_edge(m.index(i, j + 1), m.y(j + 1) - m.y(j),
+                 m.dx_minus(i) + m.dx_plus(i));
+      }
+
+      // SRH with lagged denominator: R = (nu * other - ni^2) / D.
+      const double box = m.box_area(i, j);
+      const double n_prev = electrons ? density[idx] : other_density[idx];
+      const double p_prev = electrons ? other_density[idx] : density[idx];
+      const double denom = options.tau_srh * (n_prev + ni) +
+                           options.tau_srh * (p_prev + ni);
+      const double other = other_density[idx];
+      if (electrons) {
+        // sum(...) - box (n p - ni^2)/D = 0
+        diag -= box * other / denom;
+        rhs[idx] = -box * ni * ni / denom;
+      } else {
+        // sum(...) + box (n p - ni^2)/D = 0
+        diag += box * other / denom;
+        rhs[idx] = box * ni * ni / denom;
+      }
+      a.at(idx, idx) = diag;
+    }
+  }
+
+  density = linalg::BandedLu(a).solve(rhs);
+  // The linear solve can undershoot in sharply graded regions; clamp to a
+  // tiny positive floor so logs and SRH terms stay defined.
+  const double floor = 1e-20 * ni;
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    if (!dev.is_silicon(idx)) {
+      density[idx] = 0.0;
+    } else {
+      density[idx] = std::max(density[idx], floor);
+    }
+  }
+}
+
+}  // namespace subscale::tcad

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file continuity.h
+/// Steady-state carrier continuity with Scharfetter–Gummel fluxes:
+/// div J_n = +q R, div J_p = -q R, with SRH recombination (denominator
+/// lagged so each solve is a single banded linear system).
+
+#include <vector>
+
+#include "physics/mobility.h"
+#include "tcad/device_structure.h"
+
+namespace subscale::tcad {
+
+struct ContinuityOptions {
+  double tau_srh = 1e-7;       ///< SRH lifetime [s] (both carriers)
+  bool velocity_saturation = true;  ///< Caughey–Thomas edge mobility
+};
+
+/// Solve the electron (or hole) continuity equation for the density
+/// field, given the electrostatic potential. The opposite carrier's
+/// density enters the (lagged) SRH term. Results are clamped positive.
+void solve_continuity(const DeviceStructure& dev, physics::Carrier carrier,
+                      const std::vector<double>& psi,
+                      const std::vector<double>& other_density,
+                      std::vector<double>& density,
+                      const ContinuityOptions& options = {});
+
+/// Scharfetter–Gummel edge current (per metre of device width) flowing
+/// from node a to node b for the given carrier [A/m]. Used both by the
+/// assembly and by terminal-current integration.
+double edge_current(const DeviceStructure& dev, physics::Carrier carrier,
+                    const std::vector<double>& psi,
+                    const std::vector<double>& density, std::size_t node_a,
+                    std::size_t node_b, double dist, double area,
+                    const ContinuityOptions& options = {});
+
+/// Edge mobility used by both routines [m^2/Vs].
+double edge_mobility(const DeviceStructure& dev, physics::Carrier carrier,
+                     const std::vector<double>& psi, std::size_t node_a,
+                     std::size_t node_b, double dist,
+                     const ContinuityOptions& options);
+
+}  // namespace subscale::tcad

@@ -1,0 +1,37 @@
+#include "tcad/device_sim.h"
+
+#include <stdexcept>
+
+namespace subscale::tcad {
+
+TcadDevice::TcadDevice(const compact::DeviceSpec& spec,
+                       const MeshOptions& mesh_options,
+                       const GummelOptions& gummel_options)
+    : dev_(spec, mesh_options), solver_(dev_, gummel_options) {
+  sign_ = (spec.polarity == doping::Polarity::kNfet) ? 1.0 : -1.0;
+  solver_.solve_equilibrium();
+}
+
+double TcadDevice::id_at(double vg, double vd) {
+  solver_.solve_bias(sign_ * vg, sign_ * vd, 0.0, 0.0);
+  return sign_ * solver_.terminal_current("drain");
+}
+
+std::vector<IdVgPoint> TcadDevice::id_vg(double vd, double vg_start,
+                                         double vg_stop,
+                                         std::size_t points) {
+  if (points < 2) {
+    throw std::invalid_argument("id_vg: need at least 2 points");
+  }
+  std::vector<IdVgPoint> sweep;
+  sweep.reserve(points);
+  for (std::size_t k = 0; k < points; ++k) {
+    const double vg = vg_start + (vg_stop - vg_start) *
+                                     static_cast<double>(k) /
+                                     static_cast<double>(points - 1);
+    sweep.push_back({vg, id_at(vg, vd)});
+  }
+  return sweep;
+}
+
+}  // namespace subscale::tcad

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file device_sim.h
+/// High-level TCAD device view: build the structure from a DeviceSpec,
+/// run bias sweeps, report terminal currents. This is the library's
+/// stand-in for the paper's MEDICI runs.
+///
+/// Polarity handling: callers pass source-referenced MAGNITUDES (like
+/// the compact model); for a PFET the solver internally negates the
+/// applied voltages and the returned current.
+
+#include <vector>
+
+#include "tcad/gummel.h"
+
+namespace subscale::tcad {
+
+struct IdVgPoint {
+  double vg = 0.0;  ///< gate-source magnitude [V]
+  double id = 0.0;  ///< drain current magnitude [A per metre of width]
+};
+
+class TcadDevice {
+ public:
+  explicit TcadDevice(const compact::DeviceSpec& spec,
+                      const MeshOptions& mesh_options = {},
+                      const GummelOptions& gummel_options = {});
+
+  const DeviceStructure& structure() const { return dev_; }
+  const DriftDiffusionSolver& solver() const { return solver_; }
+
+  /// Drain current magnitude at the given source-referenced biases
+  /// [A per metre of width]. Uses continuation from the last solve.
+  double id_at(double vg, double vd);
+
+  /// Gate sweep at fixed drain bias (ascending vg is fastest because each
+  /// point continues from the previous one).
+  std::vector<IdVgPoint> id_vg(double vd, double vg_start, double vg_stop,
+                               std::size_t points);
+
+ private:
+  DeviceStructure dev_;
+  DriftDiffusionSolver solver_;
+  double sign_ = 1.0;
+};
+
+}  // namespace subscale::tcad

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file extract.h
+/// Device-parameter extraction from simulated I_d-V_g sweeps — the same
+/// post-processing the paper applied to its MEDICI output: inverse
+/// subthreshold slope (regression over the exponential region),
+/// constant-current threshold voltage, on/off currents and DIBL.
+
+#include <vector>
+
+#include "tcad/device_sim.h"
+
+namespace subscale::tcad {
+
+struct SweepExtraction {
+  double ss = 0.0;      ///< inverse subthreshold slope [V/dec]
+  double vth_cc = 0.0;  ///< constant-current threshold [V]
+  double ioff = 0.0;    ///< current at the lowest vg of the sweep [A/m]
+  double ion = 0.0;     ///< current at the highest vg of the sweep [A/m]
+  double ss_r2 = 0.0;   ///< regression quality of the S_S fit
+};
+
+struct ExtractOptions {
+  /// Subthreshold window for the S_S regression, as decades of current
+  /// above the sweep's minimum current.
+  double window_lo_decades = 0.5;
+  double window_hi_decades = 3.5;
+  /// Constant-current criterion [A/m] for V_th (MEDICI-style extraction
+  /// uses a fixed current density; 1e-1 A/m = 0.1 uA/um).
+  double vth_current = 1e-1;
+};
+
+/// Extract parameters from an ascending-vg sweep with positive currents.
+/// Throws std::invalid_argument on unusable sweeps (too short, wrong
+/// ordering, non-positive currents).
+SweepExtraction extract_from_sweep(const std::vector<IdVgPoint>& sweep,
+                                   const ExtractOptions& options = {});
+
+/// DIBL coefficient from two sweeps at low and high drain bias [V/V]:
+/// (V_th,lin - V_th,sat)/(vd_hi - vd_lo) using the constant-current V_th.
+double extract_dibl(const std::vector<IdVgPoint>& sweep_lo, double vd_lo,
+                    const std::vector<IdVgPoint>& sweep_hi, double vd_hi,
+                    const ExtractOptions& options = {});
+
+}  // namespace subscale::tcad

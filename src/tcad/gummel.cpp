@@ -1,0 +1,146 @@
+#include "tcad/gummel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "physics/fermi.h"
+
+namespace subscale::tcad {
+
+DriftDiffusionSolver::DriftDiffusionSolver(const DeviceStructure& dev,
+                                           const GummelOptions& options)
+    : dev_(dev), options_(options) {
+  const std::size_t n_nodes = dev_.mesh().node_count();
+  psi_.assign(n_nodes, 0.0);
+  n_.assign(n_nodes, 0.0);
+  p_.assign(n_nodes, 0.0);
+}
+
+void DriftDiffusionSolver::solve_equilibrium() {
+  const std::size_t n_nodes = dev_.mesh().node_count();
+  const double ni = dev_.ni();
+  const double vt = dev_.vt();
+
+  // Charge-neutral initial guess; carriers at their neutral values.
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    if (dev_.is_silicon(idx)) {
+      psi_[idx] = physics::neutral_potential(dev_.net_doping()[idx], ni, vt);
+      n_[idx] = boltzmann_n(psi_[idx], 0.0, ni, vt);
+      p_[idx] = boltzmann_p(psi_[idx], 0.0, ni, vt);
+    } else {
+      psi_[idx] = 0.0;
+    }
+  }
+  biases_ = {{"gate", 0.0}, {"drain", 0.0}, {"source", 0.0}, {"bulk", 0.0}};
+  gummel_at(biases_);
+  solved_ = true;
+}
+
+void DriftDiffusionSolver::solve_bias(double vg, double vd, double vs,
+                                      double vb) {
+  if (!solved_) solve_equilibrium();
+  const std::map<std::string, double> target = {
+      {"gate", vg}, {"drain", vd}, {"source", vs}, {"bulk", vb}};
+  // Continuation: ramp every contact toward its target in bounded steps.
+  while (true) {
+    double max_gap = 0.0;
+    for (const auto& [name, v] : target) {
+      max_gap = std::max(max_gap, std::abs(v - biases_[name]));
+    }
+    if (max_gap == 0.0) break;
+    const double frac = std::min(1.0, options_.bias_step / max_gap);
+    std::map<std::string, double> step = biases_;
+    for (const auto& [name, v] : target) {
+      step[name] = biases_[name] + frac * (v - biases_[name]);
+    }
+    gummel_at(step);
+    biases_ = step;
+  }
+}
+
+void DriftDiffusionSolver::gummel_at(
+    const std::map<std::string, double>& biases) {
+  const std::size_t n_nodes = dev_.mesh().node_count();
+  const double ni = dev_.ni();
+  const double vt = dev_.vt();
+
+  std::vector<double> phi_n(n_nodes, 0.0);
+  std::vector<double> phi_p(n_nodes, 0.0);
+  std::vector<double> psi_prev(n_nodes, 0.0);
+
+  for (std::size_t it = 0; it < options_.max_iterations; ++it) {
+    // Quasi-Fermi levels from the current carrier fields.
+    for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+      if (!dev_.is_silicon(idx)) {
+        phi_n[idx] = 0.0;
+        phi_p[idx] = 0.0;
+        continue;
+      }
+      const double nn = std::max(n_[idx], 1e-20 * ni);
+      const double pp = std::max(p_[idx], 1e-20 * ni);
+      phi_n[idx] = psi_[idx] - vt * std::log(nn / ni);
+      phi_p[idx] = psi_[idx] + vt * std::log(pp / ni);
+    }
+
+    psi_prev = psi_;
+    const PoissonResult pres =
+        solve_poisson(dev_, biases, phi_n, phi_p, psi_, options_.poisson);
+    if (!pres.converged) {
+      throw std::runtime_error("DriftDiffusionSolver: Poisson stalled");
+    }
+
+    solve_continuity(dev_, physics::Carrier::kElectron, psi_, p_, n_,
+                     options_.continuity);
+    solve_continuity(dev_, physics::Carrier::kHole, psi_, n_, p_,
+                     options_.continuity);
+
+    double dpsi = 0.0;
+    for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+      dpsi = std::max(dpsi, std::abs(psi_[idx] - psi_prev[idx]));
+    }
+    last_iterations_ = it + 1;
+    if (dpsi < options_.psi_tolerance) return;
+  }
+  throw std::runtime_error("DriftDiffusionSolver: Gummel did not converge");
+}
+
+double DriftDiffusionSolver::terminal_current(
+    const std::string& contact) const {
+  const auto& m = dev_.mesh();
+  const std::size_t nx = m.nx();
+  double current = 0.0;
+
+  for (const std::size_t idx : m.contact_nodes(contact)) {
+    if (!dev_.is_silicon(idx)) continue;  // gate: no conduction current
+    const std::size_t i = m.i_of(idx);
+    const std::size_t j = m.j_of(idx);
+    const auto accumulate = [&](std::size_t nb, double dist, double area) {
+      if (!dev_.silicon_edge(idx, nb)) return;
+      if (m.contact_of(nb) == contact) return;  // internal to the contact
+      current += edge_current(dev_, physics::Carrier::kElectron, psi_, n_,
+                              idx, nb, dist, area, options_.continuity);
+      current += edge_current(dev_, physics::Carrier::kHole, psi_, p_, idx,
+                              nb, dist, area, options_.continuity);
+    };
+    if (i > 0) {
+      accumulate(m.index(i - 1, j), m.x(i) - m.x(i - 1),
+                 m.dy_minus(j) + m.dy_plus(j));
+    }
+    if (i + 1 < nx) {
+      accumulate(m.index(i + 1, j), m.x(i + 1) - m.x(i),
+                 m.dy_minus(j) + m.dy_plus(j));
+    }
+    if (j > 0) {
+      accumulate(m.index(i, j - 1), m.y(j) - m.y(j - 1),
+                 m.dx_minus(i) + m.dx_plus(i));
+    }
+    if (j + 1 < m.ny()) {
+      accumulate(m.index(i, j + 1), m.y(j + 1) - m.y(j),
+                 m.dx_minus(i) + m.dx_plus(i));
+    }
+  }
+  return current;
+}
+
+}  // namespace subscale::tcad

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file gummel.h
+/// The Gummel (decoupled) iteration for the drift–diffusion system:
+/// nonlinear Poisson with frozen quasi-Fermi levels, then electron and
+/// hole continuity with the new potential, repeated until the potential
+/// stops moving. Bias is applied by continuation (ramped in steps) so the
+/// solver is robust from equilibrium up to full drain/gate bias.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tcad/continuity.h"
+#include "tcad/device_structure.h"
+#include "tcad/poisson.h"
+
+namespace subscale::tcad {
+
+struct GummelOptions {
+  std::size_t max_iterations = 60;
+  double psi_tolerance = 1e-7;  ///< outer-loop max |dpsi| [V]
+  double bias_step = 0.1;       ///< continuation step [V]
+  PoissonOptions poisson;
+  ContinuityOptions continuity;
+};
+
+/// Owns the solution state (psi, n, p) for one device and advances it
+/// between bias points.
+class DriftDiffusionSolver {
+ public:
+  explicit DriftDiffusionSolver(const DeviceStructure& dev,
+                                const GummelOptions& options = {});
+
+  /// Solve the zero-bias problem from a charge-neutral initial guess.
+  /// Throws std::runtime_error on non-convergence.
+  void solve_equilibrium();
+
+  /// Ramp contacts from the previously solved bias point to the given
+  /// biases (volts at gate/drain/source/bulk) and solve.
+  void solve_bias(double vg, double vd, double vs = 0.0, double vb = 0.0);
+
+  /// Terminal current of a contact [A per metre of width]; positive =
+  /// conventional current flowing from the contact into the device.
+  double terminal_current(const std::string& contact) const;
+
+  const std::vector<double>& psi() const { return psi_; }
+  const std::vector<double>& electron_density() const { return n_; }
+  const std::vector<double>& hole_density() const { return p_; }
+  const DeviceStructure& structure() const { return dev_; }
+  std::size_t last_gummel_iterations() const { return last_iterations_; }
+
+ private:
+  void gummel_at(const std::map<std::string, double>& biases);
+
+  const DeviceStructure& dev_;
+  GummelOptions options_;
+  std::vector<double> psi_;
+  std::vector<double> n_;
+  std::vector<double> p_;
+  std::map<std::string, double> biases_;
+  bool solved_ = false;
+  std::size_t last_iterations_ = 0;
+};
+
+}  // namespace subscale::tcad

@@ -1,0 +1,136 @@
+#include "tcad/poisson.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/banded.h"
+#include "physics/constants.h"
+
+namespace subscale::tcad {
+
+namespace {
+
+constexpr double kMaxExponent = 200.0;
+
+double clamped_exp(double x) {
+  return std::exp(std::clamp(x, -kMaxExponent, kMaxExponent));
+}
+
+}  // namespace
+
+double boltzmann_n(double psi, double phi_n, double ni, double vt) {
+  return ni * clamped_exp((psi - phi_n) / vt);
+}
+
+double boltzmann_p(double psi, double phi_p, double ni, double vt) {
+  return ni * clamped_exp((phi_p - psi) / vt);
+}
+
+PoissonResult solve_poisson(const DeviceStructure& dev,
+                            const std::map<std::string, double>& biases,
+                            const std::vector<double>& phi_n,
+                            const std::vector<double>& phi_p,
+                            std::vector<double>& psi,
+                            const PoissonOptions& options) {
+  const auto& m = dev.mesh();
+  const std::size_t n_nodes = m.node_count();
+  if (psi.size() != n_nodes || phi_n.size() != n_nodes ||
+      phi_p.size() != n_nodes) {
+    throw std::invalid_argument("solve_poisson: state size mismatch");
+  }
+  const double ni = dev.ni();
+  const double vt = dev.vt();
+  const std::size_t nx = m.nx();
+
+  // Pre-resolve Dirichlet values.
+  std::vector<char> dirichlet(n_nodes, 0);
+  std::vector<double> psi_fixed(n_nodes, 0.0);
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    const std::string& c = m.contact_of(idx);
+    if (c.empty()) continue;
+    const auto it = biases.find(c);
+    if (it == biases.end()) {
+      throw std::invalid_argument("solve_poisson: missing bias for contact " +
+                                  c);
+    }
+    dirichlet[idx] = 1;
+    psi_fixed[idx] = dev.contact_potential(idx, it->second);
+    psi[idx] = psi_fixed[idx];
+  }
+
+  const auto eps_of_edge = [&](std::size_t a, std::size_t b) {
+    const bool ox = !dev.is_silicon(a) || !dev.is_silicon(b);
+    return ox ? physics::kEpsSiO2 : physics::kEpsSi;
+  };
+
+  PoissonResult result;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    linalg::BandedMatrix jac(n_nodes, nx, nx);
+    std::vector<double> rhs(n_nodes, 0.0);
+
+    for (std::size_t j = 0; j < m.ny(); ++j) {
+      for (std::size_t i = 0; i < nx; ++i) {
+        const std::size_t idx = m.index(i, j);
+        if (dirichlet[idx]) {
+          jac.at(idx, idx) = 1.0;
+          rhs[idx] = 0.0;  // already imposed
+          continue;
+        }
+        double f = 0.0;
+        double diag = 0.0;
+        const auto add_edge = [&](std::size_t nb, double dist, double area) {
+          const double k = eps_of_edge(idx, nb) * area / dist;
+          f += k * (psi[nb] - psi[idx]);
+          diag -= k;
+          jac.at(idx, nb) = k;
+        };
+        if (i > 0) {
+          add_edge(m.index(i - 1, j), m.x(i) - m.x(i - 1),
+                   m.dy_minus(j) + m.dy_plus(j));
+        }
+        if (i + 1 < nx) {
+          add_edge(m.index(i + 1, j), m.x(i + 1) - m.x(i),
+                   m.dy_minus(j) + m.dy_plus(j));
+        }
+        if (j > 0) {
+          add_edge(m.index(i, j - 1), m.y(j) - m.y(j - 1),
+                   m.dx_minus(i) + m.dx_plus(i));
+        }
+        if (j + 1 < m.ny()) {
+          add_edge(m.index(i, j + 1), m.y(j + 1) - m.y(j),
+                   m.dx_minus(i) + m.dx_plus(i));
+        }
+        if (dev.is_silicon(idx)) {
+          const double box = m.box_area(i, j);
+          const double nn = boltzmann_n(psi[idx], phi_n[idx], ni, vt);
+          const double pp = boltzmann_p(psi[idx], phi_p[idx], ni, vt);
+          f += physics::kQ * box *
+               (pp - nn + dev.net_doping()[idx]);
+          diag -= physics::kQ * box * (nn + pp) / vt;
+        }
+        jac.at(idx, idx) = diag;
+        rhs[idx] = -f;
+      }
+    }
+
+    const std::vector<double> delta = linalg::BandedLu(jac).solve(rhs);
+    double max_update = 0.0;
+    for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+      if (dirichlet[idx]) continue;
+      const double d = std::clamp(delta[idx], -options.damping_clamp,
+                                  options.damping_clamp);
+      psi[idx] += d;
+      max_update = std::max(max_update, std::abs(d));
+    }
+    result.iterations = it + 1;
+    result.max_update = max_update;
+    if (max_update < options.update_tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace subscale::tcad

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file poisson.h
+/// Nonlinear Poisson solver on the device structure: box-method
+/// discretization of div(eps grad psi) = -q (p - n + N) with Boltzmann
+/// carriers evaluated from frozen quasi-Fermi potentials (the inner
+/// problem of a Gummel iteration). Dirichlet at contacts, natural
+/// Neumann elsewhere; solved with damped Newton and a banded direct
+/// factorization (bandwidth = nx of the tensor mesh).
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tcad/device_structure.h"
+
+namespace subscale::tcad {
+
+struct PoissonOptions {
+  std::size_t max_iterations = 120;
+  double update_tolerance = 1e-9;  ///< on max |delta psi| [V]
+  double damping_clamp = 0.5;      ///< max |delta psi| per Newton step [V]
+};
+
+struct PoissonResult {
+  std::size_t iterations = 0;
+  double max_update = 0.0;
+  bool converged = false;
+};
+
+/// Solve for psi in place. `biases` maps contact name -> applied voltage.
+/// phi_n/phi_p are per-node quasi-Fermi potentials (used in silicon).
+PoissonResult solve_poisson(const DeviceStructure& dev,
+                            const std::map<std::string, double>& biases,
+                            const std::vector<double>& phi_n,
+                            const std::vector<double>& phi_p,
+                            std::vector<double>& psi,
+                            const PoissonOptions& options = {});
+
+/// Boltzmann carrier densities from the potential and quasi-Fermi level,
+/// with overflow-safe exponent clamping. Exposed for the Gummel loop.
+double boltzmann_n(double psi, double phi_n, double ni, double vt);
+double boltzmann_p(double psi, double phi_p, double ni, double vt);
+
+}  // namespace subscale::tcad

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compact/calibration.h"
+#include "compact/device_spec.h"
+#include "compact/mosfet.h"
+#include "compact/ss_model.h"
+#include "compact/vth_model.h"
+#include "physics/constants.h"
+#include "physics/units.h"
+
+namespace sc = subscale::compact;
+namespace sd = subscale::doping;
+namespace su = subscale::units;
+
+namespace {
+
+/// The paper's Table 2 devices (super-V_th strategy).
+sc::DeviceSpec super_vth_device(int node_index) {
+  struct Row {
+    double lpoly, tox, nsub, nhalo, vdd, shrink;
+  };
+  static constexpr Row kRows[] = {
+      {65, 2.10, 1.52e18, 3.63e18, 1.2, 1.000},
+      {46, 1.89, 1.97e18, 5.17e18, 1.1, 0.700},
+      {32, 1.70, 2.52e18, 7.83e18, 1.0, 0.490},
+      {22, 1.53, 3.31e18, 12.0e18, 0.9, 0.343},
+  };
+  const Row& r = kRows[node_index];
+  return sc::make_spec_from_table(sd::Polarity::kNfet, r.lpoly, r.tox, r.nsub,
+                                  r.nhalo, r.vdd, r.shrink);
+}
+
+/// The paper's Table 3 devices (sub-V_th strategy).
+sc::DeviceSpec sub_vth_device(int node_index) {
+  struct Row {
+    double lpoly, tox, nsub, nhalo, shrink;
+  };
+  static constexpr Row kRows[] = {
+      {95, 2.10, 1.61e18, 2.02e18, 1.000},
+      {75, 1.89, 1.99e18, 2.73e18, 0.700},
+      {60, 1.70, 2.53e18, 2.93e18, 0.490},
+      {45, 1.53, 3.19e18, 4.89e18, 0.343},
+  };
+  const Row& r = kRows[node_index];
+  return sc::make_spec_from_table(sd::Polarity::kNfet, r.lpoly, r.tox, r.nsub,
+                                  r.nhalo, 1.0, r.shrink);
+}
+
+}  // namespace
+
+// ---- DeviceSpec -----------------------------------------------------------------
+
+TEST(DeviceSpec, ValidationCatchesNonsense) {
+  sc::DeviceSpec spec = super_vth_device(0);
+  EXPECT_NO_THROW(spec.validate());
+  spec.levels.nsub = -1.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec = super_vth_device(0);
+  spec.vdd = 0.0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(DeviceSpec, TableFactoryConvertsUnits) {
+  const sc::DeviceSpec spec = super_vth_device(0);
+  EXPECT_NEAR(su::to_nm(spec.geometry.lpoly), 65.0, 1e-9);
+  EXPECT_NEAR(su::to_per_cm3(spec.levels.nsub), 1.52e18, 1e12);
+  // N_halo net 3.63e18 = nsub + np_halo.
+  EXPECT_NEAR(su::to_per_cm3(spec.levels.nsub + spec.levels.np_halo), 3.63e18,
+              1e12);
+}
+
+TEST(DeviceSpec, NetHaloBelowSubstrateRejected) {
+  EXPECT_THROW(sc::make_spec_from_table(sd::Polarity::kNfet, 65, 2.1, 2e18,
+                                        1e18, 1.2, 1.0),
+               std::invalid_argument);
+}
+
+// ---- S_S model ----------------------------------------------------------------------
+
+TEST(SsModel, LongChannelLimitIsLowerBound) {
+  const sc::Calibration& c = sc::paper_calibration();
+  const double neff = su::per_cm3(2.4e18);
+  const double tox = su::nm(2.1);
+  const double ss_long = sc::subthreshold_swing_long(neff, tox, 300.0, c);
+  const double ss_short =
+      sc::subthreshold_swing(neff, tox, su::nm(20), 300.0, c);
+  const double ss_very_long =
+      sc::subthreshold_swing(neff, tox, su::nm(1000), 300.0, c);
+  EXPECT_GT(ss_short, ss_long);
+  EXPECT_NEAR(ss_very_long, ss_long, 1e-6);
+}
+
+TEST(SsModel, AboveThermodynamicLimit) {
+  const sc::Calibration& c = sc::paper_calibration();
+  // 60 mV/dec at 300 K is the hard floor.
+  const double ss = sc::subthreshold_swing(su::per_cm3(1e17), su::nm(1.0),
+                                           su::nm(1000), 300.0, c);
+  EXPECT_GT(ss, 0.0596);
+}
+
+TEST(SsModel, DegradesWhenChannelShortens) {
+  const sc::Calibration& c = sc::paper_calibration();
+  const double neff = su::per_cm3(2.4e18);
+  double prev = 0.0;
+  for (double leff_nm : {100.0, 60.0, 40.0, 25.0, 15.0}) {
+    const double ss =
+        sc::subthreshold_swing(neff, su::nm(2.1), su::nm(leff_nm), 300.0, c);
+    EXPECT_GT(ss, prev) << "leff " << leff_nm;
+    prev = ss;
+  }
+}
+
+TEST(SsModel, ImprovesWithThinnerOxide) {
+  const sc::Calibration& c = sc::paper_calibration();
+  const double neff = su::per_cm3(2.4e18);
+  const double ss_thin =
+      sc::subthreshold_swing(neff, su::nm(1.2), su::nm(45), 300.0, c);
+  const double ss_thick =
+      sc::subthreshold_swing(neff, su::nm(2.4), su::nm(45), 300.0, c);
+  EXPECT_LT(ss_thin, ss_thick);
+}
+
+TEST(SsModel, ScalesWithTemperature) {
+  const sc::Calibration& c = sc::paper_calibration();
+  const double neff = su::per_cm3(2.4e18);
+  const double ss300 =
+      sc::subthreshold_swing(neff, su::nm(2.1), su::nm(49), 300.0, c);
+  const double ss400 =
+      sc::subthreshold_swing(neff, su::nm(2.1), su::nm(49), 400.0, c);
+  // Dominated by the 2.3 vT prefactor (W_dep also shifts slightly).
+  EXPECT_NEAR(ss400 / ss300, 400.0 / 300.0, 0.06);
+}
+
+TEST(SsModel, SlopeFactorInversion) {
+  const double ss = 0.088;
+  const double m = sc::slope_factor_from_swing(ss, 300.0);
+  EXPECT_NEAR(m * std::log(10.0) * subscale::physics::kVt300, ss, 1e-12);
+}
+
+// ---- calibration -------------------------------------------------------------------
+
+TEST(Calibration, ReproducesPaperSsAnchors) {
+  const sc::Calibration& c = sc::paper_calibration();
+  sc::SsAnchor anchors[8];
+  const int n = sc::paper_ss_anchors(anchors);
+  ASSERT_EQ(n, 8);
+  for (int i = 0; i < n; ++i) {
+    const double neff = anchors[i].nsub + c.k_halo * anchors[i].halo_add;
+    const double ss = sc::subthreshold_swing(neff, anchors[i].tox,
+                                             anchors[i].leff, 300.0, c);
+    EXPECT_NEAR(ss / anchors[i].ss_target, 1.0, 0.05)
+        << "anchor " << i << ": " << ss * 1e3 << " vs "
+        << anchors[i].ss_target * 1e3 << " mV/dec";
+  }
+}
+
+TEST(Calibration, FitIsDeterministic) {
+  const sc::Calibration& a = sc::paper_calibration();
+  const sc::Calibration& b = sc::paper_calibration();
+  EXPECT_DOUBLE_EQ(a.c_dep, b.c_dep);
+  EXPECT_DOUBLE_EQ(a.c_sce, b.c_sce);
+  EXPECT_DOUBLE_EQ(a.c_len, b.c_len);
+}
+
+TEST(Calibration, AnchorOnlyRefitAchievesTightRms) {
+  // The pure anchor fit (no optimizer-outcome terms) must reach < 3 %
+  // RMS — this validates the S_S functional form independently of the
+  // frozen two-stage default.
+  sc::SsAnchor anchors[8];
+  const int n = sc::paper_ss_anchors(anchors);
+  double rms = 1.0;
+  sc::fit_ss_calibration(sc::Calibration{}, anchors, n, &rms);
+  EXPECT_LT(rms, 0.03);
+}
+
+TEST(Calibration, DefaultSatisfiesHeadlineClaims) {
+  // The frozen default trades a little anchor accuracy for reproducing
+  // the paper's optimizer outcome; the headline S_S claims must hold.
+  const sc::Calibration& c = sc::paper_calibration();
+  sc::SsAnchor a[8];
+  sc::paper_ss_anchors(a);
+  const auto ss_of = [&](const sc::SsAnchor& an) {
+    return sc::subthreshold_swing(an.nsub + c.k_halo * an.halo_add, an.tox,
+                                  an.leff, 300.0, c);
+  };
+  // Super-V_th S_S degrades substantially 90nm -> 32nm (paper: +11 %).
+  const double r_super = ss_of(a[3]) / ss_of(a[0]);
+  EXPECT_GT(r_super, 1.08);
+  EXPECT_LT(r_super, 1.28);
+  // Sub-V_th plateau: ~80 mV/dec with small drift (paper: 1.2 mV/dec).
+  for (int i = 4; i < 8; ++i) {
+    EXPECT_NEAR(ss_of(a[i]) * 1e3, 80.0, 3.0) << "anchor " << i;
+  }
+  EXPECT_LT(std::abs(ss_of(a[7]) - ss_of(a[4])) * 1e3, 4.0);
+}
+
+TEST(Calibration, NinetyNmIoffAnchoredTo100pA) {
+  const sc::CompactMosfet fet(super_vth_device(0));
+  EXPECT_NEAR(su::to_pA_per_um(fet.ioff() / fet.spec().width), 100.0, 1.0);
+}
+
+TEST(Calibration, NinetyNmVthSatExtractsTo403mV) {
+  const sc::CompactMosfet fet(super_vth_device(0));
+  EXPECT_NEAR(su::to_mV(fet.vth_sat_extracted()), 403.0, 2.0);
+}
+
+// ---- V_th model ------------------------------------------------------------------------
+
+TEST(VthModel, HaloRollUpPositive) {
+  const sc::DeviceSpec spec = super_vth_device(0);
+  const auto c =
+      sc::threshold_components(spec, sc::paper_calibration(), spec.vdd);
+  EXPECT_GT(c.dvth_halo, 0.0);
+  EXPECT_GT(c.dvth_sce, 0.0);
+  EXPECT_GT(c.vth, 0.2);
+  EXPECT_LT(c.vth, 0.7);
+}
+
+TEST(VthModel, DiblReducesVthWithDrainBias) {
+  const sc::DeviceSpec spec = super_vth_device(3);  // 32nm: strong SCE
+  const sc::Calibration& cal = sc::paper_calibration();
+  EXPECT_GT(sc::threshold_voltage(spec, cal, 0.0),
+            sc::threshold_voltage(spec, cal, spec.vdd));
+  EXPECT_GT(sc::dibl_coefficient(spec, cal), 0.0);
+}
+
+TEST(VthModel, DiblGrowsAsChannelShrinks) {
+  const sc::Calibration& cal = sc::paper_calibration();
+  // Same doping/oxide, shrinking gate.
+  double prev = 0.0;
+  for (double lpoly : {120.0, 80.0, 50.0, 35.0}) {
+    sc::DeviceSpec spec = sc::make_spec_from_table(
+        sd::Polarity::kNfet, lpoly, 2.1, 2.0e18, 4.0e18, 1.2, 1.0);
+    const double dibl = sc::dibl_coefficient(spec, cal);
+    EXPECT_GT(dibl, prev) << "lpoly " << lpoly;
+    prev = dibl;
+  }
+}
+
+// ---- CompactMosfet --------------------------------------------------------------------
+
+TEST(CompactMosfet, SoftplusBehaviour) {
+  EXPECT_NEAR(sc::softplus(0.0), std::log(2.0), 1e-12);
+  EXPECT_NEAR(sc::softplus(50.0), 50.0, 1e-9);
+  EXPECT_NEAR(sc::softplus(-50.0), std::exp(-50.0), 1e-30);
+}
+
+TEST(CompactMosfet, CurrentIncreasesWithGateBias) {
+  const sc::CompactMosfet fet(super_vth_device(0));
+  double prev = 0.0;
+  for (double vgs = 0.0; vgs <= 1.2; vgs += 0.1) {
+    const double id = fet.drain_current(vgs, 1.2);
+    EXPECT_GT(id, prev) << "vgs " << vgs;
+    prev = id;
+  }
+}
+
+TEST(CompactMosfet, SubthresholdSlopeOfActualCurrent) {
+  // The measured log-slope of I_d(V_gs) in deep subthreshold must equal
+  // the analytical S_S — a consistency check between Eqs. 1 and 2.
+  const sc::CompactMosfet fet(super_vth_device(0));
+  const double v1 = 0.05, v2 = 0.15;
+  const double i1 = fet.drain_current(v1, fet.spec().vdd);
+  const double i2 = fet.drain_current(v2, fet.spec().vdd);
+  const double measured_ss = (v2 - v1) / std::log10(i2 / i1);
+  EXPECT_NEAR(measured_ss / fet.subthreshold_swing(), 1.0, 0.03);
+}
+
+TEST(CompactMosfet, OnOffOrderingAndMagnitudes) {
+  for (int i = 0; i < 4; ++i) {
+    const sc::CompactMosfet fet(super_vth_device(i));
+    EXPECT_GT(fet.ion(), 1e3 * fet.ioff()) << "node " << i;
+    // I_on at 250 mV sits between off and full on.
+    const double i250 = fet.ion_at(0.25);
+    EXPECT_GT(i250, fet.ioff());
+    EXPECT_LT(i250, fet.ion());
+  }
+}
+
+TEST(CompactMosfet, DrainCurrentSaturates) {
+  const sc::CompactMosfet fet(super_vth_device(0));
+  const double id_sat = fet.drain_current(1.2, 1.2);
+  const double id_lin = fet.drain_current(1.2, 0.05);
+  EXPECT_GT(id_sat, 5.0 * id_lin);
+  // Past saturation the current only grows via DIBL (slowly).
+  const double id_over = fet.drain_current(1.2, 1.6);
+  EXPECT_LT(id_over / id_sat, 1.3);
+}
+
+TEST(CompactMosfet, ReverseModeAntisymmetric) {
+  const sc::CompactMosfet fet(super_vth_device(0));
+  const double fwd = fet.drain_current(0.5, 0.1);
+  const double rev = fet.drain_current(0.5, -0.1);
+  EXPECT_LT(rev, 0.0);
+  EXPECT_NEAR(-rev / fwd, 1.0, 1e-9);
+}
+
+TEST(CompactMosfet, PfetUsesHoleMobility) {
+  sc::DeviceSpec nspec = super_vth_device(0);
+  sc::DeviceSpec pspec = nspec;
+  pspec.polarity = sd::Polarity::kPfet;
+  const sc::CompactMosfet nfet(nspec);
+  const sc::CompactMosfet pfet(pspec);
+  // Same geometry/doping: the PFET is slower by the mobility ratio.
+  EXPECT_LT(pfet.ion(), nfet.ion());
+  EXPECT_GT(pfet.ion(), 0.1 * nfet.ion());
+}
+
+TEST(CompactMosfet, GateCapacitancePlausible) {
+  const sc::CompactMosfet fet(super_vth_device(0));
+  const double cg_ff_um = su::to_fF_per_um(fet.gate_capacitance() /
+                                           fet.spec().width * 1e-6 * 1e6);
+  // ~1-2 fF/um at the 90nm node (gate + overlap + fringe only; the
+  // fixed wire load lives in the circuit layer).
+  EXPECT_GT(su::to_fF(fet.gate_capacitance()), 0.8);
+  EXPECT_LT(su::to_fF(fet.gate_capacitance()), 3.0);
+  (void)cg_ff_um;
+}
+
+TEST(CompactMosfet, IntrinsicDelayPositiveAndPicoseconds) {
+  const sc::CompactMosfet fet(super_vth_device(0));
+  const double tau_ps = su::to_ps(fet.intrinsic_delay());
+  EXPECT_GT(tau_ps, 0.1);
+  EXPECT_LT(tau_ps, 100.0);
+}
+
+// ---- paper-level property: S_S trends across strategies --------------------------
+
+TEST(PaperTrends, SuperVthSwingDegradesTowardThirtyTwoNm) {
+  // Paper: S_S degrades 11 % from 90nm to 32nm under super-V_th scaling.
+  // Our calibrated model reproduces the direction and rough magnitude
+  // (the model's structural ceiling leaves it at ~15-18 %; see
+  // EXPERIMENTS.md).
+  const sc::CompactMosfet fet90(super_vth_device(0));
+  const sc::CompactMosfet fet32(super_vth_device(3));
+  const double degradation =
+      fet32.subthreshold_swing() / fet90.subthreshold_swing() - 1.0;
+  EXPECT_GT(degradation, 0.08);
+  EXPECT_LT(degradation, 0.22);
+}
+
+TEST(PaperTrends, SubVthSwingStaysNearEightyMv) {
+  for (int i = 0; i < 4; ++i) {
+    const sc::CompactMosfet fet(sub_vth_device(i));
+    EXPECT_NEAR(fet.subthreshold_swing() * 1e3, 80.0, 3.0) << "node " << i;
+  }
+}
+
+TEST(PaperTrends, IonIoffRatioDropsSixtyPercentAt250mV) {
+  const sc::CompactMosfet fet90(super_vth_device(0));
+  const sc::CompactMosfet fet32(super_vth_device(3));
+  const double r90 = fet90.ion_at(0.25) / fet90.drain_current(0.0, 0.25);
+  const double r32 = fet32.ion_at(0.25) / fet32.drain_current(0.0, 0.25);
+  const double reduction = 1.0 - r32 / r90;
+  EXPECT_NEAR(reduction, 0.60, 0.12);
+}
+
+// ---- parameterized: every published device is well-formed --------------------------
+
+class AllPaperDevices : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllPaperDevices, SuperVthDeviceBuildsAndBehaves) {
+  const sc::CompactMosfet fet(super_vth_device(GetParam()));
+  EXPECT_GT(fet.subthreshold_swing(), 0.06);
+  EXPECT_LT(fet.subthreshold_swing(), 0.12);
+  EXPECT_GT(fet.vth_sat(), 0.2);
+  EXPECT_GT(fet.ion(), fet.ioff());
+}
+
+TEST_P(AllPaperDevices, SubVthDeviceBuildsAndBehaves) {
+  const sc::CompactMosfet fet(sub_vth_device(GetParam()));
+  EXPECT_GT(fet.subthreshold_swing(), 0.06);
+  EXPECT_LT(fet.subthreshold_swing(), 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, AllPaperDevices, ::testing::Values(0, 1, 2, 3));

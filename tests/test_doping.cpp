@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "doping/mosfet_doping.h"
+#include "doping/profile.h"
+#include "physics/units.h"
+
+namespace sd = subscale::doping;
+namespace su = subscale::units;
+
+// ---- elementary profiles -----------------------------------------------------
+
+TEST(UniformDoping, SpeciesRouting) {
+  const sd::UniformDoping donors(sd::Species::kDonor, 1e24);
+  EXPECT_DOUBLE_EQ(donors.donors(0.0, 0.0), 1e24);
+  EXPECT_DOUBLE_EQ(donors.acceptors(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(donors.net(1.0, -2.0), 1e24);
+
+  const sd::UniformDoping acceptors(sd::Species::kAcceptor, 2e24);
+  EXPECT_DOUBLE_EQ(acceptors.net(0.0, 0.0), -2e24);
+}
+
+TEST(GaussianBump2d, PeakAndDecay) {
+  const sd::GaussianBump2d bump(sd::Species::kAcceptor, 1e24, 0.0, 0.0,
+                                su::nm(10), su::nm(10));
+  EXPECT_DOUBLE_EQ(bump.acceptors(0.0, 0.0), 1e24);
+  // One sigma away: e^{-1/2}.
+  EXPECT_NEAR(bump.acceptors(su::nm(10), 0.0), 1e24 * std::exp(-0.5), 1e12);
+  // Isotropy with equal sigmas.
+  EXPECT_DOUBLE_EQ(bump.acceptors(su::nm(7), 0.0),
+                   bump.acceptors(0.0, su::nm(7)));
+  // Far away: exactly zero (cutoff).
+  EXPECT_DOUBLE_EQ(bump.acceptors(su::nm(500), 0.0), 0.0);
+}
+
+TEST(GaussianBump2d, RejectsInvalid) {
+  EXPECT_THROW(sd::GaussianBump2d(sd::Species::kDonor, -1.0, 0, 0, 1e-9, 1e-9),
+               std::invalid_argument);
+  EXPECT_THROW(sd::GaussianBump2d(sd::Species::kDonor, 1.0, 0, 0, 0.0, 1e-9),
+               std::invalid_argument);
+}
+
+TEST(DiffusedBox, InteriorFlatExteriorDecays) {
+  const sd::DiffusedBox box(sd::Species::kDonor, 1e26, 0.0, su::nm(50),
+                            su::nm(30), su::nm(6), su::nm(8));
+  // Inside the box: full peak.
+  EXPECT_DOUBLE_EQ(box.donors(su::nm(25), su::nm(10)), 1e26);
+  EXPECT_DOUBLE_EQ(box.donors(su::nm(0), su::nm(30)), 1e26);
+  // One lateral straggle outside: e^{-1/2}.
+  EXPECT_NEAR(box.donors(su::nm(56), su::nm(10)), 1e26 * std::exp(-0.5),
+              1e16);
+  // Below the junction: vertical decay.
+  EXPECT_NEAR(box.donors(su::nm(25), su::nm(38)), 1e26 * std::exp(-0.5),
+              1e16);
+  // Above the surface: nothing.
+  EXPECT_DOUBLE_EQ(box.donors(su::nm(25), -su::nm(1)), 0.0);
+  // Corner: product of both decays.
+  EXPECT_NEAR(box.donors(su::nm(56), su::nm(38)), 1e26 * std::exp(-1.0),
+              1e16);
+}
+
+TEST(Superposition, SumsParts) {
+  auto sum = std::make_shared<sd::Superposition>();
+  sum->add(std::make_shared<sd::UniformDoping>(sd::Species::kAcceptor, 1e24));
+  sum->add(std::make_shared<sd::GaussianBump2d>(sd::Species::kAcceptor, 2e24,
+                                                0.0, 0.0, 1e-8, 1e-8));
+  EXPECT_DOUBLE_EQ(sum->acceptors(0.0, 0.0), 3e24);
+  EXPECT_DOUBLE_EQ(sum->net(0.0, 0.0), -3e24);
+  EXPECT_EQ(sum->component_count(), 2u);
+  EXPECT_THROW(sum->add(nullptr), std::invalid_argument);
+}
+
+// ---- MosfetGeometry -----------------------------------------------------------
+
+TEST(MosfetGeometry, ScaledBaseline90nm) {
+  const auto g = sd::MosfetGeometry::scaled(su::nm(65), su::nm(2.1), 1.0);
+  EXPECT_DOUBLE_EQ(su::to_nm(g.lpoly), 65.0);
+  EXPECT_DOUBLE_EQ(su::to_nm(g.tox), 2.1);
+  EXPECT_NEAR(su::to_nm(g.leff()), 65.0 - 16.0, 1e-9);
+  EXPECT_GT(g.xj, 0.0);
+  EXPECT_GT(g.device_length(), g.lpoly);
+}
+
+TEST(MosfetGeometry, FeatureShrinkScalesEverythingButGate) {
+  const auto g1 = sd::MosfetGeometry::scaled(su::nm(65), su::nm(2.1), 1.0);
+  const auto g2 = sd::MosfetGeometry::scaled(su::nm(65), su::nm(2.1), 0.7);
+  EXPECT_DOUBLE_EQ(g2.lpoly, g1.lpoly);
+  EXPECT_DOUBLE_EQ(g2.tox, g1.tox);
+  EXPECT_NEAR(g2.xj / g1.xj, 0.7, 1e-12);
+  EXPECT_NEAR(g2.halo_sigma_x / g1.halo_sigma_x, 0.7, 1e-12);
+  EXPECT_NEAR(g2.lov / g1.lov, 0.7, 1e-12);
+}
+
+TEST(MosfetGeometry, RejectsVanishingChannel) {
+  // lpoly smaller than twice the overlap must throw.
+  EXPECT_THROW(sd::MosfetGeometry::scaled(su::nm(10), su::nm(2.0), 1.0),
+               std::invalid_argument);
+}
+
+// ---- MOSFET profile --------------------------------------------------------------
+
+namespace {
+
+sd::MosfetGeometry test_geometry() {
+  return sd::MosfetGeometry::scaled(su::nm(65), su::nm(2.1), 1.0);
+}
+
+sd::MosfetDopingLevels test_levels() {
+  return {.nsub = su::per_cm3(1.52e18),
+          .np_halo = su::per_cm3(2.11e18),
+          .nsd = su::per_cm3(1e20)};
+}
+
+}  // namespace
+
+TEST(MosfetProfile, NfetPolarityAtKeyLocations) {
+  const auto g = test_geometry();
+  const auto profile =
+      sd::make_mosfet_profile(sd::Polarity::kNfet, g, test_levels());
+  // Channel centre at the surface: net p-type.
+  EXPECT_LT(profile->net(0.0, 0.0), 0.0);
+  // Deep in the source region: strongly n-type.
+  const double x_src = g.source_edge() - g.lov - 0.5 * g.lsd;
+  EXPECT_GT(profile->net(x_src, 0.5 * g.xj), su::per_cm3(5e19));
+  // Deep substrate: p-type at nsub.
+  EXPECT_NEAR(profile->net(0.0, g.substrate_depth),
+              -test_levels().nsub, 0.05 * test_levels().nsub);
+}
+
+TEST(MosfetProfile, PfetMirrorsSpecies) {
+  const auto g = test_geometry();
+  const auto profile =
+      sd::make_mosfet_profile(sd::Polarity::kPfet, g, test_levels());
+  EXPECT_GT(profile->net(0.0, 0.0), 0.0);  // n-type body
+  const double x_src = g.source_edge() - g.lov - 0.5 * g.lsd;
+  EXPECT_LT(profile->net(x_src, 0.5 * g.xj), -su::per_cm3(5e19));
+}
+
+TEST(MosfetProfile, HaloRaisesChannelEdgeDoping) {
+  const auto g = test_geometry();
+  auto with_halo = test_levels();
+  auto no_halo = test_levels();
+  no_halo.np_halo = 0.0;
+  const auto p1 = sd::make_mosfet_profile(sd::Polarity::kNfet, g, with_halo);
+  const auto p0 = sd::make_mosfet_profile(sd::Polarity::kNfet, g, no_halo);
+  // At the channel edge near the halo depth, acceptors are elevated.
+  const double x_edge = g.source_edge();
+  EXPECT_GT(p1->acceptors(x_edge, g.halo_depth),
+            p0->acceptors(x_edge, g.halo_depth) + 0.5 * with_halo.np_halo);
+}
+
+TEST(MosfetProfile, RejectsBadLevels) {
+  const auto g = test_geometry();
+  EXPECT_THROW(
+      sd::make_mosfet_profile(sd::Polarity::kNfet, g,
+                              {.nsub = 0.0, .np_halo = 0.0, .nsd = 1e26}),
+      std::invalid_argument);
+}
+
+// ---- effective channel doping ------------------------------------------------------
+
+TEST(EffectiveDoping, FractionBetweenZeroAndOne) {
+  const auto g = test_geometry();
+  const double f = sd::halo_channel_fraction(g);
+  EXPECT_GT(f, 0.0);
+  EXPECT_LT(f, 1.0);
+}
+
+TEST(EffectiveDoping, FractionDecreasesWithChannelLength) {
+  // Longer channels dilute the halo contribution (paper Sec. 3.1: "for
+  // long-channel devices, the halo doping is less critical").
+  double prev = 1.0;
+  for (double lpoly_nm : {40.0, 65.0, 95.0, 150.0, 300.0}) {
+    const auto g = sd::MosfetGeometry::scaled(su::nm(lpoly_nm), su::nm(2.1),
+                                              1.0);
+    const double f = sd::halo_channel_fraction(g);
+    EXPECT_LT(f, prev) << "lpoly " << lpoly_nm;
+    prev = f;
+  }
+}
+
+TEST(EffectiveDoping, AtLeastSubstrate) {
+  const auto g = test_geometry();
+  const auto levels = test_levels();
+  EXPECT_GE(sd::effective_channel_doping(g, levels), levels.nsub);
+  // No halo: exactly substrate.
+  auto no_halo = levels;
+  no_halo.np_halo = 0.0;
+  EXPECT_DOUBLE_EQ(sd::effective_channel_doping(g, no_halo), levels.nsub);
+}
+
+// ---- parameterized: halo fraction sweep across shrink factors -----------------------
+
+class HaloShrinkSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HaloShrinkSweep, FractionStableAcrossNodesAtProportionalGate) {
+  // When lpoly scales with the same factor as the features (super-Vth
+  // style), the halo fraction stays roughly constant — this is what makes
+  // N_eff grow with the tabulated halo doping rather than with geometry.
+  const double s = GetParam();
+  const auto g90 = sd::MosfetGeometry::scaled(su::nm(65.0), su::nm(2.1), 1.0);
+  const auto g = sd::MosfetGeometry::scaled(su::nm(65.0 * s), su::nm(2.1), s);
+  EXPECT_NEAR(sd::halo_channel_fraction(g), sd::halo_channel_fraction(g90),
+              0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shrinks, HaloShrinkSweep,
+                         ::testing::Values(1.0, 0.7, 0.49, 0.343));

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/delay.h"
+#include "circuits/vmin.h"
+#include "core/scaling_study.h"
+#include "scaling/subvth_strategy.h"
+
+// Cross-stack integration: the paper's ANALYTICAL scaling expressions
+// (Eqs. 6 and 8) must be validated by the full circuit engine on the
+// designed devices — exactly the consistency the paper demonstrates in
+// Fig. 6's "C_L S_S^2" overlay.
+
+namespace cc = subscale::circuits;
+namespace ss = subscale::scaling;
+namespace sco = subscale::core;
+
+namespace {
+
+const sco::ScalingStudy& study() {
+  static const sco::ScalingStudy s;
+  return s;
+}
+
+}  // namespace
+
+TEST(PaperEquations, EnergyFactorTracksSimulatedEnergyAtVmin) {
+  // Eq. 8: E(V_min) proportional to C_L S_S^2. Check the node-to-node
+  // ratios, super-V_th roadmap.
+  double prev_energy = 0.0, prev_factor = 0.0;
+  for (std::size_t i = 0; i < study().node_count(); ++i) {
+    const auto r = cc::find_vmin(study().super_inverter(i, 0.3));
+    const double f = ss::energy_factor(study().super_devices()[i].spec,
+                                       study().calibration());
+    if (i > 0) {
+      const double energy_ratio = r.at_vmin.e_total / prev_energy;
+      const double factor_ratio = f / prev_factor;
+      EXPECT_NEAR(energy_ratio / factor_ratio, 1.0, 0.25)
+          << "generation " << i;
+    }
+    prev_energy = r.at_vmin.e_total;
+    prev_factor = f;
+  }
+}
+
+TEST(PaperEquations, DelayFactorTracksSimulatedSubVthDelay) {
+  // Eq. 6: t_p at V_min proportional to C_L S_S / I_off. Check on the
+  // sub-V_th roadmap where I_off is held constant (the paper's preferred
+  // regime for this expression).
+  double prev_tp = 0.0, prev_factor = 0.0;
+  for (std::size_t i = 0; i < study().node_count(); ++i) {
+    const auto& dev = study().sub_devices()[i];
+    const auto vm = cc::find_vmin(study().sub_inverter(i, 0.3));
+    const double tp = vm.at_vmin.stage_delay;
+    const double f = dev.delay_factor_raw;
+    if (i > 0) {
+      const double tp_ratio = tp / prev_tp;
+      const double factor_ratio = f / prev_factor;
+      EXPECT_NEAR(tp_ratio / factor_ratio, 1.0, 0.30) << "generation " << i;
+    }
+    prev_tp = tp;
+    prev_factor = f;
+  }
+}
+
+TEST(PaperEquations, VminProportionalToSwing) {
+  // Sec. 2.3.3 (after refs [17][18]): V_min = K_Vmin * S_S with K_Vmin a
+  // circuit property, not a device property. The fitted K across all
+  // eight designed devices must be tight.
+  double k_min = 1e9, k_max = 0.0;
+  for (std::size_t i = 0; i < study().node_count(); ++i) {
+    for (const bool sub : {false, true}) {
+      const auto inv = sub ? study().sub_inverter(i, 0.3)
+                           : study().super_inverter(i, 0.3);
+      const auto vm = cc::find_vmin(inv);
+      const double ss_v = sub ? study().sub_devices()[i].device.ss_mv_dec
+                              : study().super_devices()[i].ss_mv_dec;
+      const double k = vm.vmin / (ss_v * 1e-3);
+      k_min = std::min(k_min, k);
+      k_max = std::max(k_max, k);
+    }
+  }
+  // K_Vmin ~ 2.5 (dec) for this chain; spread below +-15 %.
+  EXPECT_GT(k_min, 1.5);
+  EXPECT_LT(k_max, 4.0);
+  EXPECT_LT(k_max / k_min, 1.35);
+}
+
+TEST(PaperEquations, DynLeakRatioInsensitiveToScalingAtVmin) {
+  // Eq. 8's "interesting result": E_dyn and E_leak share the same
+  // scaling dependence, so E_dyn/E_leak at V_min is insensitive to
+  // scaling.
+  double ratio_min = 1e9, ratio_max = 0.0;
+  for (std::size_t i = 0; i < study().node_count(); ++i) {
+    const auto vm = cc::find_vmin(study().super_inverter(i, 0.3));
+    const double ratio = vm.at_vmin.e_dynamic / vm.at_vmin.e_leakage;
+    ratio_min = std::min(ratio_min, ratio);
+    ratio_max = std::max(ratio_max, ratio);
+  }
+  EXPECT_LT(ratio_max / ratio_min, 1.25);
+}
+
+TEST(PaperEquations, FittedKdStableAcrossNodes) {
+  // Eq. 4's k_d is "a fitting parameter": it must come out roughly the
+  // same for every designed device (otherwise Eq. 5/6 would not be a
+  // usable scaling model).
+  double kd_min = 1e9, kd_max = 0.0;
+  for (std::size_t i = 0; i < study().node_count(); ++i) {
+    const double kd = cc::fit_kd(study().super_inverter(i, 0.25));
+    kd_min = std::min(kd_min, kd);
+    kd_max = std::max(kd_max, kd);
+  }
+  EXPECT_GT(kd_min, 0.3);
+  EXPECT_LT(kd_max, 2.0);
+  EXPECT_LT(kd_max / kd_min, 1.4);
+}

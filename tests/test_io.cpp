@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "io/csv.h"
+#include "io/series.h"
+#include "io/table.h"
+
+namespace si = subscale::io;
+
+// ---- TextTable ------------------------------------------------------------------
+
+TEST(TextTable, RendersAlignedColumns) {
+  si::TextTable t({"node", "value"});
+  t.add_row({"90nm", "1.3"});
+  t.add_row({"32nm", "0.62"});
+  const std::string out = t.render();
+  // Header, underline, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("node"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("32nm"), std::string::npos);
+}
+
+TEST(TextTable, RowArityEnforced) {
+  si::TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(si::TextTable({}), std::invalid_argument);
+}
+
+TEST(TextTable, IndentApplied) {
+  si::TextTable t({"x"});
+  t.add_row({"1"});
+  const std::string out = t.render(4);
+  EXPECT_EQ(out.substr(0, 4), "    ");
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(si::fmt(1.2345, 3), "1.23");
+  EXPECT_EQ(si::fmt_pct(0.23, 1), "23.0%");
+  EXPECT_NE(si::fmt_sci(1.52e18).find("e+18"), std::string::npos);
+}
+
+// ---- Series -------------------------------------------------------------------------
+
+TEST(Series, NormalizeToFirst) {
+  si::Series s("delay");
+  s.add(90, 2.0);
+  s.add(65, 1.0);
+  s.add(45, 0.5);
+  const auto n = s.normalized_to_first();
+  EXPECT_DOUBLE_EQ(n[0].y, 1.0);
+  EXPECT_DOUBLE_EQ(n[2].y, 0.25);
+}
+
+TEST(Series, ConsecutiveRatios) {
+  si::Series s("e");
+  s.add(0, 4.0);
+  s.add(1, 2.0);
+  s.add(2, 1.0);
+  const auto r = s.consecutive_ratios();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0], 0.5);
+  EXPECT_DOUBLE_EQ(r[1], 0.5);
+}
+
+TEST(Series, TotalRelativeChange) {
+  si::Series s("snm");
+  s.add(90, 100.0);
+  s.add(32, 89.0);
+  EXPECT_NEAR(s.total_relative_change(), -0.11, 1e-12);
+  si::Series single("x");
+  single.add(0, 1.0);
+  EXPECT_THROW(single.total_relative_change(), std::logic_error);
+}
+
+TEST(Series, MinMax) {
+  si::Series s("v");
+  s.add(0, 3.0);
+  s.add(1, -2.0);
+  s.add(2, 7.0);
+  EXPECT_DOUBLE_EQ(s.y_min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.y_max(), 7.0);
+  EXPECT_THROW(si::Series("empty").y_min(), std::logic_error);
+}
+
+// ---- CSV ------------------------------------------------------------------------------
+
+TEST(Csv, RendersSharedAxis) {
+  si::Series a("a"), b("b");
+  a.add(1, 10);
+  a.add(2, 20);
+  b.add(1, -1);
+  b.add(2, -2);
+  const std::string csv = si::to_csv({a, b});
+  EXPECT_EQ(csv, "x,a,b\n1,10,-1\n2,20,-2\n");
+}
+
+TEST(Csv, RejectsMismatchedAxes) {
+  si::Series a("a"), b("b");
+  a.add(1, 10);
+  b.add(2, -1);
+  EXPECT_THROW(si::to_csv({a, b}), std::invalid_argument);
+  si::Series c("c");
+  EXPECT_THROW(si::to_csv({a, c}), std::invalid_argument);
+  EXPECT_THROW(si::to_csv({}), std::invalid_argument);
+}
+
+TEST(Csv, WritesFile) {
+  si::Series a("a");
+  a.add(1, 2);
+  const std::string path = ::testing::TempDir() + "/subscale_csv_test.csv";
+  si::write_csv_file(path, {a});
+  std::ifstream file(path);
+  std::stringstream buf;
+  buf << file.rdbuf();
+  EXPECT_EQ(buf.str(), "x,a\n1,2\n");
+  std::remove(path.c_str());
+}

@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "linalg/banded.h"
+#include "linalg/bicgstab.h"
+#include "linalg/csr_matrix.h"
+#include "linalg/dense.h"
+#include "linalg/newton.h"
+#include "linalg/tridiag.h"
+
+namespace sl = subscale::linalg;
+
+namespace {
+
+std::mt19937 rng(20070604);  // DAC 2007 seed for deterministic tests
+
+sl::DenseMatrix random_diag_dominant(std::size_t n) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  sl::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      a(i, j) = dist(rng);
+      row_sum += std::abs(a(i, j));
+    }
+    a(i, i) = row_sum + 1.0 + std::abs(dist(rng));
+  }
+  return a;
+}
+
+}  // namespace
+
+// ---- dense ------------------------------------------------------------------
+
+TEST(Dense, LuSolvesKnownSystem) {
+  sl::DenseMatrix a(2, 2);
+  a(0, 0) = 2.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 3.0;
+  const sl::LuFactorization lu(a);
+  const auto x = lu.solve({5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Dense, LuResidualSmallOnRandomSystems) {
+  for (std::size_t n : {3u, 7u, 20u, 50u}) {
+    const sl::DenseMatrix a = random_diag_dominant(n);
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = std::sin(double(i) + 1.0);
+    const auto b = a.multiply(x_true);
+    const sl::LuFactorization lu(a);
+    const auto x = lu.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(Dense, LuRequiresPivoting) {
+  // Zero on the initial diagonal but nonsingular overall.
+  sl::DenseMatrix a(2, 2);
+  a(0, 0) = 0.0; a(0, 1) = 1.0;
+  a(1, 0) = 1.0; a(1, 1) = 0.0;
+  const sl::LuFactorization lu(a);
+  const auto x = lu.solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Dense, SingularThrows) {
+  sl::DenseMatrix a(2, 2);
+  a(0, 0) = 1.0; a(0, 1) = 2.0;
+  a(1, 0) = 2.0; a(1, 1) = 4.0;
+  EXPECT_THROW(sl::LuFactorization{a}, std::runtime_error);
+}
+
+TEST(Dense, VectorHelpers) {
+  const std::vector<double> v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(sl::norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(sl::norm_inf(v), 4.0);
+  EXPECT_DOUBLE_EQ(sl::dot(v, v), 25.0);
+  std::vector<double> y{1.0, 1.0};
+  sl::axpy(2.0, v, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -7.0);
+}
+
+// ---- tridiagonal ---------------------------------------------------------------
+
+TEST(Tridiag, MatchesDenseSolve) {
+  const std::size_t n = 40;
+  std::vector<double> lower(n, -1.0), diag(n, 2.5), upper(n, -1.0), rhs(n);
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = std::cos(double(i));
+  const auto x = sl::solve_tridiagonal(lower, diag, upper, rhs);
+
+  sl::DenseMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = diag[i];
+    if (i > 0) a(i, i - 1) = lower[i];
+    if (i + 1 < n) a(i, i + 1) = upper[i];
+  }
+  const auto x_ref = sl::LuFactorization(a).solve(rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_ref[i], 1e-10);
+}
+
+// ---- banded ---------------------------------------------------------------------
+
+TEST(Banded, InBandQueries) {
+  sl::BandedMatrix a(5, 1, 2);
+  EXPECT_TRUE(a.in_band(2, 2));
+  EXPECT_TRUE(a.in_band(2, 4));   // +2 super
+  EXPECT_TRUE(a.in_band(2, 1));   // -1 sub
+  EXPECT_FALSE(a.in_band(2, 0));  // -2 sub: outside
+  EXPECT_FALSE(a.in_band(0, 3));  // +3 super: outside
+  EXPECT_THROW(a.at(2, 0), std::out_of_range);
+}
+
+TEST(Banded, MatchesDenseOnRandomBandSystems) {
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t trial = 0; trial < 5; ++trial) {
+    const std::size_t n = 30;
+    const std::size_t kl = 3, ku = 2;
+    sl::BandedMatrix ab(n, kl, ku);
+    sl::DenseMatrix ad(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (!ab.in_band(i, j)) continue;
+        const double v = (i == j) ? 8.0 + dist(rng) : dist(rng);
+        ab.at(i, j) = v;
+        ad(i, j) = v;
+      }
+    }
+    std::vector<double> x_true(n);
+    for (std::size_t i = 0; i < n; ++i) x_true[i] = dist(rng);
+    const auto b = ad.multiply(x_true);
+    EXPECT_EQ(ab.multiply(x_true).size(), b.size());
+    const auto x = sl::BandedLu(ab).solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x[i], x_true[i], 1e-9) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Banded, PivotingHandlesZeroDiagonal) {
+  // [[0 1][1 0]] as a banded matrix with kl=ku=1.
+  sl::BandedMatrix a(2, 1, 1);
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  const auto x = sl::BandedLu(a).solve({2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Banded, LaplacianSolve) {
+  // 1-D Poisson with unit RHS: solution is the discrete parabola.
+  const std::size_t n = 100;
+  sl::BandedMatrix a(n, 1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.at(i, i) = 2.0;
+    if (i > 0) a.at(i, i - 1) = -1.0;
+    if (i + 1 < n) a.at(i, i + 1) = -1.0;
+  }
+  const std::vector<double> b(n, 1.0);
+  const auto x = sl::BandedLu(a).solve(b);
+  // Residual check.
+  const auto ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], 1.0, 1e-9);
+  // Symmetry of the solution.
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    EXPECT_NEAR(x[i], x[n - 1 - i], 1e-9);
+  }
+}
+
+// ---- CSR / ILU0 / BiCGSTAB ------------------------------------------------------
+
+TEST(Csr, DuplicatesAccumulate) {
+  sl::SparseBuilder builder(3);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 0, 2.0);
+  builder.add(1, 2, 5.0);
+  builder.add(2, 2, 1.0);
+  builder.add(1, 1, 1.0);
+  builder.add(0, 1, 0.5);
+  const sl::CsrMatrix a(builder);
+  EXPECT_EQ(a.nonzeros(), 5u);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(a.at(2, 0), 0.0);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  sl::SparseBuilder builder(4);
+  sl::DenseMatrix d(4, 4);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      if ((i + j) % 2 == 0) {
+        const double v = dist(rng);
+        builder.add(i, j, v);
+        d(i, j) = v;
+      }
+    }
+  }
+  const sl::CsrMatrix a(builder);
+  const std::vector<double> x{1.0, -2.0, 0.5, 3.0};
+  const auto y1 = a.multiply(x);
+  const auto y2 = d.multiply(x);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-14);
+}
+
+TEST(Bicgstab, SolvesPoisson2d) {
+  // 5-point Laplacian on a 20x20 grid.
+  const std::size_t nx = 20, ny = 20, n = nx * ny;
+  sl::SparseBuilder builder(n);
+  for (std::size_t j = 0; j < ny; ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t k = j * nx + i;
+      builder.add(k, k, 4.0);
+      if (i > 0) builder.add(k, k - 1, -1.0);
+      if (i + 1 < nx) builder.add(k, k + 1, -1.0);
+      if (j > 0) builder.add(k, k - nx, -1.0);
+      if (j + 1 < ny) builder.add(k, k + nx, -1.0);
+    }
+  }
+  const sl::CsrMatrix a(builder);
+  std::vector<double> x_true(n);
+  for (std::size_t k = 0; k < n; ++k) x_true[k] = std::sin(0.1 * double(k));
+  const auto b = a.multiply(x_true);
+  const auto result = sl::bicgstab(a, b, {.relative_tolerance = 1e-12});
+  ASSERT_TRUE(result.converged);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(result.x[k], x_true[k], 1e-7);
+  }
+}
+
+TEST(Bicgstab, NonsymmetricConvectionDiffusion) {
+  // Upwind convection-diffusion: strongly nonsymmetric.
+  const std::size_t n = 200;
+  sl::SparseBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    builder.add(i, i, 3.0);
+    if (i > 0) builder.add(i, i - 1, -2.5);
+    if (i + 1 < n) builder.add(i, i + 1, -0.4);
+  }
+  const sl::CsrMatrix a(builder);
+  std::vector<double> b(n, 1.0);
+  const auto result = sl::bicgstab(a, b, {.relative_tolerance = 1e-12});
+  ASSERT_TRUE(result.converged);
+  const auto r = a.multiply(result.x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], 1.0, 1e-6);
+}
+
+// ---- Newton -------------------------------------------------------------------
+
+TEST(Newton, SolvesCircleLineIntersection) {
+  // x^2 + y^2 = 2, x - y = 0 -> (1, 1) from a nearby start.
+  const auto residual = [](const std::vector<double>& v) {
+    return std::vector<double>{v[0] * v[0] + v[1] * v[1] - 2.0, v[0] - v[1]};
+  };
+  const auto jacobian = [](const std::vector<double>& v) {
+    sl::DenseMatrix j(2, 2);
+    j(0, 0) = 2.0 * v[0];
+    j(0, 1) = 2.0 * v[1];
+    j(1, 0) = 1.0;
+    j(1, 1) = -1.0;
+    return j;
+  };
+  const auto result = sl::newton_solve(residual, jacobian, {2.0, 0.5});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-9);
+}
+
+TEST(Newton, ExponentialResidualNeedsDamping) {
+  // f(x) = e^x - 1e6: full Newton from x=0 overshoots wildly without
+  // damping; the line search must still land at x = ln(1e6).
+  const auto residual = [](const std::vector<double>& v) {
+    return std::vector<double>{std::exp(v[0]) - 1e6};
+  };
+  const auto jacobian = [](const std::vector<double>& v) {
+    sl::DenseMatrix j(1, 1);
+    j(0, 0) = std::exp(v[0]);
+    return j;
+  };
+  const auto result = sl::newton_solve(residual, jacobian, {0.0},
+                                       {.max_iterations = 500,
+                                        .residual_tolerance = 1e-6});
+  ASSERT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], std::log(1e6), 1e-6);
+}
+
+TEST(Newton, FiniteDifferenceJacobianMatchesAnalytic) {
+  const auto residual = [](const std::vector<double>& v) {
+    return std::vector<double>{v[0] * v[0] * v[1], std::sin(v[0]) + v[1]};
+  };
+  const std::vector<double> x{0.7, -0.3};
+  const auto j = sl::finite_difference_jacobian(residual, x);
+  EXPECT_NEAR(j(0, 0), 2.0 * x[0] * x[1], 1e-5);
+  EXPECT_NEAR(j(0, 1), x[0] * x[0], 1e-5);
+  EXPECT_NEAR(j(1, 0), std::cos(x[0]), 1e-5);
+  EXPECT_NEAR(j(1, 1), 1.0, 1e-5);
+}
+
+// ---- parameterized: banded solver across bandwidths ------------------------------
+
+class BandedWidths : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BandedWidths, RoundTrip) {
+  const auto [kl, ku] = GetParam();
+  const std::size_t n = 40;
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  sl::BandedMatrix a(n, std::size_t(kl), std::size_t(ku));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (!a.in_band(i, j)) continue;
+      a.at(i, j) = (i == j) ? 10.0 + dist(rng) : dist(rng);
+    }
+  }
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = dist(rng);
+  const auto x = sl::BandedLu(a).solve(a.multiply(x_true));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, BandedWidths,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 5},
+                                           std::pair{5, 2}, std::pair{7, 7},
+                                           std::pair{1, 10}));

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/bisection.h"
+#include "opt/coordinate_descent.h"
+#include "opt/golden_section.h"
+
+namespace so = subscale::opt;
+
+// ---- golden section -----------------------------------------------------------
+
+TEST(GoldenSection, FindsParabolaMinimum) {
+  const auto f = [](double x) { return (x - 1.7) * (x - 1.7) + 0.3; };
+  const auto m = so::golden_section_minimize(f, -10.0, 10.0, 1e-10);
+  EXPECT_NEAR(m.x, 1.7, 1e-8);
+  EXPECT_NEAR(m.value, 0.3, 1e-12);
+}
+
+TEST(GoldenSection, HandlesBoundaryMinimum) {
+  const auto f = [](double x) { return x; };  // minimum at the left edge
+  const auto m = so::golden_section_minimize(f, 2.0, 5.0, 1e-10);
+  EXPECT_NEAR(m.x, 2.0, 1e-6);
+}
+
+TEST(GoldenSection, RejectsBadInterval) {
+  const auto f = [](double x) { return x * x; };
+  EXPECT_THROW(so::golden_section_minimize(f, 1.0, 0.0, 1e-6),
+               std::invalid_argument);
+  EXPECT_THROW(so::golden_section_minimize(f, 0.0, 1.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(ScanThenGolden, EscapesLocalMinimum) {
+  // Two wells: local at x ~ -1 (value ~1), global at x ~ 2 (value ~0).
+  const auto f = [](double x) {
+    return std::min((x + 1.0) * (x + 1.0) + 1.0, (x - 2.0) * (x - 2.0));
+  };
+  const auto m = so::scan_then_golden(f, -5.0, 5.0, 41, 1e-9);
+  EXPECT_NEAR(m.x, 2.0, 1e-6);
+  EXPECT_NEAR(m.value, 0.0, 1e-10);
+}
+
+// ---- bisection ---------------------------------------------------------------------
+
+TEST(Bisect, FindsSqrtTwo) {
+  const auto f = [](double x) { return x * x - 2.0; };
+  const auto r = so::bisect(f, 0.0, 2.0, 1e-12);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, RequiresSignChange) {
+  const auto f = [](double x) { return x * x + 1.0; };
+  EXPECT_THROW(so::bisect(f, -1.0, 1.0, 1e-9), std::invalid_argument);
+}
+
+TEST(SolveMonotoneLog, ExponentialTarget) {
+  // f(x) = log10(x): solve f = 18 -> x = 1e18, across many decades.
+  const auto f = [](double x) { return std::log10(x); };
+  const auto r = so::solve_monotone_log(f, 18.0, 1e15, 1e12, 1e22);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x / 1e18, 1.0, 1e-6);
+}
+
+TEST(SolveMonotoneLog, DecreasingFunction) {
+  const auto f = [](double x) { return 1.0 / x; };
+  const auto r = so::solve_monotone_log(f, 0.25, 1.0, 1e-3, 1e3);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.x, 4.0, 1e-6);
+}
+
+TEST(SolveMonotoneLog, UnreachableTargetReportsNotConverged) {
+  const auto f = [](double x) { return std::tanh(x); };  // bounded by 1
+  const auto r = so::solve_monotone_log(f, 5.0, 1.0, 1e-3, 1e3);
+  EXPECT_FALSE(r.converged);
+}
+
+// ---- coordinate descent ---------------------------------------------------------------
+
+TEST(CoordinateDescent, QuadraticBowl) {
+  const auto f = [](const std::vector<double>& v) {
+    const double dx = v[0] - 0.3;
+    const double dy = v[1] + 0.6;
+    return dx * dx + 2.0 * dy * dy + 1.0;
+  };
+  const auto r = so::coordinate_descent(
+      f, {0.0, 0.0}, {{.lo = -2.0, .hi = 2.0}, {.lo = -2.0, .hi = 2.0}});
+  EXPECT_NEAR(r.x[0], 0.3, 1e-4);
+  EXPECT_NEAR(r.x[1], -0.6, 1e-4);
+  EXPECT_NEAR(r.value, 1.0, 1e-7);
+}
+
+TEST(CoordinateDescent, CorrelatedQuadraticConverges) {
+  // Mildly correlated quadratic (coordinate descent still converges).
+  const auto f = [](const std::vector<double>& v) {
+    const double x = v[0], y = v[1];
+    return x * x + y * y + 0.8 * x * y - x - y;
+  };
+  const auto r = so::coordinate_descent(
+      f, {0.0, 0.0}, {{.lo = -5.0, .hi = 5.0}, {.lo = -5.0, .hi = 5.0}},
+      {.sweeps = 40});
+  // Analytic minimum of x^2+y^2+0.8xy-x-y: x = y = 1/2.8.
+  EXPECT_NEAR(r.x[0], 1.0 / 2.8, 1e-3);
+  EXPECT_NEAR(r.x[1], 1.0 / 2.8, 1e-3);
+}
+
+TEST(CoordinateDescent, ClampsStartIntoBox) {
+  const auto f = [](const std::vector<double>& v) { return v[0] * v[0]; };
+  const auto r =
+      so::coordinate_descent(f, {100.0}, {{.lo = -1.0, .hi = 1.0}});
+  EXPECT_NEAR(r.x[0], 0.0, 1e-4);
+}
+
+TEST(CoordinateDescent, RejectsMismatchedSizes) {
+  const auto f = [](const std::vector<double>& v) { return v[0]; };
+  EXPECT_THROW(
+      so::coordinate_descent(f, {0.0, 0.0}, {{.lo = 0.0, .hi = 1.0}}),
+      std::invalid_argument);
+}

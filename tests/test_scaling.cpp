@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "compact/mosfet.h"
+#include "compact/vth_model.h"
+#include "scaling/generalized_scaling.h"
+#include "scaling/subvth_strategy.h"
+#include "scaling/supervth_strategy.h"
+#include "scaling/technology.h"
+
+namespace ss = subscale::scaling;
+namespace sc = subscale::compact;
+
+// ---- generalized scaling (Table 1) -------------------------------------------
+
+TEST(GeneralizedScaling, DennardConstantField) {
+  // epsilon = 1 recovers Dennard: doping x alpha, Vdd / alpha, power /a^2.
+  const auto f = ss::generalized_scaling(1.4, 1.0);
+  EXPECT_DOUBLE_EQ(f.physical_dimensions, 1.0 / 1.4);
+  EXPECT_DOUBLE_EQ(f.channel_doping, 1.4);
+  EXPECT_DOUBLE_EQ(f.supply_voltage, 1.0 / 1.4);
+  EXPECT_DOUBLE_EQ(f.area, 1.0 / (1.4 * 1.4));
+  EXPECT_DOUBLE_EQ(f.delay, 1.0 / 1.4);
+  EXPECT_DOUBLE_EQ(f.power, 1.0 / (1.4 * 1.4));
+}
+
+TEST(GeneralizedScaling, FieldIncreaseRaisesDopingAndPower) {
+  const auto f = ss::generalized_scaling(1.4, 1.2);
+  EXPECT_DOUBLE_EQ(f.channel_doping, 1.2 * 1.4);
+  EXPECT_DOUBLE_EQ(f.supply_voltage, 1.2 / 1.4);
+  EXPECT_DOUBLE_EQ(f.power, 1.44 / 1.96);
+  EXPECT_THROW(ss::generalized_scaling(0.0, 1.0), std::invalid_argument);
+}
+
+TEST(GeneralizedScaling, GenerationsCompose) {
+  EXPECT_NEAR(ss::after_generations(0.7, 3), 0.343, 1e-12);
+  EXPECT_DOUBLE_EQ(ss::after_generations(0.7, 0), 1.0);
+  EXPECT_THROW(ss::after_generations(0.7, -1), std::invalid_argument);
+}
+
+// ---- technology nodes --------------------------------------------------------------
+
+TEST(Technology, PaperNodeConstants) {
+  const auto& nodes = ss::paper_nodes();
+  ASSERT_EQ(nodes.size(), 4u);
+  EXPECT_EQ(nodes[0].name, "90nm");
+  EXPECT_DOUBLE_EQ(nodes[0].lpoly_nm, 65.0);
+  EXPECT_DOUBLE_EQ(nodes[0].tox_nm, 2.10);
+  EXPECT_DOUBLE_EQ(nodes[0].ileak_max_pa_um, 100.0);
+  EXPECT_EQ(nodes[3].name, "32nm");
+  EXPECT_DOUBLE_EQ(nodes[3].lpoly_nm, 22.0);
+  // L_poly shrinks 30 %/gen; T_ox 10 %/gen; leakage grows 25 %/gen.
+  for (int g = 1; g < 4; ++g) {
+    EXPECT_NEAR(nodes[g].lpoly_nm / nodes[g - 1].lpoly_nm, 0.7, 0.02) << g;
+    EXPECT_NEAR(nodes[g].tox_nm / nodes[g - 1].tox_nm, 0.9, 0.01) << g;
+    EXPECT_NEAR(nodes[g].ileak_max_pa_um / nodes[g - 1].ileak_max_pa_um,
+                1.25, 1e-9)
+        << g;
+  }
+}
+
+TEST(Technology, LookupAndExtrapolation) {
+  EXPECT_EQ(ss::node_by_name("45nm").generation, 2);
+  EXPECT_THROW(ss::node_by_name("28nm"), std::invalid_argument);
+  const auto n22 = ss::extrapolate_node(4);
+  EXPECT_EQ(n22.name, "22nm");
+  EXPECT_NEAR(n22.lpoly_nm, 65.0 * std::pow(0.7, 4), 1e-9);
+  EXPECT_NEAR(n22.ileak_max_pa_um, 100.0 * std::pow(1.25, 4), 1e-9);
+  // First four match the canonical table.
+  EXPECT_EQ(ss::extrapolate_node(2).name, "45nm");
+}
+
+TEST(Technology, MakeNodeSpecValidates) {
+  const auto& n90 = ss::paper_nodes()[0];
+  const auto spec = ss::make_node_spec(
+      n90, 80.0, {.nsub = 1.7e24, .np_halo = 5e23, .nsd = 1e26}, 1.0);
+  EXPECT_NEAR(spec.geometry.lpoly, 80e-9, 1e-15);
+  EXPECT_DOUBLE_EQ(spec.geometry.feature_shrink, 1.0);
+}
+
+// ---- super-V_th strategy (Fig. 1c / Table 2) -------------------------------------
+
+TEST(SuperVth, LeakageConstraintActiveAtEveryNode) {
+  for (const auto& d : ss::supervth_roadmap()) {
+    EXPECT_NEAR(d.ioff_pa_um / d.node.ileak_max_pa_um, 1.0, 0.02)
+        << d.node.name;
+  }
+}
+
+TEST(SuperVth, DopingGrowsWithScaling) {
+  const auto roadmap = ss::supervth_roadmap();
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    EXPECT_GT(roadmap[i].nsub_cm3, roadmap[i - 1].nsub_cm3);
+    EXPECT_GT(roadmap[i].nhalo_net_cm3, roadmap[i - 1].nhalo_net_cm3);
+  }
+  // Table 2 ballpark: N_sub within 30 %, N_halo within 20 %.
+  const double paper_nsub[] = {1.52e18, 1.97e18, 2.52e18, 3.31e18};
+  const double paper_nhalo[] = {3.63e18, 5.17e18, 7.83e18, 12.0e18};
+  for (std::size_t i = 0; i < roadmap.size(); ++i) {
+    EXPECT_NEAR(roadmap[i].nsub_cm3 / paper_nsub[i], 1.0, 0.30) << i;
+    EXPECT_NEAR(roadmap[i].nhalo_net_cm3 / paper_nhalo[i], 1.0, 0.20) << i;
+  }
+}
+
+TEST(SuperVth, VthSatTrendMatchesTable2) {
+  const auto roadmap = ss::supervth_roadmap();
+  const double paper_vth[] = {403.0, 420.0, 438.0, 461.0};
+  for (std::size_t i = 0; i < roadmap.size(); ++i) {
+    EXPECT_NEAR(roadmap[i].vth_sat_mv / paper_vth[i], 1.0, 0.08)
+        << roadmap[i].node.name;
+  }
+  // Monotone increase (the paper's key observation that V_th RISES).
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    EXPECT_GT(roadmap[i].vth_sat_mv, roadmap[i - 1].vth_sat_mv);
+  }
+}
+
+TEST(SuperVth, SwingDegradesMonotonically) {
+  const auto roadmap = ss::supervth_roadmap();
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    EXPECT_GT(roadmap[i].ss_mv_dec, roadmap[i - 1].ss_mv_dec);
+  }
+  const double total =
+      roadmap.back().ss_mv_dec / roadmap.front().ss_mv_dec - 1.0;
+  EXPECT_GT(total, 0.08);  // paper: +11 %
+  EXPECT_LT(total, 0.22);
+}
+
+TEST(SuperVth, IntrinsicDelayImprovesWithScaling) {
+  // Paper Table 2: C_g V_dd / I_on falls 1.3 -> 0.62 ps. Our absolute
+  // values differ (simplified transport) but the direction must hold
+  // over the roadmap.
+  const auto roadmap = ss::supervth_roadmap();
+  EXPECT_LT(roadmap.back().tau_ps, roadmap.front().tau_ps);
+}
+
+// ---- sub-V_th strategy (Table 3) ------------------------------------------------------
+
+TEST(SubVth, IoffHeldConstant) {
+  for (const auto& d : ss::subvth_roadmap()) {
+    EXPECT_NEAR(d.device.ioff_pa_um, 100.0, 2.0) << d.device.node.name;
+  }
+}
+
+TEST(SubVth, OptimalGateLengthMatchesTable3) {
+  const auto roadmap = ss::subvth_roadmap();
+  const double paper_lpoly[] = {95.0, 75.0, 60.0, 45.0};
+  for (std::size_t i = 0; i < roadmap.size(); ++i) {
+    EXPECT_NEAR(roadmap[i].lpoly_opt_nm / paper_lpoly[i], 1.0, 0.12)
+        << roadmap[i].device.node.name;
+    // Longer than the super-V_th minimum gate at the same node.
+    EXPECT_GT(roadmap[i].lpoly_opt_nm, roadmap[i].device.node.lpoly_nm);
+  }
+}
+
+TEST(SubVth, GateLengthScalesSlowerThanThirtyPercent) {
+  const auto roadmap = ss::subvth_roadmap();
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    const double ratio =
+        roadmap[i].lpoly_opt_nm / roadmap[i - 1].lpoly_opt_nm;
+    EXPECT_GT(ratio, 0.70) << "gen " << i;  // slower than super-V_th's 0.7
+    EXPECT_LT(ratio, 0.95) << "gen " << i;  // but still scaling down
+  }
+}
+
+TEST(SubVth, SwingStaysNearEightyMvPerDec) {
+  const auto roadmap = ss::subvth_roadmap();
+  double lo = 1e9, hi = 0.0;
+  for (const auto& d : roadmap) {
+    EXPECT_NEAR(d.device.ss_mv_dec, 80.0, 3.0) << d.device.node.name;
+    lo = std::min(lo, d.device.ss_mv_dec);
+    hi = std::max(hi, d.device.ss_mv_dec);
+  }
+  // Paper: varies by only 1.2 mV/dec; allow up to 3.
+  EXPECT_LT(hi - lo, 3.0);
+}
+
+TEST(SubVth, EnergyAndDelayFactorsFall) {
+  const auto roadmap = ss::subvth_roadmap();
+  const double paper_efac[] = {1.0, 0.80, 0.65, 0.51};
+  for (std::size_t i = 1; i < roadmap.size(); ++i) {
+    const double e_norm =
+        roadmap[i].energy_factor_raw / roadmap[0].energy_factor_raw;
+    EXPECT_LT(e_norm, 1.0);
+    EXPECT_NEAR(e_norm / paper_efac[i], 1.0, 0.25) << i;
+    const double d_norm =
+        roadmap[i].delay_factor_raw / roadmap[0].delay_factor_raw;
+    EXPECT_LT(d_norm, 1.0);
+  }
+}
+
+TEST(SubVth, DopingCoOptimizationBeatsNaiveLengthening) {
+  // Paper Fig. 7's message: at a long gate, re-optimized doping yields a
+  // better S_S than keeping the short-gate doping profile fixed.
+  const auto& n45 = ss::node_by_name("45nm");
+  const auto super_dev = ss::design_supervth_device(n45);
+  const double lpoly_long = 60.0;
+  // Fixed doping, lengthened gate.
+  const auto fixed_spec =
+      ss::make_node_spec(n45, lpoly_long, super_dev.spec.levels, 0.3);
+  const sc::CompactMosfet fixed_fet(fixed_spec);
+  // Co-optimized doping at the same gate length.
+  const auto opt_spec = ss::optimize_subvth_doping(n45, lpoly_long);
+  const sc::CompactMosfet opt_fet(opt_spec);
+  EXPECT_LT(opt_fet.subthreshold_swing(), fixed_fet.subthreshold_swing());
+}
+
+TEST(SubVth, FlatRollOffSplit) {
+  // The substrate/halo split must satisfy dV_halo ~ dV_SCE at the design
+  // point (the paper's well-optimized-device condition).
+  const auto& n90 = ss::node_by_name("90nm");
+  const auto spec = ss::optimize_subvth_doping(n90, 90.0);
+  const auto c =
+      sc::threshold_components(spec, sc::paper_calibration(), 0.3);
+  EXPECT_NEAR(c.dvth_halo / c.dvth_sce, 1.0, 0.10);
+}
+
+// ---- parameterized: strategy comparison per node -----------------------------------------
+
+class NodeComparison : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodeComparison, SubVthDeviceHasBetterSwing) {
+  const int g = GetParam();
+  const auto& node = ss::paper_nodes()[static_cast<std::size_t>(g)];
+  const auto super_dev = ss::design_supervth_device(node);
+  const auto sub_dev = ss::design_subvth_device(node);
+  EXPECT_LT(sub_dev.device.ss_mv_dec, super_dev.ss_mv_dec) << node.name;
+}
+
+TEST_P(NodeComparison, SubVthAdvantageGrowsFromTheSwingGap) {
+  const int g = GetParam();
+  const auto& node = ss::paper_nodes()[static_cast<std::size_t>(g)];
+  const auto sub_dev = ss::design_subvth_device(node);
+  // The energy factor of the designed device must be no worse than that
+  // of the super-V_th gate length with co-optimized doping (it is the
+  // minimizer over gate length).
+  const auto at_min_gate =
+      ss::optimize_subvth_doping(node, node.lpoly_nm);
+  EXPECT_LE(sub_dev.energy_factor_raw,
+            ss::energy_factor(at_min_gate) * (1.0 + 1e-6))
+      << node.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, NodeComparison, ::testing::Values(0, 1, 2, 3));

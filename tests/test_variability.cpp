@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/variability.h"
+#include "compact/device_spec.h"
+
+namespace cc = subscale::circuits;
+namespace sc = subscale::compact;
+namespace sd = subscale::doping;
+
+namespace {
+
+sc::DeviceSpec nfet_90() {
+  return sc::make_spec_from_table(sd::Polarity::kNfet, 65, 2.10, 1.52e18,
+                                  3.63e18, 1.2, 1.0);
+}
+
+}  // namespace
+
+TEST(Mismatch, PelgromAreaScaling) {
+  const cc::MismatchModel model;
+  sc::DeviceSpec small = nfet_90();
+  sc::DeviceSpec big = nfet_90();
+  big.width = 4.0 * small.width;
+  // 4x the area -> half the sigma.
+  EXPECT_NEAR(model.sigma_vth(small) / model.sigma_vth(big), 2.0, 1e-12);
+  // Typical magnitude: a 1um x 65nm 90nm-class device sits near 13-14 mV.
+  EXPECT_GT(model.sigma_vth(small), 5e-3);
+  EXPECT_LT(model.sigma_vth(small), 25e-3);
+}
+
+TEST(Variability, DeterministicForFixedSeed) {
+  const auto inv = cc::make_inverter(nfet_90()).at_vdd(0.25);
+  const auto a = cc::delay_variability(inv, {}, {.samples = 50});
+  const auto b = cc::delay_variability(inv, {}, {.samples = 50});
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.sigma, b.sigma);
+}
+
+TEST(Variability, GrowsTowardSubthreshold) {
+  const auto inv = cc::make_inverter(nfet_90());
+  const auto nominal = cc::delay_variability(inv.at_vdd(1.2), {}, {.samples = 200});
+  const auto sub = cc::delay_variability(inv.at_vdd(0.25), {}, {.samples = 200});
+  EXPECT_GT(sub.sigma_over_mean, 2.0 * nominal.sigma_over_mean);
+}
+
+TEST(Variability, LognormalPredictionHoldsDeepSubthreshold) {
+  const auto inv = cc::make_inverter(nfet_90()).at_vdd(0.22);
+  const auto r = cc::delay_variability(inv, {}, {.samples = 1200});
+  EXPECT_NEAR(r.sigma_ln / r.sigma_ln_predicted, 1.0, 0.15);
+}
+
+TEST(Variability, ZeroMismatchIsQuiet) {
+  const auto inv = cc::make_inverter(nfet_90()).at_vdd(0.25);
+  cc::MismatchModel none;
+  none.a_vt = 0.0;
+  const auto r = cc::delay_variability(inv, none, {.samples = 20});
+  EXPECT_NEAR(r.sigma_over_mean, 0.0, 1e-12);
+  EXPECT_GT(r.mean, 0.0);
+}
+
+TEST(Variability, TransientAndAnalyticAgreeOnSpread) {
+  // The simulated-transient Monte-Carlo is slow, so compare small
+  // samples: the relative spreads must be in the same ballpark.
+  const auto inv = cc::make_inverter(nfet_90()).at_vdd(0.25);
+  const auto fast = cc::delay_variability(inv, {}, {.samples = 60});
+  const auto slow = cc::delay_variability(
+      inv, {}, {.samples = 60, .simulate_transient = true});
+  EXPECT_NEAR(slow.sigma_over_mean / fast.sigma_over_mean, 1.0, 0.35);
+}
+
+TEST(Variability, RejectsDegenerateInputs) {
+  const auto inv = cc::make_inverter(nfet_90()).at_vdd(0.25);
+  EXPECT_THROW(cc::delay_variability(inv, {}, {.samples = 1}),
+               std::invalid_argument);
+}
+
+// Parameterized: variability falls with device area at fixed V_dd.
+class AreaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AreaSweep, WiderDevicesAreQuieter) {
+  const double width_um = GetParam();
+  sc::DeviceSpec wide = nfet_90();
+  wide.width = width_um * 1e-6;
+  const auto inv_ref = cc::make_inverter(nfet_90()).at_vdd(0.25);
+  const auto inv_wide = cc::make_inverter(wide).at_vdd(0.25);
+  const auto r_ref = cc::delay_variability(inv_ref, {}, {.samples = 300});
+  const auto r_wide = cc::delay_variability(inv_wide, {}, {.samples = 300});
+  EXPECT_LT(r_wide.sigma_over_mean, r_ref.sigma_over_mean);
+}
+
+INSTANTIATE_TEST_SUITE_P(Areas, AreaSweep, ::testing::Values(2.0, 4.0, 8.0));
