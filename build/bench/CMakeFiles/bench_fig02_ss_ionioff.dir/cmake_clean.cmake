@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_ss_ionioff.dir/bench_fig02_ss_ionioff.cpp.o"
+  "CMakeFiles/bench_fig02_ss_ionioff.dir/bench_fig02_ss_ionioff.cpp.o.d"
+  "bench_fig02_ss_ionioff"
+  "bench_fig02_ss_ionioff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_ss_ionioff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_ion.dir/bench_fig03_ion.cpp.o"
+  "CMakeFiles/bench_fig03_ion.dir/bench_fig03_ion.cpp.o.d"
+  "bench_fig03_ion"
+  "bench_fig03_ion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_ion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_snm.dir/bench_fig04_snm.cpp.o"
+  "CMakeFiles/bench_fig04_snm.dir/bench_fig04_snm.cpp.o.d"
+  "bench_fig04_snm"
+  "bench_fig04_snm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_snm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

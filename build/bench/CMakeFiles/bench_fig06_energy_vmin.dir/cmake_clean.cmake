@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_energy_vmin.dir/bench_fig06_energy_vmin.cpp.o"
+  "CMakeFiles/bench_fig06_energy_vmin.dir/bench_fig06_energy_vmin.cpp.o.d"
+  "bench_fig06_energy_vmin"
+  "bench_fig06_energy_vmin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_energy_vmin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

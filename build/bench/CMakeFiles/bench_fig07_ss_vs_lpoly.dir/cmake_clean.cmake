@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_ss_vs_lpoly.dir/bench_fig07_ss_vs_lpoly.cpp.o"
+  "CMakeFiles/bench_fig07_ss_vs_lpoly.dir/bench_fig07_ss_vs_lpoly.cpp.o.d"
+  "bench_fig07_ss_vs_lpoly"
+  "bench_fig07_ss_vs_lpoly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_ss_vs_lpoly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig07_ss_vs_lpoly.
+# This may be replaced when dependencies are built.

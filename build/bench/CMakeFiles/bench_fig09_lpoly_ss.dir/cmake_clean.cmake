@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_lpoly_ss.dir/bench_fig09_lpoly_ss.cpp.o"
+  "CMakeFiles/bench_fig09_lpoly_ss.dir/bench_fig09_lpoly_ss.cpp.o.d"
+  "bench_fig09_lpoly_ss"
+  "bench_fig09_lpoly_ss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_lpoly_ss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_generalized.dir/bench_table1_generalized.cpp.o"
+  "CMakeFiles/bench_table1_generalized.dir/bench_table1_generalized.cpp.o.d"
+  "bench_table1_generalized"
+  "bench_table1_generalized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_generalized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_supervth.dir/bench_table2_supervth.cpp.o"
+  "CMakeFiles/bench_table2_supervth.dir/bench_table2_supervth.cpp.o.d"
+  "bench_table2_supervth"
+  "bench_table2_supervth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_supervth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_subvth.dir/bench_table3_subvth.cpp.o"
+  "CMakeFiles/bench_table3_subvth.dir/bench_table3_subvth.cpp.o.d"
+  "bench_table3_subvth"
+  "bench_table3_subvth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_subvth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tcad_validation.dir/bench_tcad_validation.cpp.o"
+  "CMakeFiles/bench_tcad_validation.dir/bench_tcad_validation.cpp.o.d"
+  "bench_tcad_validation"
+  "bench_tcad_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tcad_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_energy.dir/chain_energy.cpp.o"
+  "CMakeFiles/chain_energy.dir/chain_energy.cpp.o.d"
+  "chain_energy"
+  "chain_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sram_margin.dir/sram_margin.cpp.o"
+  "CMakeFiles/sram_margin.dir/sram_margin.cpp.o.d"
+  "sram_margin"
+  "sram_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sram_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcad_idvg.dir/tcad_idvg.cpp.o"
+  "CMakeFiles/tcad_idvg.dir/tcad_idvg.cpp.o.d"
+  "tcad_idvg"
+  "tcad_idvg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcad_idvg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tcad_idvg.
+# This may be replaced when dependencies are built.

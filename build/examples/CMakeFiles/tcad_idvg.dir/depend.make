@@ -1,0 +1,2 @@
+# Empty dependencies file for tcad_idvg.
+# This may be replaced when dependencies are built.

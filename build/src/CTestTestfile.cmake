@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("physics")
+subdirs("linalg")
+subdirs("mesh")
+subdirs("doping")
+subdirs("opt")
+subdirs("io")
+subdirs("compact")
+subdirs("circuits")
+subdirs("tcad")
+subdirs("scaling")
+subdirs("core")

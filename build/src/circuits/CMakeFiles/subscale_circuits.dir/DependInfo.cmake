@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuits/chain.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/chain.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/chain.cpp.o.d"
+  "/root/repo/src/circuits/dc_solver.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/dc_solver.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/dc_solver.cpp.o.d"
+  "/root/repo/src/circuits/delay.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/delay.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/delay.cpp.o.d"
+  "/root/repo/src/circuits/inverter.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/inverter.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/inverter.cpp.o.d"
+  "/root/repo/src/circuits/netlist.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/netlist.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuits/ring_oscillator.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/ring_oscillator.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/ring_oscillator.cpp.o.d"
+  "/root/repo/src/circuits/sram6t.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/sram6t.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/sram6t.cpp.o.d"
+  "/root/repo/src/circuits/transient.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/transient.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/transient.cpp.o.d"
+  "/root/repo/src/circuits/variability.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/variability.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/variability.cpp.o.d"
+  "/root/repo/src/circuits/vmin.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/vmin.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/vmin.cpp.o.d"
+  "/root/repo/src/circuits/vtc.cpp" "src/circuits/CMakeFiles/subscale_circuits.dir/vtc.cpp.o" "gcc" "src/circuits/CMakeFiles/subscale_circuits.dir/vtc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compact/CMakeFiles/subscale_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/subscale_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/subscale_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/subscale_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/doping/CMakeFiles/subscale_doping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

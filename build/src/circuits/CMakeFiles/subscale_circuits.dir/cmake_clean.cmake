@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_circuits.dir/chain.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/chain.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/dc_solver.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/dc_solver.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/delay.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/delay.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/inverter.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/inverter.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/netlist.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/netlist.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/ring_oscillator.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/ring_oscillator.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/sram6t.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/sram6t.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/transient.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/transient.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/variability.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/variability.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/vmin.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/vmin.cpp.o.d"
+  "CMakeFiles/subscale_circuits.dir/vtc.cpp.o"
+  "CMakeFiles/subscale_circuits.dir/vtc.cpp.o.d"
+  "libsubscale_circuits.a"
+  "libsubscale_circuits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compact/calibration.cpp" "src/compact/CMakeFiles/subscale_compact.dir/calibration.cpp.o" "gcc" "src/compact/CMakeFiles/subscale_compact.dir/calibration.cpp.o.d"
+  "/root/repo/src/compact/device_spec.cpp" "src/compact/CMakeFiles/subscale_compact.dir/device_spec.cpp.o" "gcc" "src/compact/CMakeFiles/subscale_compact.dir/device_spec.cpp.o.d"
+  "/root/repo/src/compact/mosfet.cpp" "src/compact/CMakeFiles/subscale_compact.dir/mosfet.cpp.o" "gcc" "src/compact/CMakeFiles/subscale_compact.dir/mosfet.cpp.o.d"
+  "/root/repo/src/compact/ss_model.cpp" "src/compact/CMakeFiles/subscale_compact.dir/ss_model.cpp.o" "gcc" "src/compact/CMakeFiles/subscale_compact.dir/ss_model.cpp.o.d"
+  "/root/repo/src/compact/vth_model.cpp" "src/compact/CMakeFiles/subscale_compact.dir/vth_model.cpp.o" "gcc" "src/compact/CMakeFiles/subscale_compact.dir/vth_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/subscale_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/doping/CMakeFiles/subscale_doping.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/subscale_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_compact.dir/calibration.cpp.o"
+  "CMakeFiles/subscale_compact.dir/calibration.cpp.o.d"
+  "CMakeFiles/subscale_compact.dir/device_spec.cpp.o"
+  "CMakeFiles/subscale_compact.dir/device_spec.cpp.o.d"
+  "CMakeFiles/subscale_compact.dir/mosfet.cpp.o"
+  "CMakeFiles/subscale_compact.dir/mosfet.cpp.o.d"
+  "CMakeFiles/subscale_compact.dir/ss_model.cpp.o"
+  "CMakeFiles/subscale_compact.dir/ss_model.cpp.o.d"
+  "CMakeFiles/subscale_compact.dir/vth_model.cpp.o"
+  "CMakeFiles/subscale_compact.dir/vth_model.cpp.o.d"
+  "libsubscale_compact.a"
+  "libsubscale_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_core.dir/scaling_study.cpp.o"
+  "CMakeFiles/subscale_core.dir/scaling_study.cpp.o.d"
+  "libsubscale_core.a"
+  "libsubscale_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

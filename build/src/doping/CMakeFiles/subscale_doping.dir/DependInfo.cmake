@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doping/mosfet_doping.cpp" "src/doping/CMakeFiles/subscale_doping.dir/mosfet_doping.cpp.o" "gcc" "src/doping/CMakeFiles/subscale_doping.dir/mosfet_doping.cpp.o.d"
+  "/root/repo/src/doping/profile.cpp" "src/doping/CMakeFiles/subscale_doping.dir/profile.cpp.o" "gcc" "src/doping/CMakeFiles/subscale_doping.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/physics/CMakeFiles/subscale_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

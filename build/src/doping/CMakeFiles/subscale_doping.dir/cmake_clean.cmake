@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_doping.dir/mosfet_doping.cpp.o"
+  "CMakeFiles/subscale_doping.dir/mosfet_doping.cpp.o.d"
+  "CMakeFiles/subscale_doping.dir/profile.cpp.o"
+  "CMakeFiles/subscale_doping.dir/profile.cpp.o.d"
+  "libsubscale_doping.a"
+  "libsubscale_doping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_doping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

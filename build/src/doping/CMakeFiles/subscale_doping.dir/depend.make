@@ -1,0 +1,2 @@
+# Empty dependencies file for subscale_doping.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_io.dir/csv.cpp.o"
+  "CMakeFiles/subscale_io.dir/csv.cpp.o.d"
+  "CMakeFiles/subscale_io.dir/series.cpp.o"
+  "CMakeFiles/subscale_io.dir/series.cpp.o.d"
+  "CMakeFiles/subscale_io.dir/table.cpp.o"
+  "CMakeFiles/subscale_io.dir/table.cpp.o.d"
+  "libsubscale_io.a"
+  "libsubscale_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/banded.cpp" "src/linalg/CMakeFiles/subscale_linalg.dir/banded.cpp.o" "gcc" "src/linalg/CMakeFiles/subscale_linalg.dir/banded.cpp.o.d"
+  "/root/repo/src/linalg/bicgstab.cpp" "src/linalg/CMakeFiles/subscale_linalg.dir/bicgstab.cpp.o" "gcc" "src/linalg/CMakeFiles/subscale_linalg.dir/bicgstab.cpp.o.d"
+  "/root/repo/src/linalg/csr_matrix.cpp" "src/linalg/CMakeFiles/subscale_linalg.dir/csr_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/subscale_linalg.dir/csr_matrix.cpp.o.d"
+  "/root/repo/src/linalg/dense.cpp" "src/linalg/CMakeFiles/subscale_linalg.dir/dense.cpp.o" "gcc" "src/linalg/CMakeFiles/subscale_linalg.dir/dense.cpp.o.d"
+  "/root/repo/src/linalg/ilu0.cpp" "src/linalg/CMakeFiles/subscale_linalg.dir/ilu0.cpp.o" "gcc" "src/linalg/CMakeFiles/subscale_linalg.dir/ilu0.cpp.o.d"
+  "/root/repo/src/linalg/newton.cpp" "src/linalg/CMakeFiles/subscale_linalg.dir/newton.cpp.o" "gcc" "src/linalg/CMakeFiles/subscale_linalg.dir/newton.cpp.o.d"
+  "/root/repo/src/linalg/tridiag.cpp" "src/linalg/CMakeFiles/subscale_linalg.dir/tridiag.cpp.o" "gcc" "src/linalg/CMakeFiles/subscale_linalg.dir/tridiag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_linalg.dir/banded.cpp.o"
+  "CMakeFiles/subscale_linalg.dir/banded.cpp.o.d"
+  "CMakeFiles/subscale_linalg.dir/bicgstab.cpp.o"
+  "CMakeFiles/subscale_linalg.dir/bicgstab.cpp.o.d"
+  "CMakeFiles/subscale_linalg.dir/csr_matrix.cpp.o"
+  "CMakeFiles/subscale_linalg.dir/csr_matrix.cpp.o.d"
+  "CMakeFiles/subscale_linalg.dir/dense.cpp.o"
+  "CMakeFiles/subscale_linalg.dir/dense.cpp.o.d"
+  "CMakeFiles/subscale_linalg.dir/ilu0.cpp.o"
+  "CMakeFiles/subscale_linalg.dir/ilu0.cpp.o.d"
+  "CMakeFiles/subscale_linalg.dir/newton.cpp.o"
+  "CMakeFiles/subscale_linalg.dir/newton.cpp.o.d"
+  "CMakeFiles/subscale_linalg.dir/tridiag.cpp.o"
+  "CMakeFiles/subscale_linalg.dir/tridiag.cpp.o.d"
+  "libsubscale_linalg.a"
+  "libsubscale_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_mesh.dir/grid1d.cpp.o"
+  "CMakeFiles/subscale_mesh.dir/grid1d.cpp.o.d"
+  "CMakeFiles/subscale_mesh.dir/mesh2d.cpp.o"
+  "CMakeFiles/subscale_mesh.dir/mesh2d.cpp.o.d"
+  "libsubscale_mesh.a"
+  "libsubscale_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

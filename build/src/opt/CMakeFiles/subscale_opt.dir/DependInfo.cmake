@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/bisection.cpp" "src/opt/CMakeFiles/subscale_opt.dir/bisection.cpp.o" "gcc" "src/opt/CMakeFiles/subscale_opt.dir/bisection.cpp.o.d"
+  "/root/repo/src/opt/coordinate_descent.cpp" "src/opt/CMakeFiles/subscale_opt.dir/coordinate_descent.cpp.o" "gcc" "src/opt/CMakeFiles/subscale_opt.dir/coordinate_descent.cpp.o.d"
+  "/root/repo/src/opt/golden_section.cpp" "src/opt/CMakeFiles/subscale_opt.dir/golden_section.cpp.o" "gcc" "src/opt/CMakeFiles/subscale_opt.dir/golden_section.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_opt.dir/bisection.cpp.o"
+  "CMakeFiles/subscale_opt.dir/bisection.cpp.o.d"
+  "CMakeFiles/subscale_opt.dir/coordinate_descent.cpp.o"
+  "CMakeFiles/subscale_opt.dir/coordinate_descent.cpp.o.d"
+  "CMakeFiles/subscale_opt.dir/golden_section.cpp.o"
+  "CMakeFiles/subscale_opt.dir/golden_section.cpp.o.d"
+  "libsubscale_opt.a"
+  "libsubscale_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsubscale_opt.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/physics/fermi.cpp" "src/physics/CMakeFiles/subscale_physics.dir/fermi.cpp.o" "gcc" "src/physics/CMakeFiles/subscale_physics.dir/fermi.cpp.o.d"
+  "/root/repo/src/physics/mobility.cpp" "src/physics/CMakeFiles/subscale_physics.dir/mobility.cpp.o" "gcc" "src/physics/CMakeFiles/subscale_physics.dir/mobility.cpp.o.d"
+  "/root/repo/src/physics/silicon.cpp" "src/physics/CMakeFiles/subscale_physics.dir/silicon.cpp.o" "gcc" "src/physics/CMakeFiles/subscale_physics.dir/silicon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

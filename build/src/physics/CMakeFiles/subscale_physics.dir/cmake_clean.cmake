@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_physics.dir/fermi.cpp.o"
+  "CMakeFiles/subscale_physics.dir/fermi.cpp.o.d"
+  "CMakeFiles/subscale_physics.dir/mobility.cpp.o"
+  "CMakeFiles/subscale_physics.dir/mobility.cpp.o.d"
+  "CMakeFiles/subscale_physics.dir/silicon.cpp.o"
+  "CMakeFiles/subscale_physics.dir/silicon.cpp.o.d"
+  "libsubscale_physics.a"
+  "libsubscale_physics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_physics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaling/generalized_scaling.cpp" "src/scaling/CMakeFiles/subscale_scaling.dir/generalized_scaling.cpp.o" "gcc" "src/scaling/CMakeFiles/subscale_scaling.dir/generalized_scaling.cpp.o.d"
+  "/root/repo/src/scaling/subvth_strategy.cpp" "src/scaling/CMakeFiles/subscale_scaling.dir/subvth_strategy.cpp.o" "gcc" "src/scaling/CMakeFiles/subscale_scaling.dir/subvth_strategy.cpp.o.d"
+  "/root/repo/src/scaling/supervth_strategy.cpp" "src/scaling/CMakeFiles/subscale_scaling.dir/supervth_strategy.cpp.o" "gcc" "src/scaling/CMakeFiles/subscale_scaling.dir/supervth_strategy.cpp.o.d"
+  "/root/repo/src/scaling/technology.cpp" "src/scaling/CMakeFiles/subscale_scaling.dir/technology.cpp.o" "gcc" "src/scaling/CMakeFiles/subscale_scaling.dir/technology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compact/CMakeFiles/subscale_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/subscale_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/subscale_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/doping/CMakeFiles/subscale_doping.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/subscale_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/subscale_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

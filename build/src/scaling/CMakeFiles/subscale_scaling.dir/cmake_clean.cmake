@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_scaling.dir/generalized_scaling.cpp.o"
+  "CMakeFiles/subscale_scaling.dir/generalized_scaling.cpp.o.d"
+  "CMakeFiles/subscale_scaling.dir/subvth_strategy.cpp.o"
+  "CMakeFiles/subscale_scaling.dir/subvth_strategy.cpp.o.d"
+  "CMakeFiles/subscale_scaling.dir/supervth_strategy.cpp.o"
+  "CMakeFiles/subscale_scaling.dir/supervth_strategy.cpp.o.d"
+  "CMakeFiles/subscale_scaling.dir/technology.cpp.o"
+  "CMakeFiles/subscale_scaling.dir/technology.cpp.o.d"
+  "libsubscale_scaling.a"
+  "libsubscale_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

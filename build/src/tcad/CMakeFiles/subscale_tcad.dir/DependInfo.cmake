@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcad/continuity.cpp" "src/tcad/CMakeFiles/subscale_tcad.dir/continuity.cpp.o" "gcc" "src/tcad/CMakeFiles/subscale_tcad.dir/continuity.cpp.o.d"
+  "/root/repo/src/tcad/device_sim.cpp" "src/tcad/CMakeFiles/subscale_tcad.dir/device_sim.cpp.o" "gcc" "src/tcad/CMakeFiles/subscale_tcad.dir/device_sim.cpp.o.d"
+  "/root/repo/src/tcad/device_structure.cpp" "src/tcad/CMakeFiles/subscale_tcad.dir/device_structure.cpp.o" "gcc" "src/tcad/CMakeFiles/subscale_tcad.dir/device_structure.cpp.o.d"
+  "/root/repo/src/tcad/extract.cpp" "src/tcad/CMakeFiles/subscale_tcad.dir/extract.cpp.o" "gcc" "src/tcad/CMakeFiles/subscale_tcad.dir/extract.cpp.o.d"
+  "/root/repo/src/tcad/gummel.cpp" "src/tcad/CMakeFiles/subscale_tcad.dir/gummel.cpp.o" "gcc" "src/tcad/CMakeFiles/subscale_tcad.dir/gummel.cpp.o.d"
+  "/root/repo/src/tcad/poisson.cpp" "src/tcad/CMakeFiles/subscale_tcad.dir/poisson.cpp.o" "gcc" "src/tcad/CMakeFiles/subscale_tcad.dir/poisson.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compact/CMakeFiles/subscale_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/subscale_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/doping/CMakeFiles/subscale_doping.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/subscale_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/subscale_physics.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/subscale_opt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

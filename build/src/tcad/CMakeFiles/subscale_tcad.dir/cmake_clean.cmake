@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subscale_tcad.dir/continuity.cpp.o"
+  "CMakeFiles/subscale_tcad.dir/continuity.cpp.o.d"
+  "CMakeFiles/subscale_tcad.dir/device_sim.cpp.o"
+  "CMakeFiles/subscale_tcad.dir/device_sim.cpp.o.d"
+  "CMakeFiles/subscale_tcad.dir/device_structure.cpp.o"
+  "CMakeFiles/subscale_tcad.dir/device_structure.cpp.o.d"
+  "CMakeFiles/subscale_tcad.dir/extract.cpp.o"
+  "CMakeFiles/subscale_tcad.dir/extract.cpp.o.d"
+  "CMakeFiles/subscale_tcad.dir/gummel.cpp.o"
+  "CMakeFiles/subscale_tcad.dir/gummel.cpp.o.d"
+  "CMakeFiles/subscale_tcad.dir/poisson.cpp.o"
+  "CMakeFiles/subscale_tcad.dir/poisson.cpp.o.d"
+  "libsubscale_tcad.a"
+  "libsubscale_tcad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subscale_tcad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

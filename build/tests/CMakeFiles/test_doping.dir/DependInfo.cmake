@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_doping.cpp" "tests/CMakeFiles/test_doping.dir/test_doping.cpp.o" "gcc" "tests/CMakeFiles/test_doping.dir/test_doping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/subscale_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaling/CMakeFiles/subscale_scaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcad/CMakeFiles/subscale_tcad.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuits/CMakeFiles/subscale_circuits.dir/DependInfo.cmake"
+  "/root/repo/build/src/compact/CMakeFiles/subscale_compact.dir/DependInfo.cmake"
+  "/root/repo/build/src/doping/CMakeFiles/subscale_doping.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/subscale_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/subscale_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/subscale_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/subscale_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/physics/CMakeFiles/subscale_physics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

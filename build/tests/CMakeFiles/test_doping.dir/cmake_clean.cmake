@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doping.dir/test_doping.cpp.o"
+  "CMakeFiles/test_doping.dir/test_doping.cpp.o.d"
+  "test_doping"
+  "test_doping.pdb"
+  "test_doping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

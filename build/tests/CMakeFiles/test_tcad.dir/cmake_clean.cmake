@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tcad.dir/test_tcad.cpp.o"
+  "CMakeFiles/test_tcad.dir/test_tcad.cpp.o.d"
+  "test_tcad"
+  "test_tcad.pdb"
+  "test_tcad[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tcad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refine_calibration.dir/refine_calibration.cpp.o"
+  "CMakeFiles/refine_calibration.dir/refine_calibration.cpp.o.d"
+  "refine_calibration"
+  "refine_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refine_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
