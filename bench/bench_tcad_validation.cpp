@@ -25,6 +25,14 @@ int main() {
 
   tcad::TcadDevice dev(spec);
   const auto sweep = dev.id_vg(0.25, 0.0, 0.45, 12);
+  const auto& resilience = dev.last_sweep_report();
+  std::printf("sweep resilience: %zu/%zu bias points converged\n",
+              resilience.attempted - resilience.failures.size(),
+              resilience.attempted);
+  for (const auto& failed : resilience.failures) {
+    std::printf("  skipped vg=%.3fV: %s\n", failed.vg,
+                failed.report.summary().c_str());
+  }
   const auto ex = tcad::extract_from_sweep(sweep);
 
   io::TextTable t({"quantity", "TCAD (2-D DD)", "compact (calibrated)"});
@@ -50,7 +58,7 @@ int main() {
   const double decades =
       std::log10(sweep.back().id / sweep.front().id);
   const bool ok = ss_err < 0.20 && i_hi > i_lo && decades > 3.0 &&
-                  ex.ss_r2 > 0.995;
+                  ex.ss_r2 > 0.995 && resilience.all_converged();
   std::printf("S_S agreement: %.1f%%; sweep spans %.1f decades\n",
               ss_err * 100.0, decades);
   bench::footer_shape(ok,

@@ -40,4 +40,45 @@ circuits::InverterDevices ScalingStudy::sub_inverter(std::size_t i,
       .at_vdd(vdd);
 }
 
+std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
+    const TcadValidationOptions& options) const {
+  const bool sub = options.strategy == Strategy::kSubVth;
+  const std::size_t n_nodes =
+      sub ? sub_devices().size() : super_devices().size();
+
+  std::vector<std::size_t> nodes = options.nodes;
+  if (nodes.empty()) {
+    for (std::size_t i = 0; i < n_nodes; ++i) nodes.push_back(i);
+  }
+
+  std::vector<TcadNodeValidation> results;
+  results.reserve(nodes.size());
+  for (const std::size_t i : nodes) {
+    if (i >= n_nodes) {
+      throw std::out_of_range("ScalingStudy::tcad_validation: bad node index");
+    }
+    const compact::DeviceSpec& spec =
+        sub ? sub_devices()[i].device.spec : super_devices()[i].spec;
+    TcadNodeValidation result;
+    result.node = i;
+    result.lpoly_nm = spec.geometry.lpoly * 1e9;
+    try {
+      tcad::TcadDevice device(spec, options.mesh, options.gummel);
+      tcad::SweepOptions sweep_options;
+      sweep_options.strict = options.strict;
+      result.sweep = device.id_vg(options.vd, options.vg_start,
+                                  options.vg_stop, options.points,
+                                  sweep_options);
+      result.report = device.last_sweep_report();
+    } catch (const std::exception& e) {
+      if (options.strict) throw;
+      // Aggressive nodes (32nm-class literal structures) can fail to
+      // mesh or to reach equilibrium at all; record and move on.
+      result.error = e.what();
+    }
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
 }  // namespace subscale::core

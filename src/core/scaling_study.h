@@ -6,12 +6,14 @@
 /// devices, and hands out circuit-level views (inverters) for the
 /// figure-reproduction experiments. Every bench builds on this class.
 
+#include <string>
 #include <vector>
 
 #include "circuits/inverter.h"
 #include "compact/calibration.h"
 #include "scaling/subvth_strategy.h"
 #include "scaling/supervth_strategy.h"
+#include "tcad/device_sim.h"
 
 namespace subscale::core {
 
@@ -19,6 +21,35 @@ struct StudyOptions {
   scaling::SuperVthOptions super;
   scaling::SubVthOptions sub;
   double vdd_subthreshold = 0.25;  ///< the paper's sub-V_th test supply [V]
+};
+
+/// Which of the paper's two scaling strategies to pull devices from.
+enum class Strategy { kSuperVth, kSubVth };
+
+struct TcadValidationOptions {
+  Strategy strategy = Strategy::kSuperVth;
+  std::vector<std::size_t> nodes;  ///< node indices to run (empty = all)
+  double vd = 0.25;                ///< drain bias of the gate sweep [V]
+  double vg_start = 0.0;
+  double vg_stop = 0.45;
+  std::size_t points = 10;
+  /// Rethrow the first solver failure instead of recording and
+  /// continuing with the remaining bias points / nodes.
+  bool strict = false;
+  tcad::MeshOptions mesh;
+  tcad::GummelOptions gummel;
+};
+
+/// Outcome of validating one designed node against the TCAD backend.
+/// `error` is non-empty when the device could not even reach a solved
+/// equilibrium (the whole node is then skipped, not the study).
+struct TcadNodeValidation {
+  std::size_t node = 0;     ///< index into paper_nodes()
+  double lpoly_nm = 0.0;    ///< the designed gate length
+  std::string error;        ///< construction/equilibrium failure, if any
+  std::vector<tcad::IdVgPoint> sweep;
+  tcad::SweepReport report;  ///< per-point failures within the sweep
+  bool usable() const { return error.empty() && sweep.size() >= 2; }
 };
 
 class ScalingStudy {
@@ -44,6 +75,14 @@ class ScalingStudy {
   /// options().vdd_subthreshold for the paper's 250 mV points).
   circuits::InverterDevices super_inverter(std::size_t i, double vdd) const;
   circuits::InverterDevices sub_inverter(std::size_t i, double vdd) const;
+
+  /// Cross-validate designed devices against the 2-D TCAD backend with
+  /// graceful degradation: a node whose device fails to build or whose
+  /// sweep loses points is reported (with structured diagnostics) and
+  /// the remaining nodes still run. In strict mode the first solver
+  /// failure propagates as tcad::SolverError.
+  std::vector<TcadNodeValidation> tcad_validation(
+      const TcadValidationOptions& options = {}) const;
 
  private:
   compact::Calibration calib_;

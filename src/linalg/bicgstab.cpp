@@ -33,6 +33,12 @@ IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
       std::max(options.absolute_tolerance, options.relative_tolerance * b_norm);
 
   double r_norm = norm2(r);
+  if (!std::isfinite(r_norm)) {
+    // NaN/Inf in the right-hand side: no Krylov step can recover.
+    result.breakdown = true;
+    result.residual_norm = r_norm;
+    return result;
+  }
   if (r_norm <= target) {
     result.converged = true;
     result.residual_norm = r_norm;
@@ -41,7 +47,10 @@ IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
 
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     const double rho = dot(r_hat, r);
-    if (rho == 0.0) break;  // breakdown
+    if (rho == 0.0 || !std::isfinite(rho)) {
+      result.breakdown = true;
+      break;
+    }
 
     if (it == 0) {
       p = r;
@@ -54,7 +63,10 @@ IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
     const std::vector<double> p_hat = precond.apply(p);
     v = a.multiply(p_hat);
     const double rhv = dot(r_hat, v);
-    if (rhv == 0.0) break;
+    if (rhv == 0.0 || !std::isfinite(rhv)) {
+      result.breakdown = true;
+      break;
+    }
     alpha = rho / rhv;
 
     std::vector<double> s = r;
@@ -71,7 +83,10 @@ IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
     const std::vector<double> s_hat = precond.apply(s);
     const std::vector<double> t = a.multiply(s_hat);
     const double tt = dot(t, t);
-    if (tt == 0.0) break;
+    if (tt == 0.0 || !std::isfinite(tt)) {
+      result.breakdown = true;
+      break;
+    }
     omega = dot(t, s) / tt;
 
     axpy(alpha, p_hat, result.x);
@@ -83,11 +98,18 @@ IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
     r_norm = norm2(r);
     result.iterations = it + 1;
     result.residual_norm = r_norm;
+    if (!std::isfinite(r_norm)) {
+      result.breakdown = true;
+      break;
+    }
     if (r_norm <= target) {
       result.converged = true;
       return result;
     }
-    if (omega == 0.0) break;
+    if (omega == 0.0) {
+      result.breakdown = true;
+      break;
+    }
     rho_prev = rho;
   }
   result.residual_norm = r_norm;

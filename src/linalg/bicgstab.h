@@ -15,6 +15,10 @@ struct IterativeResult {
   std::size_t iterations = 0;
   double residual_norm = 0.0;
   bool converged = false;
+  /// True when the recurrence broke down (zero or non-finite inner
+  /// product / residual) rather than merely running out of iterations.
+  /// `x` is then the last finite iterate, not a solution.
+  bool breakdown = false;
 };
 
 struct BicgstabOptions {

@@ -45,11 +45,12 @@ double edge_current(const DeviceStructure& dev, physics::Carrier carrier,
               density[node_b] * physics::bernoulli(-dpsi));
 }
 
-void solve_continuity(const DeviceStructure& dev, physics::Carrier carrier,
-                      const std::vector<double>& psi,
-                      const std::vector<double>& other_density,
-                      std::vector<double>& density,
-                      const ContinuityOptions& options) {
+ContinuityResult solve_continuity(const DeviceStructure& dev,
+                                  physics::Carrier carrier,
+                                  const std::vector<double>& psi,
+                                  const std::vector<double>& other_density,
+                                  std::vector<double>& density,
+                                  const ContinuityOptions& options) {
   const auto& m = dev.mesh();
   const std::size_t n_nodes = m.node_count();
   if (psi.size() != n_nodes || density.size() != n_nodes ||
@@ -137,15 +138,24 @@ void solve_continuity(const DeviceStructure& dev, physics::Carrier carrier,
 
   density = linalg::BandedLu(a).solve(rhs);
   // The linear solve can undershoot in sharply graded regions; clamp to a
-  // tiny positive floor so logs and SRH terms stay defined.
+  // tiny positive floor so logs and SRH terms stay defined. A NaN/Inf
+  // (singular pivot from a degenerate potential) is counted and reset so
+  // it cannot poison the Gummel state — the caller sees it in the result.
+  ContinuityResult result;
   const double floor = 1e-20 * ni;
   for (std::size_t idx = 0; idx < n_nodes; ++idx) {
     if (!dev.is_silicon(idx)) {
       density[idx] = 0.0;
+    } else if (!std::isfinite(density[idx])) {
+      ++result.non_finite_nodes;
+      density[idx] = floor;
     } else {
       density[idx] = std::max(density[idx], floor);
+      result.max_density = std::max(result.max_density, density[idx]);
     }
   }
+  if (result.non_finite_nodes > 0) result.status = SolveStatus::kNonFinite;
+  return result;
 }
 
 }  // namespace subscale::tcad

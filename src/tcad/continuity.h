@@ -9,6 +9,7 @@
 
 #include "physics/mobility.h"
 #include "tcad/device_structure.h"
+#include "tcad/solver_status.h"
 
 namespace subscale::tcad {
 
@@ -17,14 +18,24 @@ struct ContinuityOptions {
   bool velocity_saturation = true;  ///< Caughey–Thomas edge mobility
 };
 
+struct ContinuityResult {
+  SolveStatus status = SolveStatus::kConverged;
+  std::size_t non_finite_nodes = 0;  ///< NaN/Inf densities from the solve
+  double max_density = 0.0;          ///< max over silicon nodes [1/m^3]
+};
+
 /// Solve the electron (or hole) continuity equation for the density
 /// field, given the electrostatic potential. The opposite carrier's
 /// density enters the (lagged) SRH term. Results are clamped positive.
-void solve_continuity(const DeviceStructure& dev, physics::Carrier carrier,
-                      const std::vector<double>& psi,
-                      const std::vector<double>& other_density,
-                      std::vector<double>& density,
-                      const ContinuityOptions& options = {});
+/// A non-finite linear-solve output (degenerate potential, singular
+/// pivot) is reported via the result instead of being propagated as
+/// garbage currents; the offending nodes are reset to the density floor.
+ContinuityResult solve_continuity(const DeviceStructure& dev,
+                                  physics::Carrier carrier,
+                                  const std::vector<double>& psi,
+                                  const std::vector<double>& other_density,
+                                  std::vector<double>& density,
+                                  const ContinuityOptions& options = {});
 
 /// Scharfetter–Gummel edge current (per metre of device width) flowing
 /// from node a to node b for the given carrier [A/m]. Used both by the

@@ -18,18 +18,29 @@ double TcadDevice::id_at(double vg, double vd) {
 }
 
 std::vector<IdVgPoint> TcadDevice::id_vg(double vd, double vg_start,
-                                         double vg_stop,
-                                         std::size_t points) {
+                                         double vg_stop, std::size_t points,
+                                         const SweepOptions& options) {
   if (points < 2) {
     throw std::invalid_argument("id_vg: need at least 2 points");
   }
+  sweep_report_ = SweepReport{};
   std::vector<IdVgPoint> sweep;
   sweep.reserve(points);
   for (std::size_t k = 0; k < points; ++k) {
     const double vg = vg_start + (vg_stop - vg_start) *
                                      static_cast<double>(k) /
                                      static_cast<double>(points - 1);
-    sweep.push_back({vg, id_at(vg, vd)});
+    ++sweep_report_.attempted;
+    const SolverReport& report =
+        solver_.try_solve_bias(sign_ * vg, sign_ * vd, 0.0, 0.0);
+    if (report.converged) {
+      sweep.push_back({vg, sign_ * solver_.terminal_current("drain")});
+      continue;
+    }
+    if (options.strict) throw SolverError(report);
+    // The solver rolled back to the last converged bias point, so the
+    // next point continues its ramp from there; this one is skipped.
+    sweep_report_.failures.push_back({vg, vd, report});
   }
   return sweep;
 }

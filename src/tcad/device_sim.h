@@ -8,6 +8,12 @@
 /// Polarity handling: callers pass source-referenced MAGNITUDES (like
 /// the compact model); for a PFET the solver internally negates the
 /// applied voltages and the returned current.
+///
+/// Robustness: a sweep does not abort on one hard bias point. By
+/// default a point whose continuation/retry budget is exhausted is
+/// recorded in the SweepReport (with the full SolverReport naming the
+/// failing stage) and the sweep continues from the last-good state;
+/// strict mode restores throw-on-first-failure semantics.
 
 #include <vector>
 
@@ -18,6 +24,25 @@ namespace subscale::tcad {
 struct IdVgPoint {
   double vg = 0.0;  ///< gate-source magnitude [V]
   double id = 0.0;  ///< drain current magnitude [A per metre of width]
+};
+
+struct SweepOptions {
+  /// Throw SolverError on the first unrecoverable point instead of
+  /// skipping it and recording the failure in the sweep report.
+  bool strict = false;
+};
+
+/// One bias point a sweep had to give up on.
+struct FailedPoint {
+  double vg = 0.0;
+  double vd = 0.0;
+  SolverReport report;  ///< why (stage, status, retries, residual)
+};
+
+struct SweepReport {
+  std::size_t attempted = 0;  ///< points the sweep tried
+  std::vector<FailedPoint> failures;
+  bool all_converged() const { return failures.empty(); }
 };
 
 class TcadDevice {
@@ -31,17 +56,25 @@ class TcadDevice {
 
   /// Drain current magnitude at the given source-referenced biases
   /// [A per metre of width]. Uses continuation from the last solve.
+  /// Throws SolverError if the point is unrecoverable.
   double id_at(double vg, double vd);
 
   /// Gate sweep at fixed drain bias (ascending vg is fastest because each
-  /// point continues from the previous one).
+  /// point continues from the previous one). Unrecoverable points are
+  /// omitted from the returned curve and recorded in last_sweep_report()
+  /// unless `options.strict` is set.
   std::vector<IdVgPoint> id_vg(double vd, double vg_start, double vg_stop,
-                               std::size_t points);
+                               std::size_t points,
+                               const SweepOptions& options = {});
+
+  /// Diagnostics of the most recent id_vg() call.
+  const SweepReport& last_sweep_report() const { return sweep_report_; }
 
  private:
   DeviceStructure dev_;
   DriftDiffusionSolver solver_;
   double sign_ = 1.0;
+  SweepReport sweep_report_;
 };
 
 }  // namespace subscale::tcad

@@ -8,13 +8,79 @@
 
 namespace subscale::tcad {
 
+void GummelOptions::validate() const {
+  const auto fail = [](const char* msg) {
+    throw std::invalid_argument(std::string("GummelOptions: ") + msg);
+  };
+  if (max_iterations == 0) fail("max_iterations must be positive");
+  if (!(psi_tolerance > 0.0)) fail("psi_tolerance must be > 0");
+  if (!(bias_step > 0.0)) {
+    fail("bias_step must be > 0 (a zero or negative continuation step "
+         "would ramp forever without reaching the target bias)");
+  }
+  if (!(min_bias_step > 0.0)) fail("min_bias_step must be > 0");
+  if (min_bias_step > bias_step) {
+    fail("min_bias_step must not exceed bias_step");
+  }
+  if (!(damping > 0.0) || damping > 1.0) fail("damping must be in (0, 1]");
+  if (!(retry_damping > 0.0) || retry_damping >= 1.0) {
+    fail("retry_damping must be in (0, 1)");
+  }
+  if (!(min_damping > 0.0) || min_damping > damping) {
+    fail("min_damping must be in (0, damping]");
+  }
+  if (!(divergence_threshold > 0.0)) {
+    fail("divergence_threshold must be > 0");
+  }
+  if (max_continuation_steps == 0) {
+    fail("max_continuation_steps must be positive");
+  }
+  if (poisson.max_iterations == 0) {
+    fail("poisson.max_iterations must be positive");
+  }
+  if (!(poisson.update_tolerance > 0.0)) {
+    fail("poisson.update_tolerance must be > 0");
+  }
+  if (!(poisson.damping_clamp > 0.0)) {
+    fail("poisson.damping_clamp must be > 0");
+  }
+  if (!(poisson.divergence_threshold > 0.0)) {
+    fail("poisson.divergence_threshold must be > 0");
+  }
+  if (!(continuity.tau_srh > 0.0)) fail("continuity.tau_srh must be > 0");
+  if (fault.stage != SolveStage::kNone) {
+    if (fault.count < 0) fail("fault.count must be >= 0");
+    if (fault.min_bias < 0.0) fail("fault.min_bias must be >= 0");
+    if (!(fault.max_bias > fault.min_bias)) {
+      fail("fault bias window is empty (max_bias <= min_bias)");
+    }
+  }
+}
+
 DriftDiffusionSolver::DriftDiffusionSolver(const DeviceStructure& dev,
                                            const GummelOptions& options)
     : dev_(dev), options_(options) {
+  options_.validate();
+  fault_budget_ =
+      options_.fault.stage == SolveStage::kNone ? 0 : options_.fault.count;
   const std::size_t n_nodes = dev_.mesh().node_count();
   psi_.assign(n_nodes, 0.0);
   n_.assign(n_nodes, 0.0);
   p_.assign(n_nodes, 0.0);
+}
+
+bool DriftDiffusionSolver::fault_fires(
+    SolveStage stage, std::size_t iteration,
+    const std::map<std::string, double>& biases) {
+  const FaultInjection& f = options_.fault;
+  if (f.stage != stage || fault_budget_ <= 0) return false;
+  if (iteration < f.at_iteration) return false;
+  double v = 0.0;
+  const auto it = biases.find(f.contact);
+  if (it != biases.end()) v = std::abs(it->second);
+  if (v < f.min_bias || v >= f.max_bias) return false;
+  --fault_budget_;
+  return true;
 }
 
 void DriftDiffusionSolver::solve_equilibrium() {
@@ -23,45 +89,137 @@ void DriftDiffusionSolver::solve_equilibrium() {
   const double vt = dev_.vt();
 
   // Charge-neutral initial guess; carriers at their neutral values.
-  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
-    if (dev_.is_silicon(idx)) {
-      psi_[idx] = physics::neutral_potential(dev_.net_doping()[idx], ni, vt);
-      n_[idx] = boltzmann_n(psi_[idx], 0.0, ni, vt);
-      p_[idx] = boltzmann_p(psi_[idx], 0.0, ni, vt);
-    } else {
-      psi_[idx] = 0.0;
+  const auto neutral_guess = [&] {
+    for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+      if (dev_.is_silicon(idx)) {
+        psi_[idx] = physics::neutral_potential(dev_.net_doping()[idx], ni, vt);
+        n_[idx] = boltzmann_n(psi_[idx], 0.0, ni, vt);
+        p_[idx] = boltzmann_p(psi_[idx], 0.0, ni, vt);
+      } else {
+        psi_[idx] = 0.0;
+        n_[idx] = 0.0;
+        p_[idx] = 0.0;
+      }
     }
-  }
+  };
   biases_ = {{"gate", 0.0}, {"drain", 0.0}, {"source", 0.0}, {"bulk", 0.0}};
-  gummel_at(biases_);
-  solved_ = true;
+  report_ = SolverReport{};
+  report_.target = biases_;
+
+  double damping = options_.damping;
+  while (true) {
+    neutral_guess();
+    const GummelOutcome out = gummel_at(biases_, damping);
+    report_.total_gummel_iterations += out.iterations;
+    report_.final_residual = out.residual;
+    report_.final_damping = damping;
+    if (out.status == SolveStatus::kConverged) {
+      solved_ = true;
+      return;
+    }
+    ++report_.retries;
+    report_.failures.push_back({biases_, out.stage, out.status,
+                                out.iterations, out.stage_iterations,
+                                out.residual, 0.0, damping});
+    if (damping > options_.min_damping) {
+      damping = std::max(options_.min_damping,
+                         options_.retry_damping * damping);
+      continue;
+    }
+    report_.converged = false;
+    report_.failed_stage = out.stage;
+    report_.status = out.status;
+    report_.failed_biases = biases_;
+    throw SolverError(report_);
+  }
 }
 
 void DriftDiffusionSolver::solve_bias(double vg, double vd, double vs,
                                       double vb) {
+  if (!try_solve_bias(vg, vd, vs, vb).converged) {
+    throw SolverError(report_);
+  }
+}
+
+const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
+                                                         double vd,
+                                                         double vs,
+                                                         double vb) {
   if (!solved_) solve_equilibrium();
   const std::map<std::string, double> target = {
       {"gate", vg}, {"drain", vd}, {"source", vs}, {"bulk", vb}};
-  // Continuation: ramp every contact toward its target in bounded steps.
+  report_ = SolverReport{};
+  report_.target = target;
+
+  // Adaptive continuation: ramp every contact toward its target in
+  // bounded steps. A step that fails is rolled back to the last-good
+  // state and retried with a halved step, then with tightened
+  // under-relaxation; when both knobs hit their floors we give up and
+  // leave the solver at the last converged bias point.
+  double step = options_.bias_step;
+  double damping = options_.damping;
   while (true) {
     double max_gap = 0.0;
     for (const auto& [name, v] : target) {
       max_gap = std::max(max_gap, std::abs(v - biases_[name]));
     }
     if (max_gap == 0.0) break;
-    const double frac = std::min(1.0, options_.bias_step / max_gap);
-    std::map<std::string, double> step = biases_;
-    for (const auto& [name, v] : target) {
-      step[name] = biases_[name] + frac * (v - biases_[name]);
+    if (report_.continuation_steps >= options_.max_continuation_steps) {
+      report_.converged = false;
+      report_.failed_stage = SolveStage::kGummel;
+      report_.status = SolveStatus::kStalled;
+      report_.failed_biases = biases_;
+      break;
     }
-    gummel_at(step);
-    biases_ = step;
+    const double frac = std::min(1.0, step / max_gap);
+    std::map<std::string, double> trial = biases_;
+    for (const auto& [name, v] : target) {
+      trial[name] = biases_[name] + frac * (v - biases_[name]);
+    }
+
+    const std::vector<double> snap_psi = psi_;
+    const std::vector<double> snap_n = n_;
+    const std::vector<double> snap_p = p_;
+    const GummelOutcome out = gummel_at(trial, damping);
+    report_.total_gummel_iterations += out.iterations;
+    report_.final_residual = out.residual;
+    if (out.status == SolveStatus::kConverged) {
+      biases_ = trial;
+      ++report_.continuation_steps;
+      // Recover the step length once the hard region is behind us.
+      step = std::min(options_.bias_step, 2.0 * step);
+      continue;
+    }
+
+    psi_ = snap_psi;
+    n_ = snap_n;
+    p_ = snap_p;
+    ++report_.retries;
+    report_.failures.push_back({trial, out.stage, out.status, out.iterations,
+                                out.stage_iterations, out.residual, step,
+                                damping});
+    if (step > options_.min_bias_step) {
+      step = std::max(options_.min_bias_step, 0.5 * step);
+    } else if (damping > options_.min_damping) {
+      damping = std::max(options_.min_damping,
+                         options_.retry_damping * damping);
+    } else {
+      report_.converged = false;
+      report_.failed_stage = out.stage;
+      report_.status = out.status;
+      report_.failed_biases = trial;
+      break;
+    }
   }
+  report_.final_bias_step = step;
+  report_.final_damping = damping;
+  return report_;
 }
 
-void DriftDiffusionSolver::gummel_at(
-    const std::map<std::string, double>& biases) {
-  const std::size_t n_nodes = dev_.mesh().node_count();
+DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at(
+    const std::map<std::string, double>& biases, double damping) {
+  const auto& m = dev_.mesh();
+  const std::size_t n_nodes = m.node_count();
   const double ni = dev_.ni();
   const double vt = dev_.vt();
 
@@ -69,6 +227,7 @@ void DriftDiffusionSolver::gummel_at(
   std::vector<double> phi_p(n_nodes, 0.0);
   std::vector<double> psi_prev(n_nodes, 0.0);
 
+  double dpsi = 0.0;
   for (std::size_t it = 0; it < options_.max_iterations; ++it) {
     // Quasi-Fermi levels from the current carrier fields.
     for (std::size_t idx = 0; idx < n_nodes; ++idx) {
@@ -84,25 +243,70 @@ void DriftDiffusionSolver::gummel_at(
     }
 
     psi_prev = psi_;
-    const PoissonResult pres =
+    PoissonResult pres =
         solve_poisson(dev_, biases, phi_n, phi_p, psi_, options_.poisson);
+    if (fault_fires(SolveStage::kPoisson, it, biases)) {
+      pres.converged = false;
+      pres.status = SolveStatus::kStalled;
+    }
     if (!pres.converged) {
-      throw std::runtime_error("DriftDiffusionSolver: Poisson stalled");
+      last_iterations_ = it + 1;
+      return {pres.status, SolveStage::kPoisson, it + 1, pres.iterations,
+              pres.max_update};
     }
 
-    solve_continuity(dev_, physics::Carrier::kElectron, psi_, p_, n_,
-                     options_.continuity);
-    solve_continuity(dev_, physics::Carrier::kHole, psi_, n_, p_,
-                     options_.continuity);
+    // Under-relax the potential update at free nodes (contacts stay at
+    // their imposed Dirichlet values). damping = 1 reproduces the plain
+    // Gummel step.
+    if (damping < 1.0) {
+      for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+        if (!m.contact_of(idx).empty()) continue;
+        psi_[idx] = psi_prev[idx] + damping * (psi_[idx] - psi_prev[idx]);
+      }
+    }
 
-    double dpsi = 0.0;
+    ContinuityResult rn = solve_continuity(
+        dev_, physics::Carrier::kElectron, psi_, p_, n_, options_.continuity);
+    const ContinuityResult rp = solve_continuity(
+        dev_, physics::Carrier::kHole, psi_, n_, p_, options_.continuity);
+    if (fault_fires(SolveStage::kContinuity, it, biases)) {
+      rn.status = SolveStatus::kNonFinite;
+    }
+    if (rn.status != SolveStatus::kConverged ||
+        rp.status != SolveStatus::kConverged) {
+      last_iterations_ = it + 1;
+      const SolveStatus bad = rn.status != SolveStatus::kConverged
+                                  ? rn.status
+                                  : rp.status;
+      return {bad, SolveStage::kContinuity, it + 1, 1, dpsi};
+    }
+
+    dpsi = 0.0;
+    double max_psi = 0.0;
     for (std::size_t idx = 0; idx < n_nodes; ++idx) {
       dpsi = std::max(dpsi, std::abs(psi_[idx] - psi_prev[idx]));
+      max_psi = std::max(max_psi, std::abs(psi_[idx]));
     }
     last_iterations_ = it + 1;
-    if (dpsi < options_.psi_tolerance) return;
+    if (!std::isfinite(dpsi) || !std::isfinite(max_psi)) {
+      return {SolveStatus::kNonFinite, SolveStage::kGummel, it + 1, it + 1,
+              dpsi};
+    }
+    if (max_psi > options_.divergence_threshold) {
+      return {SolveStatus::kDiverged, SolveStage::kGummel, it + 1, it + 1,
+              dpsi};
+    }
+    if (dpsi < options_.psi_tolerance) {
+      if (fault_fires(SolveStage::kGummel, it, biases)) {
+        return {SolveStatus::kStalled, SolveStage::kGummel, it + 1, it + 1,
+                dpsi};
+      }
+      return {SolveStatus::kConverged, SolveStage::kNone, it + 1, it + 1,
+              dpsi};
+    }
   }
-  throw std::runtime_error("DriftDiffusionSolver: Gummel did not converge");
+  return {SolveStatus::kStalled, SolveStage::kGummel, options_.max_iterations,
+          options_.max_iterations, dpsi};
 }
 
 double DriftDiffusionSolver::terminal_current(

@@ -4,9 +4,14 @@
 /// The Gummel (decoupled) iteration for the drift–diffusion system:
 /// nonlinear Poisson with frozen quasi-Fermi levels, then electron and
 /// hole continuity with the new potential, repeated until the potential
-/// stops moving. Bias is applied by continuation (ramped in steps) so the
-/// solver is robust from equilibrium up to full drain/gate bias.
+/// stops moving. Bias is applied by *adaptive* continuation: contacts
+/// are ramped in bounded steps, and a step that fails to converge is
+/// rolled back to the last-good state and retried with a halved step
+/// and tightened under-relaxation, down to configurable floors. Every
+/// solve produces a SolverReport (see solver_status.h); only the strict
+/// entry points throw.
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -14,31 +19,71 @@
 #include "tcad/continuity.h"
 #include "tcad/device_structure.h"
 #include "tcad/poisson.h"
+#include "tcad/solver_status.h"
 
 namespace subscale::tcad {
+
+/// Deterministic fault injection for exercising the recovery paths in
+/// tests and soak runs. While `count` failures remain, any Gummel solve
+/// whose `contact` bias magnitude lies in [min_bias, max_bias) has the
+/// chosen stage forced to fail at outer iteration `at_iteration`.
+struct FaultInjection {
+  SolveStage stage = SolveStage::kNone;  ///< kNone disables injection
+  std::size_t at_iteration = 0;  ///< outer iteration that fails
+  long count = 0;                ///< failures to inject before healing
+  std::string contact = "gate";  ///< contact whose bias gates the window
+  double min_bias = 0.0;         ///< |bias| window lower edge [V]
+  double max_bias = std::numeric_limits<double>::infinity();
+};
 
 struct GummelOptions {
   std::size_t max_iterations = 60;
   double psi_tolerance = 1e-7;  ///< outer-loop max |dpsi| [V]
-  double bias_step = 0.1;       ///< continuation step [V]
+  double bias_step = 0.1;       ///< initial continuation step [V]
+
+  // Resilience policy. Defaults reproduce the seed solver exactly on
+  // well-behaved problems (full damping, first attempt succeeds).
+  double min_bias_step = 0.0125;  ///< continuation-step floor [V]
+  double damping = 1.0;      ///< initial under-relaxation on psi updates
+  double retry_damping = 0.6;  ///< damping multiplier per retry
+  double min_damping = 0.2;    ///< under-relaxation floor
+  double divergence_threshold = 50.0;  ///< max |psi| before divergence [V]
+  std::size_t max_continuation_steps = 1000;  ///< hard ramp bound
+
+  FaultInjection fault;  ///< test-only deterministic failure forcing
   PoissonOptions poisson;
   ContinuityOptions continuity;
+
+  /// Throws std::invalid_argument (with the offending field named) on
+  /// non-positive steps/tolerances, out-of-range damping factors, or an
+  /// inverted fault window. Called by DriftDiffusionSolver's ctor.
+  void validate() const;
 };
 
 /// Owns the solution state (psi, n, p) for one device and advances it
 /// between bias points.
 class DriftDiffusionSolver {
  public:
+  /// Validates `options` (throws std::invalid_argument on bad fields).
   explicit DriftDiffusionSolver(const DeviceStructure& dev,
                                 const GummelOptions& options = {});
 
   /// Solve the zero-bias problem from a charge-neutral initial guess.
-  /// Throws std::runtime_error on non-convergence.
+  /// Throws SolverError (an std::runtime_error) on non-convergence —
+  /// without equilibrium there is no state to continue from.
   void solve_equilibrium();
 
   /// Ramp contacts from the previously solved bias point to the given
-  /// biases (volts at gate/drain/source/bulk) and solve.
+  /// biases (volts at gate/drain/source/bulk) and solve. Strict: throws
+  /// SolverError when the ramp gives up; the solver state is left at
+  /// the last successfully converged bias point either way.
   void solve_bias(double vg, double vd, double vs = 0.0, double vb = 0.0);
+
+  /// Non-throwing variant: returns the report (also retrievable later
+  /// via last_report()). On failure the state is rolled back to the
+  /// last-good bias point, so a sweep can skip the point and continue.
+  const SolverReport& try_solve_bias(double vg, double vd, double vs = 0.0,
+                                     double vb = 0.0);
 
   /// Terminal current of a contact [A per metre of width]; positive =
   /// conventional current flowing from the contact into the device.
@@ -50,8 +95,26 @@ class DriftDiffusionSolver {
   const DeviceStructure& structure() const { return dev_; }
   std::size_t last_gummel_iterations() const { return last_iterations_; }
 
+  /// Diagnostics of the most recent solve (equilibrium or bias ramp).
+  const SolverReport& last_report() const { return report_; }
+
+  /// Fault-injection failures not yet consumed (test observability).
+  long pending_faults() const { return fault_budget_; }
+
  private:
-  void gummel_at(const std::map<std::string, double>& biases);
+  /// Outcome of one Gummel solve at one fixed bias point (no throw).
+  struct GummelOutcome {
+    SolveStatus status = SolveStatus::kConverged;
+    SolveStage stage = SolveStage::kNone;  ///< failing stage, if any
+    std::size_t iterations = 0;            ///< outer iterations spent
+    std::size_t stage_iterations = 0;      ///< inner iters of the stage
+    double residual = 0.0;                 ///< final max |dpsi| [V]
+  };
+
+  GummelOutcome gummel_at(const std::map<std::string, double>& biases,
+                          double damping);
+  bool fault_fires(SolveStage stage, std::size_t iteration,
+                   const std::map<std::string, double>& biases);
 
   const DeviceStructure& dev_;
   GummelOptions options_;
@@ -61,6 +124,8 @@ class DriftDiffusionSolver {
   std::map<std::string, double> biases_;
   bool solved_ = false;
   std::size_t last_iterations_ = 0;
+  SolverReport report_;
+  long fault_budget_ = 0;
 };
 
 }  // namespace subscale::tcad

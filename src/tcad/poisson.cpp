@@ -116,17 +116,31 @@ PoissonResult solve_poisson(const DeviceStructure& dev,
 
     const std::vector<double> delta = linalg::BandedLu(jac).solve(rhs);
     double max_update = 0.0;
+    double max_psi = 0.0;
     for (std::size_t idx = 0; idx < n_nodes; ++idx) {
       if (dirichlet[idx]) continue;
       const double d = std::clamp(delta[idx], -options.damping_clamp,
                                   options.damping_clamp);
       psi[idx] += d;
       max_update = std::max(max_update, std::abs(d));
+      max_psi = std::max(max_psi, std::abs(psi[idx]));
     }
     result.iterations = it + 1;
     result.max_update = max_update;
+    // Guards: a NaN from the factorization (singular pivot) or a
+    // runaway potential means further iteration only manufactures
+    // garbage — stop now and let the caller restore a good state.
+    if (!std::isfinite(max_update) || !std::isfinite(max_psi)) {
+      result.status = SolveStatus::kNonFinite;
+      return result;
+    }
+    if (max_psi > options.divergence_threshold) {
+      result.status = SolveStatus::kDiverged;
+      return result;
+    }
     if (max_update < options.update_tolerance) {
       result.converged = true;
+      result.status = SolveStatus::kConverged;
       return result;
     }
   }

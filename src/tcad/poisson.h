@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "tcad/device_structure.h"
+#include "tcad/solver_status.h"
 
 namespace subscale::tcad {
 
@@ -20,12 +21,18 @@ struct PoissonOptions {
   std::size_t max_iterations = 120;
   double update_tolerance = 1e-9;  ///< on max |delta psi| [V]
   double damping_clamp = 0.5;      ///< max |delta psi| per Newton step [V]
+  double divergence_threshold = 50.0;  ///< max |psi| before declaring
+                                       ///< divergence [V]
 };
 
 struct PoissonResult {
   std::size_t iterations = 0;
   double max_update = 0.0;
   bool converged = false;
+  /// kStalled on iteration exhaustion; kDiverged / kNonFinite when the
+  /// guards fire (the potential is then unusable — callers must restore
+  /// a known-good state rather than propagate it).
+  SolveStatus status = SolveStatus::kStalled;
 };
 
 /// Solve for psi in place. `biases` maps contact name -> applied voltage.

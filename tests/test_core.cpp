@@ -72,3 +72,43 @@ TEST(ScalingStudy, SubVthDelayScalesGracefully) {
     prev = tp;
   }
 }
+
+TEST(ScalingStudy, TcadValidationDegradesGracefully) {
+  // Study-level resilience: a permanently faulted bias window loses one
+  // sweep point, which is recorded in the node's report while the rest
+  // of the sweep (and the study) carries on. No throw in non-strict mode.
+  namespace st = subscale::tcad;
+  sco::TcadValidationOptions opt;
+  opt.nodes = {0};  // the 90nm node only (TCAD solves are expensive)
+  opt.points = 10;
+  opt.mesh.surface_spacing = 0.6e-9;
+  opt.mesh.junction_spacing = 1.5e-9;
+  opt.gummel.fault.stage = st::SolveStage::kPoisson;
+  opt.gummel.fault.count = 1'000'000'000;
+  opt.gummel.fault.min_bias = 0.19;
+  opt.gummel.fault.max_bias = 0.21;
+
+  const auto results = study().tcad_validation(opt);
+  ASSERT_EQ(results.size(), 1u);
+  const auto& node = results[0];
+  EXPECT_TRUE(node.error.empty());
+  EXPECT_TRUE(node.usable());
+  EXPECT_EQ(node.report.attempted, 10u);
+  ASSERT_EQ(node.report.failures.size(), 1u);
+  EXPECT_NEAR(node.report.failures.front().vg, 0.20, 1e-12);
+  EXPECT_EQ(node.sweep.size(), 9u);
+
+  // A device that cannot even reach equilibrium is reported as a node
+  // error instead of aborting the validation run.
+  opt.gummel.fault.min_bias = 0.0;
+  const auto broken = study().tcad_validation(opt);
+  ASSERT_EQ(broken.size(), 1u);
+  EXPECT_FALSE(broken[0].error.empty());
+  EXPECT_FALSE(broken[0].usable());
+  EXPECT_NE(broken[0].error.find("Poisson"), std::string::npos)
+      << broken[0].error;
+
+  // Strict mode propagates the failure instead.
+  opt.strict = true;
+  EXPECT_THROW(study().tcad_validation(opt), st::SolverError);
+}

@@ -253,6 +253,22 @@ TEST(Bicgstab, NonsymmetricConvectionDiffusion) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], 1.0, 1e-6);
 }
 
+TEST(Bicgstab, NonFiniteRhsReportsBreakdown) {
+  // A NaN anywhere in the right-hand side must be detected up front and
+  // reported as a breakdown — not iterated on (the Krylov recurrences
+  // would silently fill x with NaN) and not mistaken for convergence.
+  const std::size_t n = 8;
+  sl::SparseBuilder builder(n);
+  for (std::size_t i = 0; i < n; ++i) builder.add(i, i, 2.0);
+  const sl::CsrMatrix a(builder);
+  std::vector<double> b(n, 1.0);
+  b[3] = std::nan("");
+  const auto result = sl::bicgstab(a, b);
+  EXPECT_FALSE(result.converged);
+  EXPECT_TRUE(result.breakdown);
+  EXPECT_EQ(result.iterations, 0u);
+}
+
 // ---- Newton -------------------------------------------------------------------
 
 TEST(Newton, SolvesCircleLineIntersection) {

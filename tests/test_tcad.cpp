@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "compact/device_spec.h"
 #include "compact/mosfet.h"
@@ -208,6 +210,214 @@ TEST(Extract, DiblFromTwoSyntheticSweeps) {
   EXPECT_NEAR(dibl, 0.04 / 0.95, 1e-6);
   EXPECT_THROW(st::extract_dibl(make(0.4), 1.0, make(0.4), 0.05, opt),
                std::invalid_argument);
+}
+
+// ---- solver resilience ----------------------------------------------------------
+
+namespace {
+
+/// Coarse mesh for the resilience tests (solve cost, not accuracy,
+/// dominates here).
+st::MeshOptions coarse_mesh() {
+  st::MeshOptions mesh;
+  mesh.surface_spacing = 0.6e-9;
+  mesh.junction_spacing = 1.5e-9;
+  return mesh;
+}
+
+/// Fault the given stage once, at gate biases in [0.18 V, 0.22 V).
+st::GummelOptions faulted_options(st::SolveStage stage, long count) {
+  st::GummelOptions opt;
+  opt.fault.stage = stage;
+  opt.fault.count = count;
+  opt.fault.contact = "gate";
+  opt.fault.min_bias = 0.18;
+  opt.fault.max_bias = 0.22;
+  return opt;
+}
+
+/// Unfaulted reference current at (vg=0.3, vd=0.25) on the coarse mesh.
+double reference_id() {
+  static const double id = [] {
+    st::TcadDevice dev(nfet_90(), coarse_mesh());
+    return dev.id_at(0.3, 0.25);
+  }();
+  return id;
+}
+
+}  // namespace
+
+TEST(GummelOptions, ValidationRejectsBadFields) {
+  const auto expect_invalid = [](st::GummelOptions opt, const char* field) {
+    try {
+      opt.validate();
+      FAIL() << "expected invalid_argument for " << field;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(field), std::string::npos)
+          << e.what();
+    }
+  };
+  st::GummelOptions opt;
+  opt.bias_step = 0.0;  // would make solve_bias ramp forever
+  expect_invalid(opt, "bias_step");
+  opt = {};
+  opt.bias_step = -0.1;
+  expect_invalid(opt, "bias_step");
+  opt = {};
+  opt.psi_tolerance = 0.0;
+  expect_invalid(opt, "psi_tolerance");
+  opt = {};
+  opt.min_bias_step = 0.2;  // above bias_step
+  expect_invalid(opt, "min_bias_step");
+  opt = {};
+  opt.damping = 1.5;
+  expect_invalid(opt, "damping");
+  opt = {};
+  opt.retry_damping = 1.0;
+  expect_invalid(opt, "retry_damping");
+  opt = {};
+  opt.max_iterations = 0;
+  expect_invalid(opt, "max_iterations");
+  opt = {};
+  opt.poisson.update_tolerance = -1e-9;
+  expect_invalid(opt, "poisson.update_tolerance");
+  opt = {};
+  opt.continuity.tau_srh = 0.0;
+  expect_invalid(opt, "tau_srh");
+  opt = {};
+  opt.fault.stage = st::SolveStage::kPoisson;
+  opt.fault.min_bias = 0.3;
+  opt.fault.max_bias = 0.2;
+  expect_invalid(opt, "fault");
+
+  // The solver constructor runs the same validation.
+  st::DeviceStructure dev(nfet_90(), coarse_mesh());
+  st::GummelOptions bad;
+  bad.bias_step = 0.0;
+  EXPECT_THROW(st::DriftDiffusionSolver(dev, bad), std::invalid_argument);
+}
+
+TEST(SolverResilience, PoissonFaultRecoversByStepHalving) {
+  // A forced Poisson failure at the gate=0.2V continuation point must be
+  // absorbed by the retry policy (roll back, halve the step) and the
+  // terminal current must match the unfaulted solve.
+  st::TcadDevice dev(nfet_90(), coarse_mesh(),
+                     faulted_options(st::SolveStage::kPoisson, 1));
+  const double id = dev.id_at(0.3, 0.25);
+  const auto& report = dev.solver().last_report();
+  EXPECT_TRUE(report.converged);
+  EXPECT_GE(report.retries, 1u);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.failures.front().stage, st::SolveStage::kPoisson);
+  EXPECT_EQ(dev.solver().pending_faults(), 0);  // the fault did fire
+  EXPECT_NEAR(id / reference_id(), 1.0, 1e-3);
+}
+
+TEST(SolverResilience, ContinuityFaultRecoversByStepHalving) {
+  st::TcadDevice dev(nfet_90(), coarse_mesh(),
+                     faulted_options(st::SolveStage::kContinuity, 1));
+  const double id = dev.id_at(0.3, 0.25);
+  const auto& report = dev.solver().last_report();
+  EXPECT_TRUE(report.converged);
+  EXPECT_GE(report.retries, 1u);
+  ASSERT_FALSE(report.failures.empty());
+  EXPECT_EQ(report.failures.front().stage, st::SolveStage::kContinuity);
+  EXPECT_EQ(report.failures.front().status, st::SolveStatus::kNonFinite);
+  EXPECT_NEAR(id / reference_id(), 1.0, 1e-3);
+}
+
+TEST(SolverResilience, ExhaustedRetriesReportStageAndBias) {
+  // An unrecoverable point (the fault never heals and the target itself
+  // sits inside the fault window) must exhaust step-halving and damping,
+  // report the failing stage and bias, leave the solver at the last-good
+  // state — and not poison later bias points.
+  st::DeviceStructure dev(nfet_90(), coarse_mesh());
+  st::DriftDiffusionSolver solver(
+      dev, faulted_options(st::SolveStage::kPoisson, 1'000'000'000));
+  solver.solve_equilibrium();
+
+  const auto& report = solver.try_solve_bias(0.20, 0.25);
+  EXPECT_FALSE(report.converged);
+  EXPECT_EQ(report.failed_stage, st::SolveStage::kPoisson);
+  EXPECT_EQ(report.status, st::SolveStatus::kStalled);
+  ASSERT_TRUE(report.failed_biases.count("gate"));
+  EXPECT_GE(report.failed_biases.at("gate"), 0.18);
+  EXPECT_LT(report.failed_biases.at("gate"), 0.22);
+  EXPECT_GE(report.retries, 3u);  // halvings + damping tightenings
+  // Both knobs were driven to their floors before giving up.
+  const st::GummelOptions defaults;
+  EXPECT_DOUBLE_EQ(report.final_bias_step, defaults.min_bias_step);
+  EXPECT_DOUBLE_EQ(report.final_damping, defaults.min_damping);
+  // The digest names the stage and the bias point.
+  const std::string digest = report.summary();
+  EXPECT_NE(digest.find("Poisson"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("stalled"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("gate"), std::string::npos) << digest;
+
+  // State rolled back to the last converged point: currents are finite.
+  EXPECT_TRUE(std::isfinite(solver.terminal_current("drain")));
+
+  // Strict entry point: same failure, thrown with the report attached.
+  try {
+    solver.solve_bias(0.20, 0.25);
+    FAIL() << "expected SolverError";
+  } catch (const st::SolverError& e) {
+    EXPECT_FALSE(e.report().converged);
+    EXPECT_EQ(e.report().failed_stage, st::SolveStage::kPoisson);
+  }
+
+  // A target outside the fault window still solves from the rolled-back
+  // state: one bad point does not take down the rest of the sweep.
+  EXPECT_TRUE(solver.try_solve_bias(0.30, 0.25).converged);
+  EXPECT_TRUE(std::isfinite(solver.terminal_current("drain")));
+}
+
+TEST(SolverResilience, SweepSkipsUnrecoverablePointAndContinues) {
+  // In a 10-point sweep with a permanently faulted window around
+  // vg=0.2V, only that point is lost: it is recorded in the sweep
+  // report and every other point converges with a sane current.
+  st::GummelOptions faulty =
+      faulted_options(st::SolveStage::kPoisson, 1'000'000'000);
+  faulty.fault.min_bias = 0.19;
+  faulty.fault.max_bias = 0.21;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), faulty);
+
+  const auto sweep = dev.id_vg(0.25, 0.0, 0.45, 10);
+  const auto& report = dev.last_sweep_report();
+  EXPECT_EQ(report.attempted, 10u);
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_NEAR(report.failures.front().vg, 0.20, 1e-12);
+  EXPECT_EQ(report.failures.front().report.failed_stage,
+            st::SolveStage::kPoisson);
+  ASSERT_EQ(sweep.size(), 9u);
+  for (std::size_t k = 1; k < sweep.size(); ++k) {
+    EXPECT_GT(sweep[k].id, sweep[k - 1].id) << "k=" << k;
+  }
+
+  // Strict mode turns the same skip into a throw.
+  st::SweepOptions strict;
+  strict.strict = true;
+  EXPECT_THROW(dev.id_vg(0.25, 0.0, 0.45, 10, strict), st::SolverError);
+}
+
+TEST(SolverResilience, EquilibriumFaultRecoversWithTightenedDamping) {
+  // Faults at zero bias hit solve_equilibrium, whose only retry knob is
+  // under-relaxation; two injected failures take two tightenings.
+  st::GummelOptions opt;
+  opt.fault.stage = st::SolveStage::kContinuity;
+  opt.fault.count = 2;
+  st::DeviceStructure dev(nfet_90(), coarse_mesh());
+  st::DriftDiffusionSolver solver(dev, opt);
+  solver.solve_equilibrium();
+  const auto& report = solver.last_report();
+  EXPECT_TRUE(report.converged);
+  EXPECT_EQ(report.retries, 2u);
+  EXPECT_LT(report.final_damping, 1.0);
+
+  // A fault that never heals exhausts the damping ladder and throws.
+  opt.fault.count = 1'000'000'000;
+  st::DriftDiffusionSolver doomed(dev, opt);
+  EXPECT_THROW(doomed.solve_equilibrium(), st::SolverError);
 }
 
 // ---- cross-validation: TCAD reproduces the paper's S_S degradation ------------------

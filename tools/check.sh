@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verify in one command: configure, build, ctest.
+#
+#   ./tools/check.sh                          # plain RelWithDebInfo
+#   SUBSCALE_SANITIZE=address ./tools/check.sh
+#   SUBSCALE_SANITIZE=undefined ./tools/check.sh
+#   SUBSCALE_SANITIZE=address,undefined ./tools/check.sh
+#
+# Sanitized runs use their own build tree (build-asan, ...) so the plain
+# ./build tree stays warm.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitize="${SUBSCALE_SANITIZE:-}"
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+build_dir="$repo_root/build"
+cmake_args=()
+if [[ -n "$sanitize" ]]; then
+  case "$sanitize" in
+    address) build_dir="$repo_root/build-asan" ;;
+    undefined) build_dir="$repo_root/build-ubsan" ;;
+    *) build_dir="$repo_root/build-san" ;;
+  esac
+  cmake_args+=("-DSUBSCALE_SANITIZE=$sanitize")
+  # Abort on the first UBSan report instead of printing and continuing.
+  export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}"
+fi
+
+cmake -B "$build_dir" -S "$repo_root" "${cmake_args[@]}"
+cmake --build "$build_dir" -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
