@@ -14,10 +14,14 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Extension — extrapolating both strategies to 22nm (gen 4)",
-                "the S_S / SNM gap between strategies keeps widening past "
-                "the paper's range");
-
+  return bench::run(
+      "ext_node22",
+      "Extension — extrapolating both strategies to 22nm (gen 4)",
+      "the S_S / SNM gap between strategies keeps widening past the "
+      "paper's range",
+      "super-V_th keeps degrading at 22nm while the sub-V_th plateau "
+      "holds; the advantage widens",
+      [](bench::Record& rec) {
   const auto node22 = scaling::extrapolate_node(4);
   const auto sup32 = bench::study().super_devices()[3];
   const auto sub32 = bench::study().sub_devices()[3];
@@ -54,10 +58,10 @@ int main() {
               sub22.device.ss_mv_dec,
               std::abs(sub22.device.ss_mv_dec - 80.0) < 5.0 ? "yes" : "no");
 
-  const bool ok = gap22 > gap32 && sup22.ss_mv_dec > sup32.ss_mv_dec &&
-                  std::abs(sub22.device.ss_mv_dec - 80.0) < 5.0;
-  bench::footer_shape(ok,
-                      "super-V_th keeps degrading at 22nm while the "
-                      "sub-V_th plateau holds; the advantage widens");
-  return ok ? 0 : 1;
+  rec.metric("snm_gap_32nm_pct", gap32 * 100.0);
+  rec.metric("snm_gap_22nm_pct", gap22 * 100.0);
+  rec.metric("ss_sub_22nm_mv_dec", sub22.device.ss_mv_dec);
+  return gap22 > gap32 && sup22.ss_mv_dec > sup32.ss_mv_dec &&
+         std::abs(sub22.device.ss_mv_dec - 80.0) < 5.0;
+      });
 }

@@ -15,10 +15,14 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Extension — sub-V_th timing variability (Pelgrom mismatch)",
-                "variability grows dramatically as V_dd reduces (Sec. 1); "
-                "longer sub-V_th gates reduce it");
-
+  return bench::run(
+      "ext_variability",
+      "Extension — sub-V_th timing variability (Pelgrom mismatch)",
+      "variability grows dramatically as V_dd reduces (Sec. 1); longer "
+      "sub-V_th gates reduce it",
+      "variability explodes toward subthreshold; lognormal closed form "
+      "tracks the Monte-Carlo; sub-V_th device is the quieter one",
+      [](bench::Record& rec) {
   const circuits::MismatchModel mismatch;
   io::TextTable t({"Vdd [mV]", "sigma/mu super-32nm", "sigma/mu sub-32nm",
                    "sigma_ln meas (super)", "sigma_ln pred (super)"});
@@ -50,11 +54,8 @@ int main() {
   std::printf("sub-V_th variability advantage at 200 mV: %.2fx lower\n",
               sub_adv_low);
 
-  const bool ok = sm_low > 2.0 * sm_high && sub_adv_low > 1.1 &&
-                  prediction_tracks;
-  bench::footer_shape(ok,
-                      "variability explodes toward subthreshold; lognormal "
-                      "closed form tracks the Monte-Carlo; sub-V_th device "
-                      "is the quieter one");
-  return ok ? 0 : 1;
+  rec.metric("variability_growth_x", sm_low / sm_high);
+  rec.metric("sub_advantage_200mV_x", sub_adv_low);
+  return sm_low > 2.0 * sm_high && sub_adv_low > 1.1 && prediction_tracks;
+      });
 }

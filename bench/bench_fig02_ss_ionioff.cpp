@@ -9,9 +9,12 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 2 — S_S and I_on/I_off (V_dd = 250 mV), super-V_th",
-                "S_S +11 % and I_on/I_off -60 % from 90nm to 32nm");
-
+  return bench::run(
+      "fig02_ss_ionioff",
+      "Fig. 2 — S_S and I_on/I_off (V_dd = 250 mV), super-V_th",
+      "S_S +11 % and I_on/I_off -60 % from 90nm to 32nm",
+      "S_S degrades ~11-20%, Ion/Ioff drops ~50-75%",
+      [](bench::Record& rec) {
   io::Series ss("ss_mv_dec"), ratio("ion_over_ioff");
   io::TextTable t(
       {"node", "SS [mV/dec]", "Ion(0.25,0.25) [nA/um]", "Ioff(0,0.25) [pA/um]",
@@ -36,9 +39,10 @@ int main() {
   std::printf("S_S 90->32nm: %+.1f%% (paper +11%%)\n", ss_rise * 100.0);
   std::printf("Ion/Ioff 90->32nm: %+.1f%% (paper -60%%)\n",
               -ratio_drop * 100.0);
+  rec.metric("ss_rise_pct", ss_rise * 100.0);
+  rec.metric("ion_ioff_drop_pct", ratio_drop * 100.0);
 
-  const bool ok = ss_rise > 0.08 && ss_rise < 0.25 && ratio_drop > 0.45 &&
-                  ratio_drop < 0.80;
-  bench::footer_shape(ok, "S_S degrades ~11-20%, Ion/Ioff drops ~50-75%");
-  return ok ? 0 : 1;
+  return ss_rise > 0.08 && ss_rise < 0.25 && ratio_drop > 0.45 &&
+         ratio_drop < 0.80;
+      });
 }

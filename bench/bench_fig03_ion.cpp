@@ -10,10 +10,12 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 3 — NFET I_on at nominal V_dd and at 250 mV, super-V_th",
-                "I_on falls with scaling; the sub-V_th (250 mV) current "
-                "falls faster");
-
+  return bench::run(
+      "fig03_ion",
+      "Fig. 3 — NFET I_on at nominal V_dd and at 250 mV, super-V_th",
+      "I_on falls with scaling; the sub-V_th (250 mV) current falls faster",
+      "both currents fall; the 250 mV current falls faster",
+      [](bench::Record& rec) {
   io::Series nominal("ion_nominal"), sub("ion_250mV");
   io::TextTable t({"node", "Vdd[V]", "Ion(Vdd) [uA/um]", "Ion(0.25) [nA/um]"});
   const auto& devices = bench::study().super_devices();
@@ -40,7 +42,8 @@ int main() {
   const bool nominal_falls = nominal.total_relative_change() < 0.0;
   const bool sub_falls_faster =
       sub_n.points().back().y < nom_n.points().back().y;
-  bench::footer_shape(nominal_falls && sub_falls_faster,
-                      "both currents fall; the 250 mV current falls faster");
-  return (nominal_falls && sub_falls_faster) ? 0 : 1;
+  rec.metric("ion_nominal_32nm_norm", nom_n[3].y);
+  rec.metric("ion_250mV_32nm_norm", sub_n[3].y);
+  return nominal_falls && sub_falls_faster;
+      });
 }

@@ -9,9 +9,11 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 4 — inverter SNM, super-V_th scaling",
-                ">10 % SNM degradation at 250 mV from 90nm to 32nm");
-
+  return bench::run(
+      "fig04_snm", "Fig. 4 — inverter SNM, super-V_th scaling",
+      ">10 % SNM degradation at 250 mV from 90nm to 32nm",
+      "double-digit 250 mV SNM loss across the roadmap",
+      [](bench::Record& rec) {
   io::Series snm_nom("snm_nominal"), snm_sub("snm_250mV");
   io::TextTable t({"node", "SNM @ Vdd,nom [mV]", "SNM @ 250mV [mV]",
                    "SNM/Vdd @ 250mV"});
@@ -32,8 +34,8 @@ int main() {
   const double degradation = -snm_sub.total_relative_change();
   std::printf("250 mV SNM 90->32nm: %+.1f%% (paper: worse than -10%%)\n",
               -degradation * 100.0);
+  rec.metric("snm_250mV_drop_pct", degradation * 100.0);
 
-  const bool ok = degradation > 0.08 && degradation < 0.35;
-  bench::footer_shape(ok, "double-digit 250 mV SNM loss across the roadmap");
-  return ok ? 0 : 1;
+  return degradation > 0.08 && degradation < 0.35;
+      });
 }

@@ -5,6 +5,8 @@
 // the 32nm node, because of the leakage-constrained V_th choices and
 // degraded S_S.
 
+#include <algorithm>
+
 #include "common.h"
 #include "circuits/delay.h"
 #include "physics/units.h"
@@ -12,10 +14,13 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 5 — FO1 inverter delay, super-V_th scaling",
-                "nominal delay improves < 30 %/gen; 250 mV delay "
-                "non-monotonic (rises before the last node)");
-
+  return bench::run(
+      "fig05_delay", "Fig. 5 — FO1 inverter delay, super-V_th scaling",
+      "nominal delay improves < 30 %/gen; 250 mV delay non-monotonic "
+      "(rises before the last node)",
+      "nominal delay improves; the 250 mV delay is nearly flat — "
+      "scaling's benefit vanishes in subthreshold",
+      [](bench::Record& rec) {
   io::Series nom("tp_nominal"), sub("tp_250mV");
   io::TextTable t({"node", "tp @ Vdd,nom [ps]", "tp @ 250mV [ns]",
                    "tp,nom ratio/gen"});
@@ -60,10 +65,11 @@ int main() {
   std::printf("250mV per-gen ratios:  %.3f %.3f %.3f (paper: ~1 or above "
               "early; here nearly flat)\n",
               sub_ratios[0], sub_ratios[1], sub_ratios[2]);
+  rec.metric("tp_nominal_worst_gen_ratio",
+             *std::max_element(nom_ratios.begin(), nom_ratios.end()));
+  rec.metric("tp_250mV_worst_gen_ratio",
+             *std::max_element(sub_ratios.begin(), sub_ratios.end()));
 
-  const bool ok = nominal_improves_slowly && sub_barely_improves;
-  bench::footer_shape(ok,
-                      "nominal delay improves; the 250 mV delay is nearly "
-                      "flat — scaling's benefit vanishes in subthreshold");
-  return ok ? 0 : 1;
+  return nominal_improves_slowly && sub_barely_improves;
+      });
 }

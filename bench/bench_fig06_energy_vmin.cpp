@@ -14,10 +14,14 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 6 — energy/cycle and V_min, 30-inverter chain, a=0.1",
-                "energy falls 90->32nm; V_min rises ~40 mV; C_L S_S^2 "
-                "tracks the energy");
-
+  return bench::run(
+      "fig06_energy_vmin",
+      "Fig. 6 — energy/cycle and V_min, 30-inverter chain, a=0.1",
+      "energy falls 90->32nm; V_min rises ~40 mV; C_L S_S^2 tracks the "
+      "energy",
+      "energy falls, V_min rises tens of mV, C_L S_S^2 tracks measured "
+      "energy within 30%",
+      [](bench::Record& rec) {
   io::Series energy("energy_fJ"), vmin("vmin_mV"), factor("cl_ss2_norm");
   io::TextTable t({"node", "Vmin [mV]", "E/cycle [fJ]", "E_dyn [fJ]",
                    "E_leak [fJ]", "CL*SS^2 (norm)"});
@@ -57,10 +61,9 @@ int main() {
     if (std::abs(factor[i].y / measured - 1.0) > 0.30) factor_tracks = false;
   }
 
-  const bool ok = energy.total_relative_change() < -0.25 && dvmin_mv > 10.0 &&
-                  dvmin_mv < 80.0 && factor_tracks;
-  bench::footer_shape(ok,
-                      "energy falls, V_min rises tens of mV, C_L S_S^2 "
-                      "tracks measured energy within 30%");
-  return ok ? 0 : 1;
+  rec.metric("vmin_rise_mv", dvmin_mv);
+  rec.metric("energy_change_pct", energy.total_relative_change() * 100.0);
+  return energy.total_relative_change() < -0.25 && dvmin_mv > 10.0 &&
+         dvmin_mv < 80.0 && factor_tracks;
+      });
 }

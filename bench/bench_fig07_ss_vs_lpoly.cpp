@@ -13,10 +13,13 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 7 — S_S vs L_poly for the 45nm device",
-                "fixed-doping curve sits above the per-L_poly optimized "
-                "curve; both flatten at long L_poly");
-
+  return bench::run(
+      "fig07_ss_vs_lpoly", "Fig. 7 — S_S vs L_poly for the 45nm device",
+      "fixed-doping curve sits above the per-L_poly optimized curve; "
+      "both flatten at long L_poly",
+      "S_S improves with gate length; doping co-optimization is never "
+      "worse than the fixed profile",
+      [](bench::Record& rec) {
   const auto& node = scaling::node_by_name("45nm");
   const auto super_dev =
       scaling::design_supervth_device(node, bench::study().calibration());
@@ -46,9 +49,8 @@ int main() {
   // Shape: both curves fall with length; optimized <= fixed throughout.
   const bool both_fall = fixed.total_relative_change() < 0.0 &&
                          opt.total_relative_change() < 0.0;
-  const bool ok = both_fall && optimized_never_worse;
-  bench::footer_shape(ok,
-                      "S_S improves with gate length; doping co-optimization "
-                      "is never worse than the fixed profile");
-  return ok ? 0 : 1;
+  rec.metric("ss_fixed_change_pct", fixed.total_relative_change() * 100.0);
+  rec.metric("ss_opt_change_pct", opt.total_relative_change() * 100.0);
+  return both_fall && optimized_never_worse;
+      });
 }

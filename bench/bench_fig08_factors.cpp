@@ -12,9 +12,12 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 8 — energy and delay factors vs L_poly (45nm device)",
-                "energy-optimal L_poly = 60nm; shallow delay minimum");
-
+  return bench::run(
+      "fig08_factors",
+      "Fig. 8 — energy and delay factors vs L_poly (45nm device)",
+      "energy-optimal L_poly = 60nm; shallow delay minimum",
+      "interior energy optimum near 60nm; choosing it costs <10% delay",
+      [](bench::Record& rec) {
   const auto& node = scaling::node_by_name("45nm");
   io::Series efac("energy_factor"), dfac("delay_factor");
   io::TextTable t({"Lpoly [nm]", "CL*SS^2 (norm)", "CL*SS/Ioff (norm)"});
@@ -58,9 +61,8 @@ int main() {
   }
   const bool shallow = d_at_eopt / d_min < 1.10;
 
-  const bool ok = interior && near_paper && shallow;
-  bench::footer_shape(ok,
-                      "interior energy optimum near 60nm; choosing it costs "
-                      "<10% delay");
-  return ok ? 0 : 1;
+  rec.metric("energy_optimal_lpoly_nm", e_argmin);
+  rec.metric("delay_cost_at_eopt", d_at_eopt / d_min);
+  return interior && near_paper && shallow;
+      });
 }

@@ -10,9 +10,12 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 9 — L_poly and S_S under both strategies",
-                "sub-V_th: longer gates, slower scaling, flat S_S ~80 mV/dec");
-
+  return bench::run(
+      "fig09_lpoly_ss", "Fig. 9 — L_poly and S_S under both strategies",
+      "sub-V_th: longer gates, slower scaling, flat S_S ~80 mV/dec",
+      "sub-V_th gates longer, scaling slower than 30%/gen, S_S pinned "
+      "near 80 mV/dec",
+      [](bench::Record& rec) {
   io::Series lp_super("lpoly_super"), lp_sub("lpoly_sub");
   io::Series ss_super("ss_super"), ss_sub("ss_sub");
   io::TextTable t({"node", "Lpoly super [nm]", "Lpoly sub [nm]",
@@ -47,9 +50,8 @@ int main() {
 
   const bool flat = drift < 3.0 &&
                     std::abs(ss_sub.points().front().y - 80.0) < 3.0;
-  const bool ok = sub_longer && sub_scales_slower && flat;
-  bench::footer_shape(ok,
-                      "sub-V_th gates longer, scaling slower than 30%/gen, "
-                      "S_S pinned near 80 mV/dec");
-  return ok ? 0 : 1;
+  rec.metric("ss_sub_drift_mv_dec", drift);
+  rec.metric("lpoly_sub_32nm_nm", lp_sub.points().back().y);
+  return sub_longer && sub_scales_slower && flat;
+      });
 }

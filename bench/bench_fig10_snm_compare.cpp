@@ -11,9 +11,12 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 10 — inverter SNM under both strategies (250 mV)",
-                "sub-V_th SNM nearly constant; +19 % over super-V_th at 32nm");
-
+  return bench::run(
+      "fig10_snm_compare",
+      "Fig. 10 — inverter SNM under both strategies (250 mV)",
+      "sub-V_th SNM nearly constant; +19 % over super-V_th at 32nm",
+      "double-digit SNM advantage at 32nm; sub-V_th SNM nearly flat",
+      [](bench::Record& rec) {
   const double vdd = bench::study().options().vdd_subthreshold;
   io::Series snm_super("snm_super"), snm_sub("snm_sub");
   io::TextTable t(
@@ -37,8 +40,8 @@ int main() {
               "constant)\n",
               sub_drift * 100.0);
 
-  const bool ok = gain_32 > 0.10 && gain_32 < 0.35 && sub_drift < 0.08;
-  bench::footer_shape(
-      ok, "double-digit SNM advantage at 32nm; sub-V_th SNM nearly flat");
-  return ok ? 0 : 1;
+  rec.metric("snm_advantage_32nm_pct", gain_32 * 100.0);
+  rec.metric("snm_sub_drift_pct", sub_drift * 100.0);
+  return gain_32 > 0.10 && gain_32 < 0.35 && sub_drift < 0.08;
+      });
 }

@@ -10,10 +10,13 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 11 — FO1 delay at 250 mV under both strategies",
-                "sub-V_th: ~18 %/gen monotone reduction; super-V_th: "
-                "non-monotonic");
-
+  return bench::run(
+      "fig11_delay_compare",
+      "Fig. 11 — FO1 delay at 250 mV under both strategies",
+      "sub-V_th: ~18 %/gen monotone reduction; super-V_th: non-monotonic",
+      "sub-V_th delay falls monotonically every generation (graceful "
+      "scaling)",
+      [](bench::Record& rec) {
   io::Series tp_super("tp_super"), tp_sub("tp_sub");
   io::TextTable t({"node", "tp super [ns]", "tp sub [ns]", "super (norm)",
                    "sub (norm)"});
@@ -42,8 +45,7 @@ int main() {
     worst = std::max(worst, r);
   }
   const bool per_gen_reduction = worst < 0.95;  // a real reduction each gen
-  const bool ok = sub_monotone && per_gen_reduction;
-  bench::footer_shape(ok, "sub-V_th delay falls monotonically every "
-                          "generation (graceful scaling)");
-  return ok ? 0 : 1;
+  rec.metric("tp_sub_worst_gen_ratio", worst);
+  return sub_monotone && per_gen_reduction;
+      });
 }

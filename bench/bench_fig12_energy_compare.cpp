@@ -12,10 +12,14 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Fig. 12 — energy and V_min under both strategies",
-                "sub-V_th: less energy at V_min (paper -23% at 32nm) and a "
-                "nearly constant V_min");
-
+  return bench::run(
+      "fig12_energy_compare",
+      "Fig. 12 — energy and V_min under both strategies",
+      "sub-V_th: less energy at V_min (paper -23% at 32nm) and a nearly "
+      "constant V_min",
+      "sub-V_th saving grows with scaling and is double-digit at 32nm; "
+      "sub V_min flat while super V_min rises",
+      [](bench::Record& rec) {
   io::Series e_super("e_super"), e_sub("e_sub");
   io::Series v_super("vmin_super"), v_sub("vmin_sub");
   io::TextTable t({"node", "Vmin super [mV]", "Vmin sub [mV]",
@@ -53,10 +57,10 @@ int main() {
 
   const bool saving_grows =
       saving_32 > 1.0 - e_sub[1].y / e_super[1].y;
-  const bool ok = saving_32 > 0.08 && sub_vmin_drift < 20.0 &&
-                  super_vmin_drift > 10.0 && saving_grows;
-  bench::footer_shape(ok,
-                      "sub-V_th saving grows with scaling and is double-digit "
-                      "at 32nm; sub V_min flat while super V_min rises");
-  return ok ? 0 : 1;
+  rec.metric("energy_saving_32nm_pct", saving_32 * 100.0);
+  rec.metric("vmin_drift_sub_mv", sub_vmin_drift);
+  rec.metric("vmin_drift_super_mv", super_vmin_drift);
+  return saving_32 > 0.08 && sub_vmin_drift < 20.0 &&
+         super_vmin_drift > 10.0 && saving_grows;
+      });
 }

@@ -8,10 +8,12 @@
 using namespace subscale;
 
 int main() {
-  bench::header("Table 1 — generalized scaling",
-                "dimensions 1/a, doping ea, Vdd e/a, area 1/a^2, delay 1/a, "
-                "power e^2/a^2");
-
+  return bench::run(
+      "table1_generalized", "Table 1 — generalized scaling",
+      "dimensions 1/a, doping ea, Vdd e/a, area 1/a^2, delay 1/a, "
+      "power e^2/a^2",
+      "constant-field limit identities hold",
+      [](bench::Record& rec) {
   const double alpha = 1.0 / 0.7;  // the 30 %/generation shrink
   for (const double eps : {1.0, 1.1}) {
     const auto f = scaling::generalized_scaling(alpha, eps);
@@ -28,8 +30,9 @@ int main() {
 
   // Shape check: Dennard limit recovers the textbook identities.
   const auto d = scaling::generalized_scaling(alpha, 1.0);
-  const bool ok = d.power == d.area && d.delay == d.physical_dimensions &&
-                  d.supply_voltage == d.physical_dimensions;
-  bench::footer_shape(ok, "constant-field limit identities hold");
-  return ok ? 0 : 1;
+  rec.metric("alpha", alpha);
+  rec.metric("dennard_delay_factor", d.delay);
+  return d.power == d.area && d.delay == d.physical_dimensions &&
+         d.supply_voltage == d.physical_dimensions;
+      });
 }

@@ -10,11 +10,13 @@
 using namespace subscale;
 
 int main() {
-  bench::header(
-      "Table 3 — NFET parameters under sub-V_th scaling",
+  return bench::run(
+      "table3_subvth", "Table 3 — NFET parameters under sub-V_th scaling",
       "Lpoly 95/75/60/45nm, Nsub 1.61/1.99/2.53/3.19e18, Nhalo 2.02/2.73/"
-      "2.93/4.89e18, CL*SS^2 1.00/0.80/0.65/0.51, CL*SS 1.00/0.80/0.65/0.50");
-
+      "2.93/4.89e18, CL*SS^2 1.00/0.80/0.65/0.51, CL*SS 1.00/0.80/0.65/0.50",
+      "energy-optimal Lpoly within 15% of Table 3 at every node; both "
+      "factors fall monotonically",
+      [](bench::Record& rec) {
   struct PaperRow {
     double lpoly, nsub, nhalo, efac, dfac;
   };
@@ -60,8 +62,9 @@ int main() {
   }
   std::printf("%s\n", t.render(2).c_str());
 
-  bench::footer_shape(lpoly_within && factors_fall,
-                      "energy-optimal Lpoly within 15% of Table 3 at every "
-                      "node; both factors fall monotonically");
-  return (lpoly_within && factors_fall) ? 0 : 1;
+  rec.metric("lpoly_opt_32nm_nm", devices.back().lpoly_opt_nm);
+  rec.metric("energy_factor_32nm", devices.back().energy_factor_raw / e0);
+  rec.metric("delay_factor_32nm", devices.back().delay_factor_raw / d0);
+  return lpoly_within && factors_fall;
+      });
 }

@@ -15,10 +15,13 @@
 using namespace subscale;
 
 int main() {
-  bench::header("TCAD cross-validation — 2-D drift-diffusion vs compact",
-                "MEDICI-class device simulation must agree with the "
-                "calibrated analytical model on S_S and leakage scale");
-
+  return bench::run(
+      "tcad_validation",
+      "TCAD cross-validation — 2-D drift-diffusion vs compact",
+      "MEDICI-class device simulation must agree with the calibrated "
+      "analytical model on S_S and leakage scale",
+      "S_S within 20%, clean exponential over >3 decades, positive DIBL",
+      [](bench::Record& rec) {
   const auto spec = compact::make_spec_from_table(
       doping::Polarity::kNfet, 65, 2.10, 1.52e18, 3.63e18, 1.2, 1.0);
   const compact::CompactMosfet fet(spec);
@@ -57,12 +60,11 @@ int main() {
   const double ss_err = std::abs(ex.ss / fet.subthreshold_swing() - 1.0);
   const double decades =
       std::log10(sweep.back().id / sweep.front().id);
-  const bool ok = ss_err < 0.20 && i_hi > i_lo && decades > 3.0 &&
-                  ex.ss_r2 > 0.995 && resilience.all_converged();
   std::printf("S_S agreement: %.1f%%; sweep spans %.1f decades\n",
               ss_err * 100.0, decades);
-  bench::footer_shape(ok,
-                      "S_S within 20%, clean exponential over >3 decades, "
-                      "positive DIBL");
-  return ok ? 0 : 1;
+  rec.metric("ss_error_pct", ss_err * 100.0);
+  rec.metric("sweep_decades", decades);
+  return ss_err < 0.20 && i_hi > i_lo && decades > 3.0 &&
+         ex.ss_r2 > 0.995 && resilience.all_converged();
+      });
 }

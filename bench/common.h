@@ -2,12 +2,20 @@
 
 /// Shared scaffolding for the figure/table reproduction benches. Every
 /// bench prints the paper's reported values next to this library's
-/// measured values, and states the shape criterion it targets.
+/// measured values, states the shape criterion it targets, and emits a
+/// machine-readable BENCH_<name>.json timing record through bench::run
+/// so cross-run trajectories (wall time, headline metrics, shape
+/// verdict) can be tracked without scraping stdout.
 
+#include <chrono>
 #include <cstdio>
+#include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/scaling_study.h"
+#include "exec/policy.h"
 #include "io/series.h"
 #include "io/table.h"
 
@@ -34,6 +42,85 @@ inline void footer_shape(bool ok, const char* what) {
 inline double node_nm(std::size_t i) {
   static const double kNm[4] = {90.0, 65.0, 45.0, 32.0};
   return kNm[i];
+}
+
+/// Headline numbers a bench wants in its JSON record, insertion-ordered.
+class Record {
+ public:
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+  const std::vector<std::pair<std::string, double>>& metrics() const {
+    return metrics_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // keys are ASCII ids
+    out.push_back(c);
+  }
+  return out;
+}
+
+inline void write_record(const std::string& name, bool ok, double wall_ms,
+                         const Record& record) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(name).c_str());
+  std::fprintf(f, "  \"shape_ok\": %s,\n", ok ? "true" : "false");
+  std::fprintf(f, "  \"wall_ms\": %.3f,\n", wall_ms);
+  std::fprintf(f, "  \"threads\": %zu,\n",
+               subscale::exec::global_policy().resolved_threads());
+  std::fprintf(f, "  \"metrics\": {");
+  const auto& metrics = record.metrics();
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                 json_escape(metrics[i].first).c_str(), metrics[i].second);
+  }
+  std::fprintf(f, "%s}\n}\n", metrics.empty() ? "" : "\n  ");
+  std::fclose(f);
+}
+
+}  // namespace detail
+
+/// The common bench driver: prints the header, times the body, prints
+/// the shape verdict, writes BENCH_<name>.json, and returns the process
+/// exit code. The body fills `Record` with its headline metrics and
+/// returns whether the shape criterion held.
+inline int run(const char* name, const char* title, const char* paper_claim,
+               const char* shape_criterion,
+               const std::function<bool(Record&)>& body) {
+  header(title, paper_claim);
+  Record record;
+  const auto start = std::chrono::steady_clock::now();
+  bool ok = false;
+  try {
+    ok = body(record);
+  } catch (const std::exception& e) {
+    std::printf("bench aborted: %s\n", e.what());
+  }
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  footer_shape(ok, shape_criterion);
+  std::printf("wall time: %.1f ms (record: BENCH_%s.json)\n\n", wall_ms, name);
+  detail::write_record(name, ok, wall_ms, record);
+  return ok ? 0 : 1;
 }
 
 }  // namespace bench

@@ -1,11 +1,14 @@
 #include "circuits/variability.h"
 
+#include <algorithm>
 #include <cmath>
 #include <random>
 #include <stdexcept>
 #include <vector>
 
 #include "circuits/delay.h"
+#include "exec/parallel.h"
+#include "exec/rng.h"
 #include "physics/constants.h"
 
 namespace subscale::circuits {
@@ -38,34 +41,47 @@ DelayVariabilityResult delay_variability(const InverterDevices& inv,
   if (options.samples < 2) {
     throw std::invalid_argument("delay_variability: need >= 2 samples");
   }
-  std::mt19937_64 rng(options.seed);
-  std::normal_distribution<double> gauss(0.0, 1.0);
+  if (options.shard_size < 1) {
+    throw std::invalid_argument("delay_variability: shard_size must be >= 1");
+  }
   const double sigma_n = mismatch.sigma_vth(inv.nfet->spec());
   const double sigma_p = mismatch.sigma_vth(inv.pfet->spec());
 
-  std::vector<double> delays;
-  delays.reserve(options.samples);
-  for (std::size_t s = 0; s < options.samples; ++s) {
-    InverterDevices sample = inv;
-    sample.nfet = shifted(*inv.nfet, sigma_n * gauss(rng));
-    sample.pfet = shifted(*inv.pfet, sigma_p * gauss(rng));
-    double tp = 0.0;
-    if (options.simulate_transient) {
-      tp = fo1_delay(sample).tp;
-    } else {
-      // Per-transition Eq. 4: each edge is driven by one device, so the
-      // two V_th shifts enter separate exponentials (this is what makes
-      // the delay distribution lognormal).
-      const double cl = sample.stage_capacitance();
-      const double v = sample.vdd;
-      const double tphl =
-          options.kd * cl * v / sample.nfet->drain_current(v, v);
-      const double tplh =
-          options.kd * cl * v / sample.pfet->drain_current(v, v);
-      tp = 0.5 * (tphl + tplh);
+  // Fixed-size shards, each drawing from its own counter-derived RNG
+  // stream: the sample at a given global index is the same no matter
+  // how many threads ran the Monte Carlo (or which one ran the shard).
+  const std::size_t n_shards =
+      (options.samples + options.shard_size - 1) / options.shard_size;
+  std::vector<double> delays(options.samples);
+  const auto run_shard = [&](std::size_t shard) {
+    std::mt19937_64 rng(exec::seed_stream(options.seed, shard));
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    const std::size_t begin = shard * options.shard_size;
+    const std::size_t end =
+        std::min(options.samples, begin + options.shard_size);
+    for (std::size_t s = begin; s < end; ++s) {
+      InverterDevices sample = inv;
+      sample.nfet = shifted(*inv.nfet, sigma_n * gauss(rng));
+      sample.pfet = shifted(*inv.pfet, sigma_p * gauss(rng));
+      double tp = 0.0;
+      if (options.simulate_transient) {
+        tp = fo1_delay(sample).tp;
+      } else {
+        // Per-transition Eq. 4: each edge is driven by one device, so
+        // the two V_th shifts enter separate exponentials (this is what
+        // makes the delay distribution lognormal).
+        const double cl = sample.stage_capacitance();
+        const double v = sample.vdd;
+        const double tphl =
+            options.kd * cl * v / sample.nfet->drain_current(v, v);
+        const double tplh =
+            options.kd * cl * v / sample.pfet->drain_current(v, v);
+        tp = 0.5 * (tphl + tplh);
+      }
+      delays[s] = tp;
     }
-    delays.push_back(tp);
-  }
+  };
+  exec::rethrow_first(exec::parallel_for(n_shards, run_shard, options.exec));
 
   DelayVariabilityResult r;
   r.samples = delays.size();

@@ -19,6 +19,7 @@
 #include <cstdint>
 
 #include "circuits/inverter.h"
+#include "exec/policy.h"
 
 namespace subscale::circuits {
 
@@ -49,6 +50,13 @@ struct VariabilityOptions {
   /// (three orders of magnitude faster, same distribution shape).
   bool simulate_transient = false;
   double kd = 0.69;  ///< analytical-delay fitting constant
+  /// Samples per RNG shard. Each shard draws from its own stream
+  /// (exec::seed_stream(seed, shard)), so the sampled V_th shifts — and
+  /// therefore every statistic — are bitwise-identical at any thread
+  /// count. Changing shard_size changes the sample set (like changing
+  /// the seed); changing `exec` never does.
+  std::size_t shard_size = 32;
+  exec::ExecPolicy exec{};  ///< Monte-Carlo fan-out across shards
 };
 
 /// Monte-Carlo FO1 delay variability of an inverter whose N and P

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "exec/parallel.h"
+
 namespace subscale::core {
 
 ScalingStudy::ScalingStudy(const compact::Calibration& calib,
@@ -10,16 +12,16 @@ ScalingStudy::ScalingStudy(const compact::Calibration& calib,
 
 const std::vector<scaling::DesignedDevice>& ScalingStudy::super_devices()
     const {
-  if (super_.empty()) {
+  std::call_once(super_once_, [this] {
     super_ = scaling::supervth_roadmap(calib_, options_.super);
-  }
+  });
   return super_;
 }
 
 const std::vector<scaling::SubVthDevice>& ScalingStudy::sub_devices() const {
-  if (sub_.empty()) {
+  std::call_once(sub_once_, [this] {
     sub_ = scaling::subvth_roadmap(options_.sub, calib_);
-  }
+  });
   return sub_;
 }
 
@@ -43,6 +45,8 @@ circuits::InverterDevices ScalingStudy::sub_inverter(std::size_t i,
 std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
     const TcadValidationOptions& options) const {
   const bool sub = options.strategy == Strategy::kSubVth;
+  // Force the lazy roadmap before the fan-out so every task reads an
+  // immutable cache (call_once makes even a racing first touch safe).
   const std::size_t n_nodes =
       sub ? sub_devices().size() : super_devices().size();
 
@@ -50,13 +54,19 @@ std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
   if (nodes.empty()) {
     for (std::size_t i = 0; i < n_nodes; ++i) nodes.push_back(i);
   }
-
-  std::vector<TcadNodeValidation> results;
-  results.reserve(nodes.size());
   for (const std::size_t i : nodes) {
     if (i >= n_nodes) {
       throw std::out_of_range("ScalingStudy::tcad_validation: bad node index");
     }
+  }
+
+  // One task per node, each with its own TcadDevice (mesh + solver
+  // state are per-task, nothing is shared across tasks). In strict
+  // mode the solver exception escapes the task, is captured by the
+  // runtime, and the lowest-index failure is rethrown below — the same
+  // failure a serial strict run surfaces first.
+  const auto run_node = [&](std::size_t k) {
+    const std::size_t i = nodes[k];
     const compact::DeviceSpec& spec =
         sub ? sub_devices()[i].device.spec : super_devices()[i].spec;
     TcadNodeValidation result;
@@ -76,9 +86,11 @@ std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
       // mesh or to reach equilibrium at all; record and move on.
       result.error = e.what();
     }
-    results.push_back(std::move(result));
-  }
-  return results;
+    return result;
+  };
+
+  return exec::values_or_throw(exec::parallel_map<TcadNodeValidation>(
+      nodes.size(), run_node, options.exec));
 }
 
 }  // namespace subscale::core

@@ -6,11 +6,13 @@
 /// devices, and hands out circuit-level views (inverters) for the
 /// figure-reproduction experiments. Every bench builds on this class.
 
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "circuits/inverter.h"
 #include "compact/calibration.h"
+#include "exec/policy.h"
 #include "scaling/subvth_strategy.h"
 #include "scaling/supervth_strategy.h"
 #include "tcad/device_sim.h"
@@ -33,11 +35,15 @@ struct TcadValidationOptions {
   double vg_start = 0.0;
   double vg_stop = 0.45;
   std::size_t points = 10;
-  /// Rethrow the first solver failure instead of recording and
-  /// continuing with the remaining bias points / nodes.
+  /// Rethrow the first solver failure (in node order) instead of
+  /// recording and continuing with the remaining bias points / nodes.
   bool strict = false;
   tcad::MeshOptions mesh;
   tcad::GummelOptions gummel;
+  /// Node fan-out: each node gets its own TcadDevice task. Results are
+  /// bitwise-identical at every thread count; {threads = 1} is the
+  /// exact serial path.
+  exec::ExecPolicy exec{};
 };
 
 /// Outcome of validating one designed node against the TCAD backend.
@@ -66,7 +72,8 @@ class ScalingStudy {
     return scaling::paper_nodes()[i];
   }
 
-  /// Designed devices (lazily computed once).
+  /// Designed devices (lazily computed once; safe to call from many
+  /// threads — initialization is guarded by std::call_once).
   const std::vector<scaling::DesignedDevice>& super_devices() const;
   const std::vector<scaling::SubVthDevice>& sub_devices() const;
 
@@ -87,6 +94,8 @@ class ScalingStudy {
  private:
   compact::Calibration calib_;
   StudyOptions options_;
+  mutable std::once_flag super_once_;
+  mutable std::once_flag sub_once_;
   mutable std::vector<scaling::DesignedDevice> super_;
   mutable std::vector<scaling::SubVthDevice> sub_;
 };

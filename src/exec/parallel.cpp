@@ -1,0 +1,79 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "exec/task_pool.h"
+
+namespace subscale::exec {
+
+namespace {
+
+TaskError capture(std::size_t index) {
+  TaskError error;
+  error.index = index;
+  error.exception = std::current_exception();
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    error.message = e.what();
+  } catch (...) {
+    error.message = "unknown exception";
+  }
+  return error;
+}
+
+std::vector<TaskError> serial_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  std::vector<TaskError> errors;
+  for (std::size_t i = 0; i < n; ++i) {
+    try {
+      fn(i);
+    } catch (...) {
+      errors.push_back(capture(i));
+    }
+  }
+  return errors;
+}
+
+}  // namespace
+
+std::vector<TaskError> parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn,
+    const ExecPolicy& policy) {
+  const std::size_t threads = std::min(policy.resolved_threads(), n);
+  if (threads <= 1 || TaskPool::on_worker_thread()) {
+    return serial_for(n, fn);
+  }
+
+  std::vector<TaskError> errors;
+  std::mutex errors_mu;
+  {
+    TaskPool pool(threads);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&fn, &errors, &errors_mu, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          TaskError error = capture(i);
+          std::lock_guard<std::mutex> lock(errors_mu);
+          errors.push_back(std::move(error));
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+  std::sort(errors.begin(), errors.end(),
+            [](const TaskError& a, const TaskError& b) {
+              return a.index < b.index;
+            });
+  return errors;
+}
+
+void rethrow_first(const std::vector<TaskError>& errors) {
+  if (!errors.empty() && errors.front().exception) {
+    std::rethrow_exception(errors.front().exception);
+  }
+}
+
+}  // namespace subscale::exec

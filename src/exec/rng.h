@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file rng.h
+/// Deterministic per-shard RNG stream derivation for parallel Monte
+/// Carlo. A workload that shards its samples into fixed-size blocks and
+/// seeds each block with seed_stream(base, block_index) produces
+/// bitwise-identical results at every thread count: the stream layout
+/// depends only on the shard index, never on which worker ran it.
+
+#include <cstdint>
+
+namespace subscale::exec {
+
+/// SplitMix64 finalizer — a cheap, well-mixed 64-bit permutation
+/// (Steele et al., "Fast splittable pseudorandom number generators").
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seed for the `stream`-th independent RNG stream derived from `base`.
+/// Distinct (base, stream) pairs land on well-separated seeds even when
+/// base seeds are small consecutive integers.
+constexpr std::uint64_t seed_stream(std::uint64_t base, std::uint64_t stream) {
+  return splitmix64(base ^ splitmix64(stream + 1));
+}
+
+}  // namespace subscale::exec

@@ -1,0 +1,68 @@
+#include "exec/task_pool.h"
+
+#include <stdexcept>
+
+namespace subscale::exec {
+
+namespace {
+
+thread_local bool tl_on_worker_thread = false;
+
+}  // namespace
+
+TaskPool::TaskPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void TaskPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      throw std::logic_error("TaskPool::submit: pool is shutting down");
+    }
+    queue_.push_back(std::move(task));
+    ++pending_;
+  }
+  work_ready_.notify_one();
+}
+
+void TaskPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool TaskPool::on_worker_thread() { return tl_on_worker_thread; }
+
+void TaskPool::worker_loop() {
+  tl_on_worker_thread = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--pending_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace subscale::exec

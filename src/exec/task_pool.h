@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file task_pool.h
+/// A fixed-size pool of worker threads draining one FIFO work queue.
+/// This is the only place in the library that owns threads; the
+/// parallel_for/parallel_map wrappers (exec/parallel.h) are what the
+/// compute layers actually call.
+///
+/// Tasks submitted to the pool must not throw — the wrappers catch
+/// per-task exceptions and return them as structured results, so a
+/// throwing task never takes a worker (or the process) down.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace subscale::exec {
+
+class TaskPool {
+ public:
+  /// Spawns `threads` workers (at least 1) that start draining the
+  /// queue immediately.
+  explicit TaskPool(std::size_t threads);
+
+  /// Finishes every queued task, then joins the workers.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueue one task. The task must not throw (see file comment).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished running (the queue
+  /// is empty and no worker is mid-task).
+  void wait_idle();
+
+  /// True when the calling thread is a worker of *any* TaskPool. Used
+  /// by the parallel_* wrappers to run nested parallelism inline
+  /// instead of deadlocking on a second pool's queue.
+  static bool on_worker_thread();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::size_t pending_ = 0;  ///< queued + currently running tasks
+  bool stop_ = false;
+};
+
+}  // namespace subscale::exec

@@ -56,18 +56,37 @@ ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
 ScalarMinimum scan_then_golden(const std::function<double(double)>& f,
                                double lo, double hi, std::size_t scan_points,
                                double x_tolerance) {
+  const BatchObjective serial_batch = [&](const std::vector<double>& xs) {
+    std::vector<double> values;
+    values.reserve(xs.size());
+    for (const double x : xs) values.push_back(f(x));
+    return values;
+  };
+  return scan_then_golden(serial_batch, f, lo, hi, scan_points, x_tolerance);
+}
+
+ScalarMinimum scan_then_golden(const BatchObjective& batch,
+                               const std::function<double(double)>& f,
+                               double lo, double hi, std::size_t scan_points,
+                               double x_tolerance) {
   if (scan_points < 3) {
     throw std::invalid_argument("scan_then_golden: need >= 3 scan points");
   }
   std::vector<double> xs(scan_points);
-  std::size_t best = 0;
-  double best_val = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < scan_points; ++i) {
     xs[i] = lo + (hi - lo) * static_cast<double>(i) /
                      static_cast<double>(scan_points - 1);
-    const double v = f(xs[i]);
-    if (v < best_val) {
-      best_val = v;
+  }
+  const std::vector<double> values = batch(xs);
+  if (values.size() != scan_points) {
+    throw std::invalid_argument(
+        "scan_then_golden: batch objective returned wrong count");
+  }
+  std::size_t best = 0;
+  double best_val = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < scan_points; ++i) {
+    if (values[i] < best_val) {
+      best_val = values[i];
       best = i;
     }
   }

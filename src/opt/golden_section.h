@@ -6,6 +6,7 @@
 /// and the calibration fits.
 
 #include <functional>
+#include <vector>
 
 namespace subscale::opt {
 
@@ -28,6 +29,20 @@ ScalarMinimum golden_section_minimize(const std::function<double(double)>& f,
 /// `scan_points` samples picks the best bracket, then golden-section
 /// refines inside it.
 ScalarMinimum scan_then_golden(const std::function<double(double)>& f,
+                               double lo, double hi, std::size_t scan_points,
+                               double x_tolerance);
+
+/// Evaluates a whole candidate grid in one call, returning f(x) for
+/// every x in order. The scan candidates are independent, so a caller
+/// can fan them out (see exec::parallel_map); the numerics are
+/// identical to the scalar scan for any evaluation order.
+using BatchObjective =
+    std::function<std::vector<double>(const std::vector<double>&)>;
+
+/// scan_then_golden with the scan stage routed through `batch` (the
+/// sequential golden refinement still uses the scalar `f`).
+ScalarMinimum scan_then_golden(const BatchObjective& batch,
+                               const std::function<double(double)>& f,
                                double lo, double hi, std::size_t scan_points,
                                double x_tolerance);
 

@@ -5,6 +5,7 @@
 
 #include "compact/mosfet.h"
 #include "compact/vth_model.h"
+#include "exec/parallel.h"
 #include "opt/bisection.h"
 #include "opt/golden_section.h"
 #include "physics/units.h"
@@ -119,9 +120,18 @@ SubVthDevice design_subvth_device(const NodeInput& node,
         optimize_subvth_doping(node, lpoly_nm, options, calib);
     return energy_factor(spec, calib);
   };
+  // The scan candidates are independent full doping co-optimizations —
+  // the expensive part of the design — so fan them out; the golden
+  // refinement that follows is sequential by nature.
+  const opt::BatchObjective scan_batch = [&](const std::vector<double>& xs) {
+    return exec::values_or_throw(exec::parallel_map<double>(
+        xs.size(), [&](std::size_t i) { return objective(xs[i]); },
+        options.exec));
+  };
   const opt::ScalarMinimum best = opt::scan_then_golden(
-      objective, node.lpoly_nm, options.lpoly_max_factor * node.lpoly_nm,
-      options.lpoly_scan_points, 0.2 /* nm resolution */);
+      scan_batch, objective, node.lpoly_nm,
+      options.lpoly_max_factor * node.lpoly_nm, options.lpoly_scan_points,
+      0.2 /* nm resolution */);
 
   SubVthDevice out;
   out.lpoly_opt_nm = best.x;
@@ -144,11 +154,13 @@ SubVthDevice design_subvth_device(const NodeInput& node,
 
 std::vector<SubVthDevice> subvth_roadmap(const SubVthOptions& options,
                                          const compact::Calibration& calib) {
-  std::vector<SubVthDevice> out;
-  for (const NodeInput& node : paper_nodes()) {
-    out.push_back(design_subvth_device(node, options, calib));
-  }
-  return out;
+  const auto& nodes = paper_nodes();
+  return exec::values_or_throw(exec::parallel_map<SubVthDevice>(
+      nodes.size(),
+      [&](std::size_t i) {
+        return design_subvth_device(nodes[i], options, calib);
+      },
+      options.exec));
 }
 
 }  // namespace subscale::scaling

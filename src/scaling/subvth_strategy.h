@@ -15,6 +15,7 @@
 
 #include <vector>
 
+#include "exec/policy.h"
 #include "scaling/supervth_strategy.h"
 #include "scaling/technology.h"
 
@@ -27,6 +28,13 @@ struct SubVthOptions {
   double lpoly_max_factor = 3.5;  ///< search L_poly in [min, factor*min]
   std::size_t lpoly_scan_points = 17;
   std::size_t split_iterations = 5;  ///< scale/split fixed-point sweeps
+  /// Fan-out policy for the independent design candidates: the L_poly
+  /// scan grid inside design_subvth_device (each candidate runs its own
+  /// doping co-optimization) and the nodes of subvth_roadmap. Results
+  /// are identical at every thread count; nested fan-out (roadmap over
+  /// nodes, scan per node) degrades the inner level to inline execution
+  /// instead of oversubscribing.
+  exec::ExecPolicy exec{};
 };
 
 /// Co-optimize doping at a fixed gate length (I_off constraint + flat

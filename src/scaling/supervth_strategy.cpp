@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "compact/mosfet.h"
+#include "exec/parallel.h"
 #include "opt/bisection.h"
 #include "physics/units.h"
 
@@ -88,11 +89,13 @@ DesignedDevice design_supervth_device(const NodeInput& node,
 
 std::vector<DesignedDevice> supervth_roadmap(
     const compact::Calibration& calib, const SuperVthOptions& options) {
-  std::vector<DesignedDevice> out;
-  for (const NodeInput& node : paper_nodes()) {
-    out.push_back(design_supervth_device(node, calib, options));
-  }
-  return out;
+  const auto& nodes = paper_nodes();
+  return exec::values_or_throw(exec::parallel_map<DesignedDevice>(
+      nodes.size(),
+      [&](std::size_t i) {
+        return design_supervth_device(nodes[i], calib, options);
+      },
+      options.exec));
 }
 
 }  // namespace subscale::scaling

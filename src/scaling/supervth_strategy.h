@@ -15,6 +15,7 @@
 
 #include "compact/calibration.h"
 #include "compact/device_spec.h"
+#include "exec/policy.h"
 #include "scaling/technology.h"
 
 namespace subscale::scaling {
@@ -36,6 +37,9 @@ struct SuperVthOptions {
   double nsub_lo_cm3 = 5e16;  ///< doping search window
   double nsub_hi_cm3 = 5e19;
   double long_channel_factor = 6.0;  ///< "long" device: this x L_poly
+  /// Roadmap fan-out: each node's design runs as its own task
+  /// (deterministic — node designs are independent and pure).
+  exec::ExecPolicy exec{};
 };
 
 /// Run Fig. 1(c) for one node.

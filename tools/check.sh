@@ -5,9 +5,13 @@
 #   SUBSCALE_SANITIZE=address ./tools/check.sh
 #   SUBSCALE_SANITIZE=undefined ./tools/check.sh
 #   SUBSCALE_SANITIZE=address,undefined ./tools/check.sh
+#   SUBSCALE_SANITIZE=thread ./tools/check.sh   # TSAN + concurrency tests
 #
 # Sanitized runs use their own build tree (build-asan, ...) so the plain
-# ./build tree stays warm.
+# ./build tree stays warm. The thread mode builds with -fsanitize=thread
+# and runs only the exec-layer / determinism suites (Exec*, TaskPool,
+# Parallel*) — TSAN slows the numeric suites ~10x for no extra coverage,
+# since everything else is single-threaded unless it goes through exec.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -16,10 +20,17 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 build_dir="$repo_root/build"
 cmake_args=()
+ctest_args=()
 if [[ -n "$sanitize" ]]; then
   case "$sanitize" in
     address) build_dir="$repo_root/build-asan" ;;
     undefined) build_dir="$repo_root/build-ubsan" ;;
+    thread)
+      build_dir="$repo_root/build-tsan"
+      # Only the suites that actually spin up threads.
+      ctest_args+=("-R" "^(Exec|TaskPool|Parallel)")
+      export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+      ;;
     *) build_dir="$repo_root/build-san" ;;
   esac
   cmake_args+=("-DSUBSCALE_SANITIZE=$sanitize")
@@ -29,4 +40,4 @@ fi
 
 cmake -B "$build_dir" -S "$repo_root" "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$jobs"
-ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${ctest_args[@]}"
