@@ -65,9 +65,9 @@ int main() {
   core::TcadValidationOptions options;  // all four nodes, default sweep
 
   std::vector<core::TcadNodeValidation> serial, parallel;
-  options.exec = exec::ExecPolicy::serial();
+  options.run.exec = exec::ExecPolicy::serial();
   const double serial_ms = timed_validation(options, serial);
-  options.exec = exec::ExecPolicy{4};
+  options.run.exec = exec::ExecPolicy{4};
   const double parallel_ms = timed_validation(options, parallel);
 
   const double speedup = serial_ms / parallel_ms;

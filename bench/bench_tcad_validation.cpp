@@ -27,8 +27,8 @@ int main() {
   const compact::CompactMosfet fet(spec);
 
   tcad::TcadDevice dev(spec);
-  const auto sweep = dev.id_vg(0.25, 0.0, 0.45, 12);
-  const auto& resilience = dev.last_sweep_report();
+  const tcad::SweepResult sweep = dev.id_vg(0.25, 0.0, 0.45, 12);
+  const auto& resilience = sweep.report;
   std::printf("sweep resilience: %zu/%zu bias points converged\n",
               resilience.attempted - resilience.failures.size(),
               resilience.attempted);
@@ -36,6 +36,12 @@ int main() {
     std::printf("  skipped vg=%.3fV: %s\n", failed.vg,
                 failed.report.summary().c_str());
   }
+  std::size_t gummel_iters = 0;
+  for (const auto& point : sweep.timings) {
+    gummel_iters += point.gummel_iterations;
+  }
+  std::printf("solver effort: %zu Gummel outer iterations over %zu points\n",
+              gummel_iters, sweep.timings.size());
   const auto ex = tcad::extract_from_sweep(sweep);
 
   io::TextTable t({"quantity", "TCAD (2-D DD)", "compact (calibrated)"});
@@ -59,11 +65,12 @@ int main() {
 
   const double ss_err = std::abs(ex.ss / fet.subthreshold_swing() - 1.0);
   const double decades =
-      std::log10(sweep.back().id / sweep.front().id);
+      std::log10(sweep.points.back().id / sweep.points.front().id);
   std::printf("S_S agreement: %.1f%%; sweep spans %.1f decades\n",
               ss_err * 100.0, decades);
   rec.metric("ss_error_pct", ss_err * 100.0);
   rec.metric("sweep_decades", decades);
+  rec.metric("gummel_outer_iterations", static_cast<double>(gummel_iters));
   return ss_err < 0.20 && i_hi > i_lo && decades > 3.0 &&
          ex.ss_r2 > 0.995 && resilience.all_converged();
       });

@@ -6,9 +6,19 @@
 /// machine-readable BENCH_<name>.json timing record through bench::run
 /// so cross-run trajectories (wall time, headline metrics, shape
 /// verdict) can be tracked without scraping stdout.
+///
+/// Telemetry: bench::run installs a process-wide MetricsRegistry (via
+/// obs::set_default_registry) before the body runs, preregisters the
+/// standard metric schema, and writes the snapshot into the record's
+/// "obs" block — so every BENCH json carries the full counter set
+/// (gummel/bicgstab iterations, retries, pool utilization, ...) and
+/// tools/bench_schema.sh can validate it. Set SUBSCALE_METRICS=0 (or
+/// "off") to benchmark the disabled-registry fast path.
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <utility>
@@ -18,6 +28,9 @@
 #include "exec/policy.h"
 #include "io/series.h"
 #include "io/table.h"
+#include "io/writer.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 
 namespace bench {
 
@@ -60,38 +73,60 @@ class Record {
 
 namespace detail {
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out.push_back('\\');
-    if (static_cast<unsigned char>(c) < 0x20) continue;  // keys are ASCII ids
-    out.push_back(c);
-  }
-  return out;
+/// The process-wide bench registry, or null when SUBSCALE_METRICS
+/// disables telemetry. Also installs itself as the default registry on
+/// first use so every layer below picks it up without plumbing.
+inline subscale::obs::MetricsRegistry* bench_registry() {
+  static subscale::obs::MetricsRegistry* reg = [] {
+    const char* env = std::getenv("SUBSCALE_METRICS");
+    if (env != nullptr &&
+        (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0)) {
+      return static_cast<subscale::obs::MetricsRegistry*>(nullptr);
+    }
+    static subscale::obs::MetricsRegistry registry;
+    subscale::obs::names::preregister_standard(registry);
+    subscale::obs::set_default_registry(&registry);
+    return &registry;
+  }();
+  return reg;
 }
 
 inline void write_record(const std::string& name, bool ok, double wall_ms,
                          const Record& record) {
+  namespace io = subscale::io;
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("bench");
+  w.value(name);
+  w.key("shape_ok");
+  w.value(ok);
+  w.key("wall_ms");
+  w.value(wall_ms);
+  w.key("threads");
+  w.value(static_cast<std::uint64_t>(
+      subscale::exec::global_policy().resolved_threads()));
+  w.key("metrics");
+  w.begin_object();
+  for (const auto& [key, value] : record.metrics()) {
+    w.key(key);
+    w.value(value);
+  }
+  w.end_object();
+  if (subscale::obs::MetricsRegistry* reg = bench_registry();
+      reg != nullptr) {
+    w.key("obs");
+    io::write_metrics_snapshot(w, reg->snapshot());
+  }
+  w.end_object();
+
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"bench\": \"%s\",\n", json_escape(name).c_str());
-  std::fprintf(f, "  \"shape_ok\": %s,\n", ok ? "true" : "false");
-  std::fprintf(f, "  \"wall_ms\": %.3f,\n", wall_ms);
-  std::fprintf(f, "  \"threads\": %zu,\n",
-               subscale::exec::global_policy().resolved_threads());
-  std::fprintf(f, "  \"metrics\": {");
-  const auto& metrics = record.metrics();
-  for (std::size_t i = 0; i < metrics.size(); ++i) {
-    std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
-                 json_escape(metrics[i].first).c_str(), metrics[i].second);
-  }
-  std::fprintf(f, "%s}\n}\n", metrics.empty() ? "" : "\n  ");
+  const std::string text = w.str();
+  std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
 }
 
@@ -104,6 +139,7 @@ inline void write_record(const std::string& name, bool ok, double wall_ms,
 inline int run(const char* name, const char* title, const char* paper_claim,
                const char* shape_criterion,
                const std::function<bool(Record&)>& body) {
+  detail::bench_registry();  // install telemetry before the body runs
   header(title, paper_claim);
   Record record;
   const auto start = std::chrono::steady_clock::now();

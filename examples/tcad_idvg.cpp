@@ -32,8 +32,8 @@ int main(int argc, char** argv) {
               dev.structure().mesh().ny(),
               dev.structure().mesh().node_count());
 
-  const auto sweep_lin = dev.id_vg(0.05, 0.0, 0.45, 12);
-  const auto sweep_sat = dev.id_vg(0.25, 0.0, 0.45, 12);
+  const tcad::SweepResult sweep_lin = dev.id_vg(0.05, 0.0, 0.45, 12);
+  const tcad::SweepResult sweep_sat = dev.id_vg(0.25, 0.0, 0.45, 12);
 
   io::TextTable t({"Vg [V]", "Id @ Vd=50mV [A/um]", "Id @ Vd=250mV [A/um]"});
   io::Series s_lin("id_vd50mV"), s_sat("id_vd250mV");
@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
   std::printf("%s\n", t.render(2).c_str());
 
   const auto ex = tcad::extract_from_sweep(sweep_sat);
-  const double dibl = tcad::extract_dibl(sweep_lin, 0.05, sweep_sat, 0.25);
+  const double dibl =
+      tcad::extract_dibl(sweep_lin.points, 0.05, sweep_sat.points, 0.25);
   std::printf("extraction (Vd = 250 mV sweep):\n");
   std::printf("  S_S   = %.1f mV/dec (r^2 = %.5f)\n", ex.ss * 1e3, ex.ss_r2);
   std::printf("  V_th  = %.0f mV (constant-current)\n", ex.vth_cc * 1e3);

@@ -3,12 +3,26 @@
 #include <stdexcept>
 
 #include "exec/parallel.h"
+#include "obs/names.h"
+#include "obs/timer.h"
 
 namespace subscale::core {
 
 ScalingStudy::ScalingStudy(const compact::Calibration& calib,
                            const StudyOptions& options)
-    : calib_(calib), options_(options) {}
+    : calib_(calib), options_(options) {
+  options_.run.validate();
+  // Fold the study-wide thread count into the strategy layers that are
+  // still on auto; an explicit per-strategy count keeps priority.
+  if (options_.run.exec.threads != 0) {
+    if (options_.super.exec.threads == 0) {
+      options_.super.exec = options_.run.exec;
+    }
+    if (options_.sub.exec.threads == 0) {
+      options_.sub.exec = options_.run.exec;
+    }
+  }
+}
 
 const std::vector<scaling::DesignedDevice>& ScalingStudy::super_devices()
     const {
@@ -44,6 +58,7 @@ circuits::InverterDevices ScalingStudy::sub_inverter(std::size_t i,
 
 std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
     const TcadValidationOptions& options) const {
+  options.run.validate();
   const bool sub = options.strategy == Strategy::kSubVth;
   // Force the lazy roadmap before the fan-out so every task reads an
   // immutable cache (call_once makes even a racing first touch safe).
@@ -65,6 +80,7 @@ std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
   // mode the solver exception escapes the task, is captured by the
   // runtime, and the lowest-index failure is rethrown below — the same
   // failure a serial strict run surfaces first.
+  obs::MetricsRegistry* sink = options.run.sink();
   const auto run_node = [&](std::size_t k) {
     const std::size_t i = nodes[k];
     const compact::DeviceSpec& spec =
@@ -72,25 +88,36 @@ std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
     TcadNodeValidation result;
     result.node = i;
     result.lpoly_nm = spec.geometry.lpoly * 1e9;
+    obs::ScopedTimer timer(sink, obs::names::kStudyNodeMs);
     try {
-      tcad::TcadDevice device(spec, options.mesh, options.gummel);
-      tcad::SweepOptions sweep_options;
-      sweep_options.strict = options.strict;
-      result.sweep = device.id_vg(options.vd, options.vg_start,
-                                  options.vg_stop, options.points,
-                                  sweep_options);
-      result.report = device.last_sweep_report();
+      tcad::TcadDevice device(spec, options.mesh, options.gummel,
+                              options.run);
+      tcad::SweepResult swept = device.id_vg(options.vd, options.vg_start,
+                                             options.vg_stop, options.points);
+      result.sweep = std::move(swept.points);
+      result.report = std::move(swept.report);
+      result.timings = std::move(swept.timings);
+      if (sink != nullptr) {
+        sink->counter(obs::names::kStudyNodesValidated).add(1);
+        if (!result.report.failures.empty()) {
+          sink->counter(obs::names::kStudySweepPointFailures)
+              .add(result.report.failures.size());
+        }
+      }
     } catch (const std::exception& e) {
-      if (options.strict) throw;
+      if (options.run.strict) throw;
       // Aggressive nodes (32nm-class literal structures) can fail to
       // mesh or to reach equilibrium at all; record and move on.
       result.error = e.what();
+      if (sink != nullptr) {
+        sink->counter(obs::names::kStudyNodeErrors).add(1);
+      }
     }
     return result;
   };
 
   return exec::values_or_throw(exec::parallel_map<TcadNodeValidation>(
-      nodes.size(), run_node, options.exec));
+      nodes.size(), run_node, options.run.exec));
 }
 
 }  // namespace subscale::core

@@ -12,7 +12,7 @@
 
 #include "circuits/inverter.h"
 #include "compact/calibration.h"
-#include "exec/policy.h"
+#include "exec/run_context.h"
 #include "scaling/subvth_strategy.h"
 #include "scaling/supervth_strategy.h"
 #include "tcad/device_sim.h"
@@ -23,6 +23,13 @@ struct StudyOptions {
   scaling::SuperVthOptions super;
   scaling::SubVthOptions sub;
   double vdd_subthreshold = 0.25;  ///< the paper's sub-V_th test supply [V]
+  /// Study-wide execution/telemetry context. An explicit thread count
+  /// here is folded into super.exec / sub.exec at construction when
+  /// those are still auto; a per-strategy explicit count always wins.
+  /// Full precedence: explicit per-layer > RunContext > SUBSCALE_THREADS
+  /// > hardware auto-detect (the env/auto steps live in
+  /// ExecPolicy::resolved_threads()).
+  exec::RunContext run{};
 };
 
 /// Which of the paper's two scaling strategies to pull devices from.
@@ -35,15 +42,16 @@ struct TcadValidationOptions {
   double vg_start = 0.0;
   double vg_stop = 0.45;
   std::size_t points = 10;
-  /// Rethrow the first solver failure (in node order) instead of
-  /// recording and continuing with the remaining bias points / nodes.
-  bool strict = false;
   tcad::MeshOptions mesh;
   tcad::GummelOptions gummel;
-  /// Node fan-out: each node gets its own TcadDevice task. Results are
-  /// bitwise-identical at every thread count; {threads = 1} is the
+  /// Execution + strictness + telemetry for the node fan-out (replaces
+  /// the old separate `strict`/`exec` knobs). run.exec drives the
+  /// per-node task fan-out; run.strict rethrows the first solver
+  /// failure (in node order) instead of recording and continuing;
+  /// run.metrics/run.trace flow into every device and sweep. Results
+  /// are bitwise-identical at every thread count; {threads = 1} is the
   /// exact serial path.
-  exec::ExecPolicy exec{};
+  exec::RunContext run{};
 };
 
 /// Outcome of validating one designed node against the TCAD backend.
@@ -55,6 +63,8 @@ struct TcadNodeValidation {
   std::string error;        ///< construction/equilibrium failure, if any
   std::vector<tcad::IdVgPoint> sweep;
   tcad::SweepReport report;  ///< per-point failures within the sweep
+  /// Per-point effort/wall-time records (diagnostic; see SweepResult).
+  std::vector<tcad::SweepPointRecord> timings;
   bool usable() const { return error.empty() && sweep.size() >= 2; }
 };
 

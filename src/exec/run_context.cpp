@@ -1,0 +1,17 @@
+#include "exec/run_context.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace subscale::exec {
+
+void RunContext::validate() const {
+  if (exec.threads > kMaxThreads) {
+    throw std::invalid_argument(
+        "RunContext: exec.threads = " + std::to_string(exec.threads) +
+        " exceeds the sanity cap of " + std::to_string(kMaxThreads) +
+        " (0 means auto; explicit counts are worker threads, not items)");
+  }
+}
+
+}  // namespace subscale::exec

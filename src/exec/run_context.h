@@ -1,0 +1,65 @@
+#pragma once
+
+/// \file run_context.h
+/// RunContext: the one object that travels top-down through the solver
+/// stack. It consolidates the knobs that PRs 1–2 had scattered across
+/// SweepOptions (`strict`), TcadValidationOptions (`strict` + `exec`),
+/// StudyOptions and bare ExecPolicy parameters:
+///
+///   * `exec`    — thread policy. Resolution precedence is documented
+///                 and tested: explicit per-layer ExecPolicy >
+///                 StudyOptions-level RunContext > SUBSCALE_THREADS >
+///                 hardware auto (see ExecPolicy::resolved_threads and
+///                 ScalingStudy's constructor).
+///   * `metrics` — telemetry sink. Null means "fall back to the
+///                 process-wide obs::default_registry()", which is
+///                 itself null unless installed — the zero-overhead
+///                 default.
+///   * `trace`   — optional structured event ring (stage enter/exit,
+///                 retry, step-halve, rollback, fault injection).
+///   * `strict`  — throw on the first solver failure instead of
+///                 recording it and continuing.
+///
+/// Like GummelOptions, a RunContext is validated at the point a
+/// component adopts it (TcadDevice, ScalingStudy), not at each field
+/// assignment.
+
+#include <cstddef>
+
+#include "exec/policy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace subscale::exec {
+
+struct RunContext {
+  ExecPolicy exec{};
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRing* trace = nullptr;
+  bool strict = false;
+
+  /// Fat-finger guard on explicit thread counts (a request for tens of
+  /// thousands of workers is always a unit mistake, not a policy).
+  static constexpr std::size_t kMaxThreads = 4096;
+
+  /// Throws std::invalid_argument naming the offending field
+  /// (GummelOptions::validate style). Called by every component
+  /// constructor/entry point that adopts the context.
+  void validate() const;
+
+  /// The telemetry sink this context resolves to: the explicit
+  /// registry, else the process default, else null (telemetry off).
+  obs::MetricsRegistry* sink() const {
+    return metrics != nullptr ? metrics : obs::default_registry();
+  }
+
+  std::size_t resolved_threads() const { return exec.resolved_threads(); }
+
+  static RunContext serial() {
+    RunContext ctx;
+    ctx.exec = ExecPolicy::serial();
+    return ctx;
+  }
+};
+
+}  // namespace subscale::exec

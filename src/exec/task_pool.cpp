@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/names.h"
+
 namespace subscale::exec {
 
 namespace {
@@ -10,8 +12,16 @@ thread_local bool tl_on_worker_thread = false;
 
 }  // namespace
 
-TaskPool::TaskPool(std::size_t threads) {
+TaskPool::TaskPool(std::size_t threads, obs::MetricsRegistry* metrics)
+    : metrics_(metrics), born_(std::chrono::steady_clock::now()) {
   if (threads == 0) threads = 1;
+  if (metrics_ != nullptr) {
+    // Look the instruments up once; submit/worker paths only touch
+    // atomics after this.
+    tasks_run_counter_ = &metrics_->counter(obs::names::kPoolTasksRun);
+    queue_depth_gauge_ = &metrics_->gauge(obs::names::kPoolQueueDepthMax);
+    metrics_->counter(obs::names::kPoolPools).add(1);
+  }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -25,9 +35,24 @@ TaskPool::~TaskPool() {
   }
   work_ready_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  if (metrics_ != nullptr) {
+    metrics_->gauge(obs::names::kPoolUtilizationPct).set(utilization_pct());
+  }
+}
+
+double TaskPool::utilization_pct() const {
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - born_)
+          .count());
+  if (!(wall_ns > 0.0)) return 0.0;
+  const double busy = static_cast<double>(
+      busy_ns_.load(std::memory_order_relaxed));
+  return 100.0 * busy / (wall_ns * static_cast<double>(workers_.size()));
 }
 
 void TaskPool::submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stop_) {
@@ -35,6 +60,10 @@ void TaskPool::submit(std::function<void()> task) {
     }
     queue_.push_back(std::move(task));
     ++pending_;
+    depth = queue_.size();
+  }
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->set_max(static_cast<double>(depth));
   }
   work_ready_.notify_one();
 }
@@ -57,7 +86,17 @@ void TaskPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    if (metrics_ != nullptr) {
+      busy_ns_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - start)
+                  .count()),
+          std::memory_order_relaxed);
+      tasks_run_counter_->add(1);
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (--pending_ == 0) all_done_.notify_all();

@@ -10,21 +10,30 @@
 /// per-task exceptions and return them as structured results, so a
 /// throwing task never takes a worker (or the process) down.
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace subscale::exec {
 
 class TaskPool {
  public:
   /// Spawns `threads` workers (at least 1) that start draining the
-  /// queue immediately.
-  explicit TaskPool(std::size_t threads);
+  /// queue immediately. `metrics` (default: the process-wide
+  /// obs::default_registry(), which may be null = telemetry off)
+  /// receives queue-depth / task-count / utilization instruments on
+  /// the pool's lifetime; see obs/names.h for the key set.
+  explicit TaskPool(std::size_t threads,
+                    obs::MetricsRegistry* metrics = obs::default_registry());
 
   /// Finishes every queued task, then joins the workers.
   ~TaskPool();
@@ -46,6 +55,11 @@ class TaskPool {
   /// instead of deadlocking on a second pool's queue.
   static bool on_worker_thread();
 
+  /// Fraction of worker capacity spent inside tasks so far, in percent
+  /// (busy ns / (threads * pool lifetime ns)). Exposed for tests; the
+  /// same number is published as a gauge when the pool dies.
+  double utilization_pct() const;
+
  private:
   void worker_loop();
 
@@ -56,6 +70,14 @@ class TaskPool {
   std::condition_variable all_done_;
   std::size_t pending_ = 0;  ///< queued + currently running tasks
   bool stop_ = false;
+
+  // Telemetry (instrument pointers cached once at construction; the
+  // registry outlives the pool by the default-registry contract).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* tasks_run_counter_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+  std::atomic<std::uint64_t> busy_ns_{0};  ///< sum of task run times
+  std::chrono::steady_clock::time_point born_;
 };
 
 }  // namespace subscale::exec

@@ -1,47 +1,29 @@
 #include "io/csv.h"
 
-#include <cmath>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+
+#include "io/writer.h"
 
 namespace subscale::io {
 
 std::string to_csv(const std::vector<Series>& series) {
-  if (series.empty()) {
-    throw std::invalid_argument("to_csv: no series");
-  }
-  const std::size_t n = series.front().size();
-  for (const Series& s : series) {
-    if (s.size() != n) {
-      throw std::invalid_argument("to_csv: series lengths differ");
-    }
-  }
-  std::ostringstream out;
-  out << "x";
-  for (const Series& s : series) out << ',' << s.name();
-  out << '\n';
-  for (std::size_t i = 0; i < n; ++i) {
-    const double x = series.front()[i].x;
-    for (const Series& s : series) {
-      if (std::abs(s[i].x - x) > 1e-12 * std::max(1.0, std::abs(x))) {
-        throw std::invalid_argument("to_csv: series x axes differ");
-      }
-    }
-    out << x;
-    for (const Series& s : series) out << ',' << s[i].y;
-    out << '\n';
-  }
-  return out.str();
+  // One serialization path for curves: the same column document that
+  // the JSON backend renders for BENCH records, through the CSV
+  // backend (see io/writer.h).
+  CsvWriter w;
+  write_series_document(w, series);
+  return w.str();
 }
 
 void write_csv_file(const std::string& path,
                     const std::vector<Series>& series) {
+  const std::string text = to_csv(series);
   std::ofstream file(path);
   if (!file) {
     throw std::runtime_error("write_csv_file: cannot open " + path);
   }
-  file << to_csv(series);
+  file << text;
   if (!file) {
     throw std::runtime_error("write_csv_file: write failed for " + path);
   }

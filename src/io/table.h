@@ -22,6 +22,8 @@ class TextTable {
   std::string render(int indent = 0) const;
 
   std::size_t row_count() const { return rows_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   std::vector<std::string> headers_;

@@ -5,11 +5,29 @@
 
 #include "linalg/dense.h"
 #include "linalg/ilu0.h"
+#include "obs/names.h"
 
 namespace subscale::linalg {
 
-IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
-                         const BicgstabOptions& options) {
+namespace {
+
+/// Publish one solve's counters in a single batch (no per-iteration
+/// registry traffic; the hot loop only bumps locals).
+void publish(obs::MetricsRegistry* sink, const IterativeResult& result) {
+  if (sink == nullptr) return;
+  sink->counter(obs::names::kBicgstabSolves).add(1);
+  sink->counter(obs::names::kBicgstabIterations).add(result.iterations);
+  if (result.breakdown) {
+    sink->counter(obs::names::kBicgstabBreakdowns).add(1);
+  }
+  if (!result.converged) {
+    sink->counter(obs::names::kBicgstabFailures).add(1);
+  }
+}
+
+IterativeResult bicgstab_impl(const CsrMatrix& a,
+                              const std::vector<double>& b,
+                              const BicgstabOptions& options) {
   const std::size_t n = a.size();
   if (b.size() != n) {
     throw std::invalid_argument("bicgstab: size mismatch");
@@ -113,6 +131,17 @@ IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
     rho_prev = rho;
   }
   result.residual_norm = r_norm;
+  return result;
+}
+
+}  // namespace
+
+IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
+                         const BicgstabOptions& options) {
+  const IterativeResult result = bicgstab_impl(a, b, options);
+  publish(options.metrics != nullptr ? options.metrics
+                                     : obs::default_registry(),
+          result);
   return result;
 }
 

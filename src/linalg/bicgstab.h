@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "linalg/csr_matrix.h"
+#include "obs/metrics.h"
 
 namespace subscale::linalg {
 
@@ -25,6 +26,10 @@ struct BicgstabOptions {
   std::size_t max_iterations = 2000;
   double relative_tolerance = 1e-10;
   double absolute_tolerance = 1e-300;
+  /// Telemetry sink for solve/iteration/breakdown counters (see
+  /// obs/names.h). Null falls back to obs::default_registry(); a null
+  /// resolved sink costs one pointer test per solve.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Solve A x = b with right-preconditioned BiCGSTAB.

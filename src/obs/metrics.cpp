@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace subscale::obs {
+
+namespace {
+
+std::atomic<MetricsRegistry*> g_default_registry{nullptr};
+
+/// CAS-loop add: std::atomic<double>::fetch_add is C++20 but the CAS
+/// form is portable across libstdc++ versions and equally TSAN-clean.
+void atomic_add(std::atomic<double>& target, double v) {
+  double expected = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(expected, expected + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::set_max(double v) {
+  double expected = value_.load(std::memory_order_relaxed);
+  while (expected < v && !value_.compare_exchange_weak(
+                             expected, v, std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(const BucketLayout& layout)
+    : layout_(layout), counts_(layout.count + 1) {
+  if (layout.bounds == nullptr || layout.count == 0) {
+    throw std::invalid_argument("Histogram: empty bucket layout");
+  }
+  for (std::size_t i = 1; i < layout.count; ++i) {
+    if (!(layout.bounds[i] > layout.bounds[i - 1])) {
+      throw std::invalid_argument("Histogram: bounds must be increasing");
+    }
+  }
+}
+
+void Histogram::record(double v) {
+  // Linear scan: layouts are ~16 buckets and most samples land low.
+  std::size_t i = 0;
+  while (i < layout_.count && v > layout_.bounds[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const BucketLayout& layout) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(layout))
+             .first;
+  } else if (it->second->layout().bounds != layout.bounds ||
+             it->second->layout().count != layout.count) {
+    throw std::invalid_argument("MetricsRegistry: histogram '" +
+                                std::string(name) +
+                                "' re-registered with a different layout");
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue v;
+    v.name = name;
+    v.count = h->count();
+    v.sum = h->sum();
+    const BucketLayout& layout = h->layout();
+    v.buckets.reserve(layout.count + 1);
+    for (std::size_t i = 0; i < layout.count; ++i) {
+      v.buckets.emplace_back(layout.bounds[i], h->bucket(i));
+    }
+    v.buckets.emplace_back(std::numeric_limits<double>::infinity(),
+                           h->bucket(layout.count));
+    snap.histograms.push_back(std::move(v));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) c->reset();
+  for (const auto& [name, g] : gauges_) g->reset();
+  for (const auto& [name, h] : histograms_) h->reset();
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+void set_default_registry(MetricsRegistry* registry) {
+  g_default_registry.store(registry, std::memory_order_release);
+}
+
+MetricsRegistry* default_registry() {
+  return g_default_registry.load(std::memory_order_acquire);
+}
+
+}  // namespace subscale::obs

@@ -1,0 +1,169 @@
+#pragma once
+
+/// \file metrics.h
+/// Low-overhead telemetry for the solver stack: a MetricsRegistry of
+/// named counters, gauges and histograms (fixed bucket layouts).
+///
+/// Cost model — the reason this file exists instead of a logging call:
+///   * instruments are plain atomics; add/set/record never allocate and
+///     never take the registry lock;
+///   * looking an instrument up by name takes the registry mutex once —
+///     hot loops cache the returned reference (stable for the registry's
+///     lifetime) and accumulate locally before publishing;
+///   * when no registry is installed every instrumented call site is a
+///     single null-pointer test (see the disabled-registry overhead test
+///     in tests/test_obs.cpp).
+///
+/// Determinism contract: counter totals and histogram bucket tallies are
+/// integer sums of per-event increments, so for work whose event count
+/// is thread-count-invariant (Gummel iterations, retries, sweep points)
+/// the snapshot values are bitwise identical at any thread count.
+/// Histogram `sum` is a floating-point accumulation in completion order
+/// and timing gauges measure the wall clock — those are diagnostic only.
+///
+/// This layer is dependency-free (std only): exec, linalg, io, tcad and
+/// core all link against it without cycles.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace subscale::obs {
+
+/// Monotonically increasing event count (atomic, wait-free).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written / maximum scalar (atomic via CAS; no fetch_add on
+/// double so both ops are compare-exchange loops).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  /// Keep the running maximum (used for e.g. peak queue depth).
+  void set_max(double v);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// A fixed histogram bucket layout: `bounds[i]` is the inclusive upper
+/// edge of bucket i; one implicit overflow bucket catches the rest.
+/// Layouts are compile-time constants so every registry (and every PR's
+/// BENCH_*.json) buckets identically.
+struct BucketLayout {
+  const double* bounds = nullptr;
+  std::size_t count = 0;
+};
+
+namespace buckets {
+/// Wall-time buckets [ms]: ~2.5x steps from 100 us to 10 s.
+inline constexpr double kLatencyMsBounds[] = {
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0, 10000.0};
+inline constexpr BucketLayout kLatencyMs{kLatencyMsBounds, 16};
+
+/// Iteration-count buckets (solver inner/outer loops).
+inline constexpr double kIterationBounds[] = {
+    1, 2, 3, 5, 8, 12, 20, 30, 50, 80, 120, 200, 500, 1000};
+inline constexpr BucketLayout kIterations{kIterationBounds, 14};
+}  // namespace buckets
+
+/// Bucketed distribution with total count and sum.
+class Histogram {
+ public:
+  explicit Histogram(const BucketLayout& layout);
+
+  void record(double v);
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const BucketLayout& layout() const { return layout_; }
+  /// Tally of bucket i (i == layout().count is the overflow bucket).
+  std::uint64_t bucket(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  BucketLayout layout_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  ///< count+1 buckets
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+struct MetricsSnapshot {
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /// (upper bound, tally) per bucket; the overflow bucket reports
+    /// an infinite bound.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+  };
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramValue> histograms;
+
+  /// Counter value by exact name (0 when absent) — test convenience.
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge value by exact name (0.0 when absent).
+  double gauge(std::string_view name) const;
+};
+
+/// Named instruments with first-touch registration. Registration takes
+/// a mutex; the returned references are stable until the registry dies,
+/// so call sites look up once and hammer the atomic afterwards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// First touch fixes the layout; a later call with a different layout
+  /// throws std::invalid_argument (renamed/re-bucketed metrics must be
+  /// a deliberate schema change, not an accident).
+  Histogram& histogram(std::string_view name, const BucketLayout& layout);
+
+  MetricsSnapshot snapshot() const;
+  /// Zero every instrument, keeping registrations (and thus the schema).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Process-wide default sink. Null (the default) disables every call
+/// site that falls back to it — the "null registry" of the design docs.
+/// The caller keeps ownership and must keep the registry alive until it
+/// is uninstalled (benches install a function-local static).
+void set_default_registry(MetricsRegistry* registry);
+MetricsRegistry* default_registry();
+
+}  // namespace subscale::obs

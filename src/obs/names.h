@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file names.h
+/// The canonical metric schema. Every instrumented layer names its
+/// instruments through these constants, and bench::run preregisters all
+/// of them so each BENCH_<name>.json carries the full key set (zeros
+/// included) — that is what keeps the bench trajectory comparable
+/// across PRs. tools/bench_schema.sh holds the same list as a
+/// whitelist and fails the build check on unknown or renamed keys, so
+/// adding a metric means touching BOTH files deliberately.
+
+#include "obs/metrics.h"
+
+namespace subscale::obs::names {
+
+// exec layer (thread-count dependent by nature; excluded from the
+// bitwise determinism contract, see DESIGN.md §10.3)
+inline constexpr const char* kPoolPools = "exec.pool.pools";
+inline constexpr const char* kPoolTasksRun = "exec.pool.tasks_run";
+inline constexpr const char* kPoolQueueDepthMax = "exec.pool.queue_depth_max";
+inline constexpr const char* kPoolUtilizationPct = "exec.pool.utilization_pct";
+
+// linalg layer
+inline constexpr const char* kBicgstabSolves = "linalg.bicgstab.solves";
+inline constexpr const char* kBicgstabIterations =
+    "linalg.bicgstab.iterations";
+inline constexpr const char* kBicgstabBreakdowns =
+    "linalg.bicgstab.breakdowns";
+inline constexpr const char* kBicgstabFailures = "linalg.bicgstab.failures";
+
+// tcad layer — Gummel outer loop and its stages
+inline constexpr const char* kGummelSolves = "tcad.gummel.solves";
+inline constexpr const char* kGummelOuterIterations =
+    "tcad.gummel.outer_iterations";
+inline constexpr const char* kGummelContinuationSteps =
+    "tcad.gummel.continuation_steps";
+inline constexpr const char* kGummelRetries = "tcad.gummel.retries";
+inline constexpr const char* kGummelStepHalvings =
+    "tcad.gummel.step_halvings";
+inline constexpr const char* kGummelDampingTightenings =
+    "tcad.gummel.damping_tightenings";
+inline constexpr const char* kGummelRollbacks = "tcad.gummel.rollbacks";
+inline constexpr const char* kGummelFaultsInjected =
+    "tcad.gummel.faults_injected";
+inline constexpr const char* kGummelFailedSolves =
+    "tcad.gummel.failed_solves";
+inline constexpr const char* kGummelLastResidual =
+    "tcad.gummel.last_residual";
+inline constexpr const char* kGummelIterationsPerSolve =
+    "tcad.gummel.iterations_per_solve";
+inline constexpr const char* kPoissonNewtonIterations =
+    "tcad.poisson.newton_iterations";
+inline constexpr const char* kContinuitySolves = "tcad.continuity.solves";
+
+// tcad layer — bias sweeps
+inline constexpr const char* kSweepPointsAttempted =
+    "tcad.sweep.points_attempted";
+inline constexpr const char* kSweepPointsConverged =
+    "tcad.sweep.points_converged";
+inline constexpr const char* kSweepPointsFailed =
+    "tcad.sweep.points_failed";
+inline constexpr const char* kSweepPointMs = "tcad.sweep.point_ms";
+
+// core layer — study-level fan-out
+inline constexpr const char* kStudyNodesValidated =
+    "core.study.nodes_validated";
+inline constexpr const char* kStudyNodeErrors = "core.study.node_errors";
+inline constexpr const char* kStudySweepPointFailures =
+    "core.study.sweep_point_failures";
+inline constexpr const char* kStudyNodeMs = "core.study.node_ms";
+
+/// Touch every standard instrument so a snapshot (and the BENCH json
+/// written from it) always carries the complete schema, zeros included.
+inline void preregister_standard(MetricsRegistry& registry) {
+  for (const char* name :
+       {kPoolPools, kPoolTasksRun, kBicgstabSolves, kBicgstabIterations,
+        kBicgstabBreakdowns, kBicgstabFailures, kGummelSolves,
+        kGummelOuterIterations, kGummelContinuationSteps, kGummelRetries,
+        kGummelStepHalvings, kGummelDampingTightenings, kGummelRollbacks,
+        kGummelFaultsInjected, kGummelFailedSolves,
+        kPoissonNewtonIterations, kContinuitySolves, kSweepPointsAttempted,
+        kSweepPointsConverged, kSweepPointsFailed, kStudyNodesValidated,
+        kStudyNodeErrors, kStudySweepPointFailures}) {
+    registry.counter(name);
+  }
+  for (const char* name :
+       {kPoolQueueDepthMax, kPoolUtilizationPct, kGummelLastResidual}) {
+    registry.gauge(name);
+  }
+  registry.histogram(kGummelIterationsPerSolve, buckets::kIterations);
+  for (const char* name : {kSweepPointMs, kStudyNodeMs}) {
+    registry.histogram(name, buckets::kLatencyMs);
+  }
+}
+
+}  // namespace subscale::obs::names

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file timer.h
+/// ScopedTimer: monotonic (steady_clock), nanosecond-resolution span
+/// timing. On destruction the elapsed time lands in a histogram of the
+/// bound registry; with a null registry the timer is two steady_clock
+/// reads and nothing else. Header-only so the compiler can inline the
+/// null path away at the call site.
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+namespace subscale::obs {
+
+class ScopedTimer {
+ public:
+  /// Starts timing. `histogram_name` must outlive the timer (call sites
+  /// pass literals); the histogram uses the latency-ms layout and is
+  /// resolved at stop time, not construction, so a timer is free to
+  /// outlive a registry swap-in.
+  ScopedTimer(MetricsRegistry* registry, const char* histogram_name)
+      : registry_(registry),
+        name_(histogram_name),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (registry_ != nullptr && !stopped_) {
+      registry_->histogram(name_, buckets::kLatencyMs).record(elapsed_ms());
+    }
+  }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Record now (into the histogram) and disarm the destructor.
+  /// Returns the elapsed milliseconds either way.
+  double stop() {
+    const double ms = elapsed_ms();
+    if (registry_ != nullptr && !stopped_) {
+      registry_->histogram(name_, buckets::kLatencyMs).record(ms);
+    }
+    stopped_ = true;
+    return ms;
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace subscale::obs

@@ -1,0 +1,95 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace subscale::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kStageEnter: return "stage_enter";
+    case TraceKind::kStageExit: return "stage_exit";
+    case TraceKind::kRetry: return "retry";
+    case TraceKind::kStepHalve: return "step_halve";
+    case TraceKind::kDampingTighten: return "damping_tighten";
+    case TraceKind::kRollback: return "rollback";
+    case TraceKind::kFaultInjected: return "fault_injected";
+    case TraceKind::kPointFailed: return "point_failed";
+    case TraceKind::kSweepPoint: return "sweep_point";
+    case TraceKind::kTaskSpan: return "task_span";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(std::size_t capacity)
+    : capacity_(capacity), t0_ns_(steady_now_ns()) {
+  if (capacity == 0) {
+    throw std::invalid_argument("TraceRing: capacity must be positive");
+  }
+  events_.reserve(capacity);
+}
+
+void TraceRing::record(TraceKind kind, const char* what, double a, double b) {
+  const std::uint64_t now = steady_now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent ev{kind, now - t0_ns_, what, a, b};
+  if (events_.size() < capacity_) {
+    events_.push_back(ev);
+  } else {
+    events_[total_ % capacity_] = ev;
+  }
+  ++total_;
+}
+
+std::uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t TraceRing::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > capacity_ ? total_ - capacity_ : 0;
+}
+
+std::vector<TraceEvent> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (total_ <= capacity_) return events_;
+  // The ring has wrapped: oldest retained event sits at total_ % cap.
+  std::vector<TraceEvent> out;
+  out.reserve(capacity_);
+  const std::size_t head = total_ % capacity_;
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(events_[(head + i) % capacity_]);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> TraceRing::kind_counts() const {
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(TraceKind::kTaskSpan) + 1, 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceEvent& ev : events_) {
+    ++counts[static_cast<std::size_t>(ev.kind)];
+  }
+  return counts;
+}
+
+void TraceRing::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  total_ = 0;
+  t0_ns_ = steady_now_ns();
+}
+
+}  // namespace subscale::obs

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file trace.h
+/// Bounded ring buffer of structured solver events. Where the metrics
+/// registry answers "how many", the trace answers "in what order": it
+/// keeps the last N stage entries/exits, retries, step-halvings,
+/// rollbacks and fault injections with nanosecond timestamps, so a
+/// failed sweep can be reconstructed without rerunning it under a
+/// debugger. Fixed capacity — a soak run cannot grow it; old events are
+/// overwritten and counted as dropped.
+///
+/// Event labels (`what`) must be string literals or other
+/// static-storage strings: the ring stores the pointer, not a copy,
+/// so recording stays allocation-free.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace subscale::obs {
+
+/// The solver-stack event taxonomy (DESIGN.md §10.2).
+enum class TraceKind {
+  kStageEnter,     ///< a solve stage started (what = stage name)
+  kStageExit,      ///< a solve stage finished successfully
+  kRetry,          ///< an attempt was rejected and will be retried
+  kStepHalve,      ///< continuation bias step was halved
+  kDampingTighten, ///< under-relaxation was tightened
+  kRollback,       ///< state restored to the last-good snapshot
+  kFaultInjected,  ///< deterministic test fault fired
+  kPointFailed,    ///< a bias point was abandoned (budget exhausted)
+  kSweepPoint,     ///< one sweep bias point finished (a = vg, b = ms)
+  kTaskSpan,       ///< an exec-layer task span (a = index, b = ms)
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceEvent {
+  TraceKind kind = TraceKind::kStageEnter;
+  std::uint64_t t_ns = 0;    ///< monotonic ns since the ring was created
+  const char* what = "";     ///< static label (stage/site name)
+  double a = 0.0;            ///< payload (meaning depends on kind)
+  double b = 0.0;
+};
+
+/// Fixed-capacity, thread-safe event ring.
+class TraceRing {
+ public:
+  /// Throws std::invalid_argument when capacity is zero.
+  explicit TraceRing(std::size_t capacity = 4096);
+
+  void record(TraceKind kind, const char* what, double a = 0.0,
+              double b = 0.0);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Events recorded since construction (including overwritten ones).
+  std::uint64_t total_recorded() const;
+  /// Events lost to overwrite (total_recorded - min(total, capacity)).
+  std::uint64_t dropped() const;
+
+  /// The retained events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+  /// Retained-event tally per kind (order of the TraceKind enum) —
+  /// unlike timestamps this is thread-count-deterministic as long as
+  /// nothing was dropped.
+  std::vector<std::uint64_t> kind_counts() const;
+  void clear();
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;  ///< ring storage, capacity_ slots
+  std::uint64_t total_ = 0;
+  std::uint64_t t0_ns_ = 0;  ///< steady-clock origin
+};
+
+}  // namespace subscale::obs

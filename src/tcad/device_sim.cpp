@@ -2,12 +2,19 @@
 
 #include <stdexcept>
 
+#include "obs/names.h"
+#include "obs/timer.h"
+
 namespace subscale::tcad {
 
 TcadDevice::TcadDevice(const compact::DeviceSpec& spec,
                        const MeshOptions& mesh_options,
-                       const GummelOptions& gummel_options)
-    : dev_(spec, mesh_options), solver_(dev_, gummel_options) {
+                       const GummelOptions& gummel_options,
+                       const exec::RunContext& ctx)
+    : dev_(spec, mesh_options),
+      run_(ctx),
+      solver_(dev_, gummel_options, ctx) {
+  run_.validate();
   sign_ = (spec.polarity == doping::Polarity::kNfet) ? 1.0 : -1.0;
   solver_.solve_equilibrium();
 }
@@ -17,32 +24,66 @@ double TcadDevice::id_at(double vg, double vd) {
   return sign_ * solver_.terminal_current("drain");
 }
 
-std::vector<IdVgPoint> TcadDevice::id_vg(double vd, double vg_start,
-                                         double vg_stop, std::size_t points,
-                                         const SweepOptions& options) {
+SweepResult TcadDevice::id_vg(double vd, double vg_start, double vg_stop,
+                              std::size_t points) {
+  return id_vg(vd, vg_start, vg_stop, points, run_);
+}
+
+SweepResult TcadDevice::id_vg(double vd, double vg_start, double vg_stop,
+                              std::size_t points,
+                              const exec::RunContext& ctx) {
   if (points < 2) {
     throw std::invalid_argument("id_vg: need at least 2 points");
   }
-  sweep_report_ = SweepReport{};
-  std::vector<IdVgPoint> sweep;
-  sweep.reserve(points);
+  ctx.validate();
+  obs::MetricsRegistry* sink = ctx.sink();
+
+  SweepResult result;
+  result.points.reserve(points);
+  result.timings.reserve(points);
   for (std::size_t k = 0; k < points; ++k) {
     const double vg = vg_start + (vg_stop - vg_start) *
                                      static_cast<double>(k) /
                                      static_cast<double>(points - 1);
-    ++sweep_report_.attempted;
+    ++result.report.attempted;
+    if (sink != nullptr) {
+      sink->counter(obs::names::kSweepPointsAttempted).add(1);
+    }
+    obs::ScopedTimer timer(sink, obs::names::kSweepPointMs);
     const SolverReport& report =
         solver_.try_solve_bias(sign_ * vg, sign_ * vd, 0.0, 0.0);
+    const double wall_ms = timer.stop();
+    result.timings.push_back({vg, wall_ms, report.total_gummel_iterations,
+                              report.retries, report.converged});
+    if (ctx.trace != nullptr) {
+      ctx.trace->record(obs::TraceKind::kSweepPoint, "id_vg", vg, wall_ms);
+    }
     if (report.converged) {
-      sweep.push_back({vg, sign_ * solver_.terminal_current("drain")});
+      if (sink != nullptr) {
+        sink->counter(obs::names::kSweepPointsConverged).add(1);
+      }
+      result.points.push_back({vg, sign_ * solver_.terminal_current("drain")});
       continue;
     }
-    if (options.strict) throw SolverError(report);
+    if (sink != nullptr) {
+      sink->counter(obs::names::kSweepPointsFailed).add(1);
+    }
+    if (ctx.strict) throw SolverError(report);
     // The solver rolled back to the last converged bias point, so the
     // next point continues its ramp from there; this one is skipped.
-    sweep_report_.failures.push_back({vg, vd, report});
+    result.report.failures.push_back({vg, vd, report});
   }
-  return sweep;
+  return result;
+}
+
+std::vector<IdVgPoint> TcadDevice::id_vg(double vd, double vg_start,
+                                         double vg_stop, std::size_t points,
+                                         const SweepOptions& options) {
+  exec::RunContext ctx = run_;
+  ctx.strict = options.strict;
+  SweepResult result = id_vg(vd, vg_start, vg_stop, points, ctx);
+  sweep_report_ = std::move(result.report);
+  return std::move(result.points);
 }
 
 }  // namespace subscale::tcad

@@ -11,12 +11,20 @@
 ///
 /// Robustness: a sweep does not abort on one hard bias point. By
 /// default a point whose continuation/retry budget is exhausted is
-/// recorded in the SweepReport (with the full SolverReport naming the
-/// failing stage) and the sweep continues from the last-good state;
-/// strict mode restores throw-on-first-failure semantics.
+/// recorded in the SweepResult's report (with the full SolverReport
+/// naming the failing stage) and the sweep continues from the
+/// last-good state; strict mode (RunContext::strict) restores
+/// throw-on-first-failure semantics.
+///
+/// Telemetry: the RunContext passed at construction supplies the
+/// metrics sink and trace ring for the device's solver and for the
+/// sweep loop itself (per-point counters, timings, and kSweepPoint
+/// trace events). An id_vg overload accepts a per-sweep context to
+/// override strictness for one call.
 
 #include <vector>
 
+#include "exec/run_context.h"
 #include "tcad/gummel.h"
 
 namespace subscale::tcad {
@@ -26,6 +34,9 @@ struct IdVgPoint {
   double id = 0.0;  ///< drain current magnitude [A per metre of width]
 };
 
+/// Legacy per-sweep options. Superseded by exec::RunContext (which
+/// carries strictness alongside the telemetry sink); kept one PR so the
+/// deprecated id_vg overload still compiles at old call sites.
 struct SweepOptions {
   /// Throw SolverError on the first unrecoverable point instead of
   /// skipping it and recording the failure in the sweep report.
@@ -45,11 +56,40 @@ struct SweepReport {
   bool all_converged() const { return failures.empty(); }
 };
 
+/// Wall time and solver effort of one attempted sweep point (converged
+/// or not). Timings are wall-clock diagnostics, not part of any
+/// determinism contract; the iteration/retry counts are exact.
+struct SweepPointRecord {
+  double vg = 0.0;       ///< gate bias magnitude [V]
+  double wall_ms = 0.0;  ///< wall time spent on this point
+  std::size_t gummel_iterations = 0;  ///< outer iterations, all ramps
+  std::size_t retries = 0;            ///< rejected continuation attempts
+  bool converged = false;
+};
+
+/// Everything one id_vg() call produced, as a value: the curve, the
+/// failure report, and per-point effort records. Replaces the old
+/// (return vector, mutate last_sweep_report()) split so results can be
+/// moved across threads without aliasing device state.
+struct SweepResult {
+  std::vector<IdVgPoint> points;  ///< converged points only
+  SweepReport report;
+  std::vector<SweepPointRecord> timings;  ///< one per attempted point
+
+  bool all_converged() const { return report.all_converged(); }
+  std::size_t size() const { return points.size(); }
+  const IdVgPoint& operator[](std::size_t i) const { return points[i]; }
+};
+
 class TcadDevice {
  public:
+  /// Builds the structure, installs the context's telemetry sink into
+  /// the solver, and solves equilibrium. `ctx` is retained as the
+  /// device's default context for every subsequent solve/sweep.
   explicit TcadDevice(const compact::DeviceSpec& spec,
                       const MeshOptions& mesh_options = {},
-                      const GummelOptions& gummel_options = {});
+                      const GummelOptions& gummel_options = {},
+                      const exec::RunContext& ctx = {});
 
   const DeviceStructure& structure() const { return dev_; }
   const DriftDiffusionSolver& solver() const { return solver_; }
@@ -59,22 +99,40 @@ class TcadDevice {
   /// Throws SolverError if the point is unrecoverable.
   double id_at(double vg, double vd);
 
-  /// Gate sweep at fixed drain bias (ascending vg is fastest because each
-  /// point continues from the previous one). Unrecoverable points are
-  /// omitted from the returned curve and recorded in last_sweep_report()
-  /// unless `options.strict` is set.
+  /// Gate sweep at fixed drain bias (ascending vg is fastest because
+  /// each point continues from the previous one). Unrecoverable points
+  /// are omitted from the returned curve and recorded in the result's
+  /// report — unless the device's RunContext is strict, in which case
+  /// the first one throws SolverError.
+  SweepResult id_vg(double vd, double vg_start, double vg_stop,
+                    std::size_t points);
+
+  /// Same sweep under an explicit per-call context (strictness and
+  /// sweep-level telemetry only; the solver keeps the sink it was
+  /// constructed with).
+  SweepResult id_vg(double vd, double vg_start, double vg_stop,
+                    std::size_t points, const exec::RunContext& ctx);
+
+  /// Transitional shim for the pre-SweepResult API. Runs the sweep
+  /// under the construction context with `options.strict` applied and
+  /// returns only the curve; the report lands in last_sweep_report().
+  [[deprecated(
+      "use the SweepResult-returning id_vg overloads; this shim and "
+      "SweepOptions are removed next PR")]]
   std::vector<IdVgPoint> id_vg(double vd, double vg_start, double vg_stop,
                                std::size_t points,
-                               const SweepOptions& options = {});
+                               const SweepOptions& options);
 
-  /// Diagnostics of the most recent id_vg() call.
+  /// Diagnostics of the most recent deprecated-shim id_vg() call.
+  [[deprecated("read SweepResult::report instead")]]
   const SweepReport& last_sweep_report() const { return sweep_report_; }
 
  private:
   DeviceStructure dev_;
+  exec::RunContext run_;
   DriftDiffusionSolver solver_;
   double sign_ = 1.0;
-  SweepReport sweep_report_;
+  SweepReport sweep_report_;  ///< feeds the deprecated shim only
 };
 
 }  // namespace subscale::tcad

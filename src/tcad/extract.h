@@ -36,6 +36,13 @@ struct ExtractOptions {
 SweepExtraction extract_from_sweep(const std::vector<IdVgPoint>& sweep,
                                    const ExtractOptions& options = {});
 
+/// Convenience overload for the value-type sweep API: extracts from the
+/// converged points of a SweepResult.
+inline SweepExtraction extract_from_sweep(const SweepResult& sweep,
+                                          const ExtractOptions& options = {}) {
+  return extract_from_sweep(sweep.points, options);
+}
+
 /// DIBL coefficient from two sweeps at low and high drain bias [V/V]:
 /// (V_th,lin - V_th,sat)/(vd_hi - vd_lo) using the constant-current V_th.
 double extract_dibl(const std::vector<IdVgPoint>& sweep_lo, double vd_lo,

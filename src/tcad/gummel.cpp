@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/names.h"
 #include "physics/fermi.h"
 
 namespace subscale::tcad {
@@ -58,9 +59,31 @@ void GummelOptions::validate() const {
 }
 
 DriftDiffusionSolver::DriftDiffusionSolver(const DeviceStructure& dev,
-                                           const GummelOptions& options)
-    : dev_(dev), options_(options) {
+                                           const GummelOptions& options,
+                                           const exec::RunContext& ctx)
+    : dev_(dev), options_(options), trace_(ctx.trace) {
   options_.validate();
+  ctx.validate();
+  if (obs::MetricsRegistry* sink = ctx.sink(); sink != nullptr) {
+    namespace names = obs::names;
+    ins_.solves = &sink->counter(names::kGummelSolves);
+    ins_.outer_iterations = &sink->counter(names::kGummelOuterIterations);
+    ins_.continuation_steps =
+        &sink->counter(names::kGummelContinuationSteps);
+    ins_.retries = &sink->counter(names::kGummelRetries);
+    ins_.step_halvings = &sink->counter(names::kGummelStepHalvings);
+    ins_.damping_tightenings =
+        &sink->counter(names::kGummelDampingTightenings);
+    ins_.rollbacks = &sink->counter(names::kGummelRollbacks);
+    ins_.faults_injected = &sink->counter(names::kGummelFaultsInjected);
+    ins_.failed_solves = &sink->counter(names::kGummelFailedSolves);
+    ins_.poisson_newton_iterations =
+        &sink->counter(names::kPoissonNewtonIterations);
+    ins_.continuity_solves = &sink->counter(names::kContinuitySolves);
+    ins_.last_residual = &sink->gauge(names::kGummelLastResidual);
+    ins_.iterations_per_solve = &sink->histogram(
+        names::kGummelIterationsPerSolve, obs::buckets::kIterations);
+  }
   fault_budget_ =
       options_.fault.stage == SolveStage::kNone ? 0 : options_.fault.count;
   const std::size_t n_nodes = dev_.mesh().node_count();
@@ -80,6 +103,9 @@ bool DriftDiffusionSolver::fault_fires(
   if (it != biases.end()) v = std::abs(it->second);
   if (v < f.min_bias || v >= f.max_bias) return false;
   --fault_budget_;
+  if (ins_.faults_injected != nullptr) ins_.faults_injected->add(1);
+  trace(obs::TraceKind::kFaultInjected, to_string(stage),
+        static_cast<double>(iteration));
   return true;
 }
 
@@ -107,6 +133,7 @@ void DriftDiffusionSolver::solve_equilibrium() {
   report_.target = biases_;
 
   double damping = options_.damping;
+  trace(obs::TraceKind::kStageEnter, "equilibrium");
   while (true) {
     neutral_guess();
     const GummelOutcome out = gummel_at(biases_, damping);
@@ -115,21 +142,32 @@ void DriftDiffusionSolver::solve_equilibrium() {
     report_.final_damping = damping;
     if (out.status == SolveStatus::kConverged) {
       solved_ = true;
+      trace(obs::TraceKind::kStageExit, "equilibrium",
+            static_cast<double>(out.iterations), out.residual);
       return;
     }
     ++report_.retries;
+    if (ins_.retries != nullptr) ins_.retries->add(1);
+    trace(obs::TraceKind::kRetry, "equilibrium",
+          static_cast<double>(out.iterations), out.residual);
     report_.failures.push_back({biases_, out.stage, out.status,
                                 out.iterations, out.stage_iterations,
                                 out.residual, 0.0, damping});
     if (damping > options_.min_damping) {
       damping = std::max(options_.min_damping,
                          options_.retry_damping * damping);
+      if (ins_.damping_tightenings != nullptr) {
+        ins_.damping_tightenings->add(1);
+      }
+      trace(obs::TraceKind::kDampingTighten, "equilibrium", damping);
       continue;
     }
     report_.converged = false;
     report_.failed_stage = out.stage;
     report_.status = out.status;
     report_.failed_biases = biases_;
+    if (ins_.failed_solves != nullptr) ins_.failed_solves->add(1);
+    trace(obs::TraceKind::kPointFailed, "equilibrium");
     throw SolverError(report_);
   }
 }
@@ -158,6 +196,7 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
   // leave the solver at the last converged bias point.
   double step = options_.bias_step;
   double damping = options_.damping;
+  trace(obs::TraceKind::kStageEnter, "bias_ramp");
   while (true) {
     double max_gap = 0.0;
     for (const auto& [name, v] : target) {
@@ -169,6 +208,9 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
       report_.failed_stage = SolveStage::kGummel;
       report_.status = SolveStatus::kStalled;
       report_.failed_biases = biases_;
+      if (ins_.failed_solves != nullptr) ins_.failed_solves->add(1);
+      trace(obs::TraceKind::kPointFailed, "bias_ramp",
+            static_cast<double>(report_.continuation_steps));
       break;
     }
     const double frac = std::min(1.0, step / max_gap);
@@ -186,6 +228,9 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
     if (out.status == SolveStatus::kConverged) {
       biases_ = trial;
       ++report_.continuation_steps;
+      if (ins_.continuation_steps != nullptr) {
+        ins_.continuation_steps->add(1);
+      }
       // Recover the step length once the hard region is behind us.
       step = std::min(options_.bias_step, 2.0 * step);
       continue;
@@ -195,28 +240,57 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
     n_ = snap_n;
     p_ = snap_p;
     ++report_.retries;
+    if (ins_.rollbacks != nullptr) ins_.rollbacks->add(1);
+    if (ins_.retries != nullptr) ins_.retries->add(1);
+    trace(obs::TraceKind::kRollback, to_string(out.stage),
+          static_cast<double>(out.iterations), out.residual);
     report_.failures.push_back({trial, out.stage, out.status, out.iterations,
                                 out.stage_iterations, out.residual, step,
                                 damping});
     if (step > options_.min_bias_step) {
       step = std::max(options_.min_bias_step, 0.5 * step);
+      if (ins_.step_halvings != nullptr) ins_.step_halvings->add(1);
+      trace(obs::TraceKind::kStepHalve, "bias_ramp", step);
     } else if (damping > options_.min_damping) {
       damping = std::max(options_.min_damping,
                          options_.retry_damping * damping);
+      if (ins_.damping_tightenings != nullptr) {
+        ins_.damping_tightenings->add(1);
+      }
+      trace(obs::TraceKind::kDampingTighten, "bias_ramp", damping);
     } else {
       report_.converged = false;
       report_.failed_stage = out.stage;
       report_.status = out.status;
       report_.failed_biases = trial;
+      if (ins_.failed_solves != nullptr) ins_.failed_solves->add(1);
+      trace(obs::TraceKind::kPointFailed, to_string(out.stage));
       break;
     }
   }
   report_.final_bias_step = step;
   report_.final_damping = damping;
+  if (report_.converged) {
+    trace(obs::TraceKind::kStageExit, "bias_ramp",
+          static_cast<double>(report_.continuation_steps),
+          static_cast<double>(report_.total_gummel_iterations));
+  }
   return report_;
 }
 
 DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at(
+    const std::map<std::string, double>& biases, double damping) {
+  const GummelOutcome out = gummel_at_impl(biases, damping);
+  if (ins_.solves != nullptr) {
+    ins_.solves->add(1);
+    ins_.outer_iterations->add(out.iterations);
+    ins_.last_residual->set(out.residual);
+    ins_.iterations_per_solve->record(static_cast<double>(out.iterations));
+  }
+  return out;
+}
+
+DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
     const std::map<std::string, double>& biases, double damping) {
   const auto& m = dev_.mesh();
   const std::size_t n_nodes = m.node_count();
@@ -245,6 +319,9 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at(
     psi_prev = psi_;
     PoissonResult pres =
         solve_poisson(dev_, biases, phi_n, phi_p, psi_, options_.poisson);
+    if (ins_.poisson_newton_iterations != nullptr) {
+      ins_.poisson_newton_iterations->add(pres.iterations);
+    }
     if (fault_fires(SolveStage::kPoisson, it, biases)) {
       pres.converged = false;
       pres.status = SolveStatus::kStalled;
@@ -269,6 +346,7 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at(
         dev_, physics::Carrier::kElectron, psi_, p_, n_, options_.continuity);
     const ContinuityResult rp = solve_continuity(
         dev_, physics::Carrier::kHole, psi_, n_, p_, options_.continuity);
+    if (ins_.continuity_solves != nullptr) ins_.continuity_solves->add(2);
     if (fault_fires(SolveStage::kContinuity, it, biases)) {
       rn.status = SolveStatus::kNonFinite;
     }

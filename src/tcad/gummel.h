@@ -16,6 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "exec/run_context.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tcad/continuity.h"
 #include "tcad/device_structure.h"
 #include "tcad/poisson.h"
@@ -64,9 +67,14 @@ struct GummelOptions {
 /// between bias points.
 class DriftDiffusionSolver {
  public:
-  /// Validates `options` (throws std::invalid_argument on bad fields).
+  /// Validates `options` and `ctx` (throws std::invalid_argument on bad
+  /// fields). The context supplies the telemetry sink and event trace
+  /// for every solve this instance runs; with the default context and
+  /// no process-wide registry installed, instrumentation reduces to
+  /// null-pointer tests.
   explicit DriftDiffusionSolver(const DeviceStructure& dev,
-                                const GummelOptions& options = {});
+                                const GummelOptions& options = {},
+                                const exec::RunContext& ctx = {});
 
   /// Solve the zero-bias problem from a charge-neutral initial guess.
   /// Throws SolverError (an std::runtime_error) on non-convergence —
@@ -111,13 +119,42 @@ class DriftDiffusionSolver {
     double residual = 0.0;                 ///< final max |dpsi| [V]
   };
 
+  /// Publishing wrapper around gummel_at_impl: bumps the per-solve
+  /// counters / histogram / residual gauge exactly once per outcome.
   GummelOutcome gummel_at(const std::map<std::string, double>& biases,
                           double damping);
+  GummelOutcome gummel_at_impl(const std::map<std::string, double>& biases,
+                               double damping);
   bool fault_fires(SolveStage stage, std::size_t iteration,
                    const std::map<std::string, double>& biases);
 
+  /// Registry instruments, resolved once at construction (all null when
+  /// telemetry is off, so hot paths pay one branch per event).
+  struct Instruments {
+    obs::Counter* solves = nullptr;
+    obs::Counter* outer_iterations = nullptr;
+    obs::Counter* continuation_steps = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* step_halvings = nullptr;
+    obs::Counter* damping_tightenings = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* faults_injected = nullptr;
+    obs::Counter* failed_solves = nullptr;
+    obs::Counter* poisson_newton_iterations = nullptr;
+    obs::Counter* continuity_solves = nullptr;
+    obs::Gauge* last_residual = nullptr;
+    obs::Histogram* iterations_per_solve = nullptr;
+  };
+
+  void trace(obs::TraceKind kind, const char* what, double a = 0.0,
+             double b = 0.0) {
+    if (trace_ != nullptr) trace_->record(kind, what, a, b);
+  }
+
   const DeviceStructure& dev_;
   GummelOptions options_;
+  Instruments ins_;
+  obs::TraceRing* trace_ = nullptr;
   std::vector<double> psi_;
   std::vector<double> n_;
   std::vector<double> p_;

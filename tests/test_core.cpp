@@ -109,6 +109,6 @@ TEST(ScalingStudy, TcadValidationDegradesGracefully) {
       << broken[0].error;
 
   // Strict mode propagates the failure instead.
-  opt.strict = true;
+  opt.run.strict = true;
   EXPECT_THROW(study().tcad_validation(opt), st::SolverError);
 }

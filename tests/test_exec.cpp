@@ -270,9 +270,9 @@ TEST(ParallelDeterminism, TcadValidationMatchesSerialBitwise) {
   opt.mesh.surface_spacing = 0.6e-9;  // coarse: keep the test fast
   opt.mesh.junction_spacing = 1.5e-9;
 
-  opt.exec = ex::ExecPolicy::serial();
+  opt.run.exec = ex::ExecPolicy::serial();
   const auto serial = study().tcad_validation(opt);
-  opt.exec = ex::ExecPolicy{4};
+  opt.run.exec = ex::ExecPolicy{4};
   const auto pooled = study().tcad_validation(opt);
   expect_identical(serial, pooled);
 }
@@ -289,8 +289,8 @@ TEST(ParallelDeterminism, TcadValidationStrictThrowsThroughThePool) {
   opt.gummel.fault.stage = st::SolveStage::kPoisson;
   opt.gummel.fault.count = 1'000'000'000;
   opt.gummel.fault.min_bias = 0.0;
-  opt.strict = true;
-  opt.exec = ex::ExecPolicy{4};
+  opt.run.strict = true;
+  opt.run.exec = ex::ExecPolicy{4};
   EXPECT_THROW(study().tcad_validation(opt), st::SolverError);
 }
 

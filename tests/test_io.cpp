@@ -1,14 +1,19 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "io/csv.h"
 #include "io/series.h"
 #include "io/table.h"
+#include "io/writer.h"
+#include "obs/metrics.h"
 
 namespace si = subscale::io;
+namespace so = subscale::obs;
 
 // ---- TextTable ------------------------------------------------------------------
 
@@ -118,4 +123,104 @@ TEST(Csv, WritesFile) {
   buf << file.rdbuf();
   EXPECT_EQ(buf.str(), "x,a\n1,2\n");
   std::remove(path.c_str());
+}
+
+// ---- Writer ---------------------------------------------------------------------------
+
+TEST(JsonWriter, RendersNestedDocument) {
+  si::JsonWriter w;
+  w.begin_object();
+  w.key("a");
+  w.value(1.5);
+  w.key("list");
+  w.begin_array();
+  w.value(std::uint64_t{2});
+  w.value(true);
+  w.end_array();
+  w.key("s");
+  w.value("x\"y");
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            "{\n  \"a\": 1.5,\n  \"list\": [\n    2,\n    true\n  ],\n"
+            "  \"s\": \"x\\\"y\"\n}\n");
+}
+
+TEST(JsonWriter, NonFiniteBecomesNull) {
+  si::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.end_array();
+  EXPECT_EQ(w.str(), "[\n  null,\n  null\n]\n");
+}
+
+TEST(JsonWriter, RejectsMalformedDocuments) {
+  si::JsonWriter open;
+  open.begin_object();
+  EXPECT_THROW(open.str(), std::logic_error);
+  EXPECT_THROW(open.end_array(), std::logic_error);
+
+  si::JsonWriter keyless;
+  keyless.begin_array();
+  EXPECT_THROW(keyless.key("k"), std::logic_error);
+}
+
+TEST(CsvWriter, SharesTheSeriesPathWithJson) {
+  si::Series a("a"), b("b");
+  a.add(1, 10);
+  a.add(2, 20);
+  b.add(1, -1);
+  b.add(2, -2);
+
+  si::CsvWriter csv;
+  si::write_series_document(csv, {a, b});
+  EXPECT_EQ(csv.str(), "x,a,b\n1,10,-1\n2,20,-2\n");
+
+  si::JsonWriter json;
+  si::write_series_document(json, {a, b});
+  EXPECT_NE(json.str().find("\"a\": [\n"), std::string::npos);
+}
+
+TEST(CsvWriter, RejectsNonColumnShapes) {
+  si::CsvWriter nested;
+  nested.begin_object();
+  nested.key("inner");
+  EXPECT_THROW(nested.begin_object(), std::invalid_argument);
+
+  si::CsvWriter ragged;
+  ragged.begin_object();
+  ragged.key("a");
+  ragged.begin_array();
+  ragged.value(1.0);
+  ragged.end_array();
+  ragged.key("b");
+  ragged.begin_array();
+  ragged.end_array();
+  ragged.end_object();
+  EXPECT_THROW(ragged.str(), std::invalid_argument);
+}
+
+TEST(MetricsJson, FlatSnapshotSchema) {
+  so::MetricsRegistry reg;
+  reg.counter("tcad.gummel.solves").add(3);
+  reg.gauge("tcad.gummel.last_residual").set(1e-8);
+  reg.histogram("tcad.sweep.point_ms", so::buckets::kLatencyMs).record(2.0);
+
+  si::JsonWriter w;
+  si::write_metrics_snapshot(w, reg.snapshot());
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"tcad.gummel.solves\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"tcad.gummel.last_residual\": "), std::string::npos);
+  EXPECT_NE(out.find("\"tcad.sweep.point_ms.count\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"tcad.sweep.point_ms.sum\": 2"), std::string::npos);
+}
+
+TEST(TableJson, HeadersAndRows) {
+  si::TextTable t({"node", "value"});
+  t.add_row({"90nm", "1.3"});
+  si::JsonWriter w;
+  si::write_table_document(w, t);
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"headers\""), std::string::npos);
+  EXPECT_NE(out.find("\"90nm\""), std::string::npos);
 }

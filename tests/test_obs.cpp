@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "compact/device_spec.h"
+#include "core/scaling_study.h"
+#include "exec/parallel.h"
+#include "exec/run_context.h"
+#include "linalg/bicgstab.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+#include "tcad/device_sim.h"
+
+namespace so = subscale::obs;
+namespace se = subscale::exec;
+namespace sl = subscale::linalg;
+namespace st = subscale::tcad;
+namespace sco = subscale::core;
+
+namespace {
+
+/// Restore the process-default registry on scope exit so no test leaks
+/// an installed registry into its neighbours.
+struct DefaultRegistryGuard {
+  so::MetricsRegistry* previous = so::default_registry();
+  ~DefaultRegistryGuard() { so::set_default_registry(previous); }
+};
+
+st::MeshOptions coarse_mesh() {
+  st::MeshOptions mesh;
+  mesh.surface_spacing = 0.6e-9;
+  mesh.junction_spacing = 1.5e-9;
+  return mesh;
+}
+
+subscale::compact::DeviceSpec nfet_90() {
+  return subscale::compact::make_spec_from_table(
+      subscale::doping::Polarity::kNfet, 65, 2.10, 1.52e18, 3.63e18, 1.2,
+      1.0);
+}
+
+}  // namespace
+
+// ---- instruments ----------------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  so::MetricsRegistry reg;
+  so::Counter& c = reg.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add(3);
+  c.add(4);
+  EXPECT_EQ(c.value(), 7u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&reg.counter("test.counter"), &c);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndSetMax) {
+  so::MetricsRegistry reg;
+  so::Gauge& g = reg.gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set_max(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set_max(9.0);
+  EXPECT_DOUBLE_EQ(g.value(), 9.0);
+}
+
+TEST(Metrics, HistogramBucketsAndOverflow) {
+  so::MetricsRegistry reg;
+  so::Histogram& h = reg.histogram("test.iters", so::buckets::kIterations);
+  h.record(1.0);    // first bucket (<= 1)
+  h.record(1.0);
+  h.record(5000.0);  // beyond the last bound: overflow bucket
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5002.0);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(so::buckets::kIterations.count), 1u);  // overflow
+}
+
+TEST(Metrics, HistogramLayoutConflictThrows) {
+  so::MetricsRegistry reg;
+  reg.histogram("test.h", so::buckets::kIterations);
+  EXPECT_NO_THROW(reg.histogram("test.h", so::buckets::kIterations));
+  EXPECT_THROW(reg.histogram("test.h", so::buckets::kLatencyMs),
+               std::invalid_argument);
+}
+
+TEST(Metrics, SnapshotCarriesEveryInstrument) {
+  so::MetricsRegistry reg;
+  reg.counter("a.count").add(2);
+  reg.gauge("a.gauge").set(1.25);
+  reg.histogram("a.hist", so::buckets::kLatencyMs).record(3.0);
+  const so::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counter("a.count"), 2u);
+  EXPECT_EQ(snap.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauge("a.gauge"), 1.25);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "a.hist");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+  // Buckets include the +inf overflow slot.
+  EXPECT_EQ(snap.histograms[0].buckets.size(),
+            so::buckets::kLatencyMs.count + 1);
+}
+
+TEST(Metrics, PreregisterStandardCoversTheSchema) {
+  so::MetricsRegistry reg;
+  so::names::preregister_standard(reg);
+  const so::MetricsSnapshot snap = reg.snapshot();
+  EXPECT_GE(snap.counters.size(), 20u);
+  EXPECT_GE(snap.gauges.size(), 3u);
+  EXPECT_GE(snap.histograms.size(), 3u);
+  // Everything preregisters at zero.
+  for (const auto& [name, value] : snap.counters) {
+    EXPECT_EQ(value, 0u) << name;
+  }
+}
+
+// ---- trace ring -----------------------------------------------------------
+
+TEST(Trace, RingWrapsAndCounts) {
+  so::TraceRing ring(4);
+  for (int i = 0; i < 6; ++i) {
+    ring.record(so::TraceKind::kRetry, "stage", static_cast<double>(i));
+  }
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.total_recorded(), 6u);
+  EXPECT_EQ(ring.dropped(), 2u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: events 2..5 survive.
+  EXPECT_DOUBLE_EQ(events.front().a, 2.0);
+  EXPECT_DOUBLE_EQ(events.back().a, 5.0);
+  // kind_counts tallies retained events only (the ring holds 4).
+  const auto counts = ring.kind_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(so::TraceKind::kRetry)], 4u);
+  ring.clear();
+  EXPECT_EQ(ring.snapshot().size(), 0u);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_STREQ(so::to_string(so::TraceKind::kStepHalve), "step_halve");
+  EXPECT_STREQ(so::to_string(so::TraceKind::kRollback), "rollback");
+  EXPECT_STREQ(so::to_string(so::TraceKind::kFaultInjected),
+               "fault_injected");
+}
+
+// ---- timer ----------------------------------------------------------------
+
+TEST(Timer, RecordsIntoHistogram) {
+  so::MetricsRegistry reg;
+  {
+    so::ScopedTimer t(&reg, "test.span_ms");
+    EXPECT_GE(t.elapsed_ns(), 0u);
+  }
+  so::Histogram& h = reg.histogram("test.span_ms", so::buckets::kLatencyMs);
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST(Timer, NullRegistryAndStopAreInert) {
+  so::ScopedTimer t(nullptr, "test.unused");
+  const double ms = t.stop();
+  EXPECT_GE(ms, 0.0);
+  // A stopped timer must not double-record on destruction.
+  so::MetricsRegistry reg;
+  {
+    so::ScopedTimer u(&reg, "test.once_ms");
+    u.stop();
+  }
+  EXPECT_EQ(reg.histogram("test.once_ms", so::buckets::kLatencyMs).count(),
+            1u);
+}
+
+// ---- RunContext -----------------------------------------------------------
+
+TEST(RunContext, ValidatesThreadCount) {
+  se::RunContext ctx;
+  EXPECT_NO_THROW(ctx.validate());
+  ctx.exec.threads = se::RunContext::kMaxThreads + 1;
+  EXPECT_THROW(ctx.validate(), std::invalid_argument);
+}
+
+TEST(RunContext, SinkPrefersExplicitRegistryThenDefault) {
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+  se::RunContext ctx;
+  EXPECT_EQ(ctx.sink(), nullptr);
+
+  so::MetricsRegistry fallback;
+  so::set_default_registry(&fallback);
+  EXPECT_EQ(ctx.sink(), &fallback);
+
+  so::MetricsRegistry explicit_reg;
+  ctx.metrics = &explicit_reg;
+  EXPECT_EQ(ctx.sink(), &explicit_reg);
+}
+
+TEST(RunContext, SerialHelper) {
+  const se::RunContext ctx = se::RunContext::serial();
+  EXPECT_EQ(ctx.resolved_threads(), 1u);
+  EXPECT_FALSE(ctx.strict);
+}
+
+// ---- layer instrumentation ------------------------------------------------
+
+TEST(ObsLinalg, BicgstabPublishesCounters) {
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+  // 2x2 diagonally dominant system.
+  sl::SparseBuilder builder(2);
+  builder.add(0, 0, 4.0);
+  builder.add(0, 1, 1.0);
+  builder.add(1, 0, 1.0);
+  builder.add(1, 1, 3.0);
+  const sl::CsrMatrix a(builder);
+  const std::vector<double> b = {1.0, 2.0};
+
+  so::MetricsRegistry reg;
+  sl::BicgstabOptions options;
+  options.metrics = &reg;
+  const auto result = sl::bicgstab(a, b, options);
+  EXPECT_TRUE(result.converged);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter(so::names::kBicgstabSolves), 1u);
+  EXPECT_EQ(snap.counter(so::names::kBicgstabIterations),
+            result.iterations);
+  EXPECT_EQ(snap.counter(so::names::kBicgstabFailures), 0u);
+}
+
+TEST(ObsTcad, SweepPublishesCountersAndTrace) {
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+  so::MetricsRegistry reg;
+  so::TraceRing ring(512);
+  se::RunContext ctx;
+  ctx.metrics = &reg;
+  ctx.trace = &ring;
+
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), {}, ctx);
+  const st::SweepResult sweep = dev.id_vg(0.25, 0.0, 0.45, 6);
+  EXPECT_TRUE(sweep.all_converged());
+
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter(so::names::kSweepPointsAttempted), 6u);
+  EXPECT_EQ(snap.counter(so::names::kSweepPointsConverged), 6u);
+  EXPECT_EQ(snap.counter(so::names::kSweepPointsFailed), 0u);
+  EXPECT_GT(snap.counter(so::names::kGummelSolves), 0u);
+  EXPECT_GT(snap.counter(so::names::kGummelOuterIterations),
+            snap.counter(so::names::kGummelSolves));
+  EXPECT_GT(snap.counter(so::names::kPoissonNewtonIterations), 0u);
+  EXPECT_GT(snap.counter(so::names::kContinuitySolves), 0u);
+
+  const auto counts = ring.kind_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(so::TraceKind::kSweepPoint)],
+            6u);
+  EXPECT_GT(counts[static_cast<std::size_t>(so::TraceKind::kStageEnter)],
+            0u);
+}
+
+TEST(ObsTcad, FaultInjectionLeavesTraceEvidence) {
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+  so::MetricsRegistry reg;
+  so::TraceRing ring(512);
+  se::RunContext ctx;
+  ctx.metrics = &reg;
+  ctx.trace = &ring;
+
+  st::GummelOptions faulty;
+  faulty.fault.stage = st::SolveStage::kPoisson;
+  faulty.fault.count = 1'000'000'000;
+  faulty.fault.min_bias = 0.19;
+  faulty.fault.max_bias = 0.21;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), faulty, ctx);
+  const st::SweepResult sweep = dev.id_vg(0.25, 0.0, 0.45, 10);
+  ASSERT_EQ(sweep.report.failures.size(), 1u);
+
+  const auto snap = reg.snapshot();
+  EXPECT_GT(snap.counter(so::names::kGummelFaultsInjected), 0u);
+  EXPECT_GT(snap.counter(so::names::kGummelRetries), 0u);
+  EXPECT_GT(snap.counter(so::names::kGummelRollbacks), 0u);
+  EXPECT_GT(snap.counter(so::names::kGummelStepHalvings), 0u);
+  EXPECT_EQ(snap.counter(so::names::kGummelFailedSolves), 1u);
+  EXPECT_EQ(snap.counter(so::names::kSweepPointsFailed), 1u);
+
+  const auto counts = ring.kind_counts();
+  EXPECT_GT(
+      counts[static_cast<std::size_t>(so::TraceKind::kFaultInjected)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(so::TraceKind::kRollback)], 0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(so::TraceKind::kStepHalve)],
+            0u);
+  EXPECT_GT(counts[static_cast<std::size_t>(so::TraceKind::kPointFailed)],
+            0u);
+}
+
+// ---- determinism contract -------------------------------------------------
+// Suite names start with "Parallel" so tools/check.sh's TSAN pass picks
+// them up (-R "^(Exec|TaskPool|Parallel)").
+
+TEST(ParallelObs, CounterTotalsBitwiseIdenticalAcrossThreadCounts) {
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 1000;
+  std::vector<std::uint64_t> totals;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    so::MetricsRegistry reg;
+    so::Counter& c = reg.counter("parallel.total");
+    se::rethrow_first(se::parallel_for(
+        kTasks,
+        [&](std::size_t k) {
+          for (std::uint64_t i = 0; i < kPerTask; ++i) {
+            c.add(k % 3 == 0 ? 2 : 1);
+          }
+        },
+        se::ExecPolicy{threads}));
+    totals.push_back(reg.snapshot().counter("parallel.total"));
+  }
+  for (std::size_t i = 1; i < totals.size(); ++i) {
+    EXPECT_EQ(totals[i], totals[0]) << "thread-count variant " << i;
+  }
+}
+
+TEST(ParallelObs, SolverCountersMatchSerialAtFourThreads) {
+  // The full contract: every integer solver counter and histogram
+  // bucket tally from a 2-node tcad_validation must be bitwise equal
+  // between the serial path and the 4-thread pool. (Pool metrics and
+  // float timing sums are diagnostic-only and deliberately excluded.)
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+  const auto run_with = [](so::MetricsRegistry& reg,
+                           const se::ExecPolicy& policy) {
+    sco::ScalingStudy study;
+    sco::TcadValidationOptions opt;
+    opt.nodes = {0, 1};
+    opt.points = 6;
+    opt.mesh = coarse_mesh();
+    opt.run.exec = policy;
+    opt.run.metrics = &reg;
+    const auto results = study.tcad_validation(opt);
+    ASSERT_EQ(results.size(), 2u);
+  };
+
+  so::MetricsRegistry serial_reg, pooled_reg;
+  run_with(serial_reg, se::ExecPolicy::serial());
+  run_with(pooled_reg, se::ExecPolicy{4});
+
+  const auto serial = serial_reg.snapshot();
+  const auto pooled = pooled_reg.snapshot();
+  ASSERT_EQ(serial.counters.size(), pooled.counters.size());
+  for (const auto& [name, value] : serial.counters) {
+    EXPECT_EQ(pooled.counter(name), value) << name;
+  }
+  ASSERT_EQ(serial.histograms.size(), pooled.histograms.size());
+  for (std::size_t h = 0; h < serial.histograms.size(); ++h) {
+    const auto& a = serial.histograms[h];
+    const auto& b = pooled.histograms[h];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.count, b.count) << a.name;
+    if (a.name == so::names::kGummelIterationsPerSolve) {
+      // Iteration counts are integers: bucket tallies match exactly.
+      EXPECT_EQ(a.buckets, b.buckets) << a.name;
+    }
+  }
+}
+
+// ---- overhead -------------------------------------------------------------
+
+TEST(ObsOverhead, DisabledRegistryCostsNearNothing) {
+  // With no registry installed anywhere, the instrumented sweep must
+  // not be slower than itself by more than noise. Run the same coarse
+  // solve with telemetry on and off; the "off" run may not take twice
+  // the "on" run plus margin (a catastrophic regression like an
+  // always-taken mutex would blow far past this).
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+
+  const auto timed_sweep = [&](const se::RunContext& ctx) {
+    const auto start = std::chrono::steady_clock::now();
+    st::TcadDevice dev(nfet_90(), coarse_mesh(), {}, ctx);
+    const st::SweepResult sweep = dev.id_vg(0.25, 0.0, 0.45, 6);
+    EXPECT_TRUE(sweep.all_converged());
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  so::MetricsRegistry reg;
+  se::RunContext with_metrics;
+  with_metrics.metrics = &reg;
+  const double on_ms = timed_sweep(with_metrics);
+  const double off_ms = timed_sweep(se::RunContext{});
+  EXPECT_LT(off_ms, 2.0 * on_ms + 50.0)
+      << "disabled-telemetry sweep took " << off_ms << " ms vs " << on_ms
+      << " ms with a registry";
+  // And nothing was recorded anywhere for the disabled run: the only
+  // registry in the process saw exactly one sweep's worth of points.
+  EXPECT_EQ(reg.snapshot().counter(so::names::kSweepPointsAttempted), 6u);
+}

@@ -6,10 +6,12 @@
 
 #include "compact/device_spec.h"
 #include "compact/mosfet.h"
+#include "exec/run_context.h"
 #include "physics/units.h"
 #include "tcad/device_sim.h"
 #include "tcad/extract.h"
 
+namespace se = subscale::exec;
 namespace st = subscale::tcad;
 namespace sc = subscale::compact;
 namespace sd = subscale::doping;
@@ -30,8 +32,8 @@ st::TcadDevice& shared_device() {
   return dev;
 }
 
-const std::vector<st::IdVgPoint>& shared_sweep() {
-  static const std::vector<st::IdVgPoint> sweep =
+const st::SweepResult& shared_sweep() {
+  static const st::SweepResult sweep =
       shared_device().id_vg(0.25, 0.0, 0.45, 10);
   return sweep;
 }
@@ -147,7 +149,7 @@ TEST(TcadSweep, SubthresholdSlopeNearCompactModel) {
 }
 
 TEST(TcadSweep, OffCurrentInLeakageRegime) {
-  const auto& sweep = shared_sweep();
+  const auto& sweep = shared_sweep().points;
   // I_off at V_gs = 0: within a few orders of the paper's 100 pA/um.
   const double ioff_pa_um = su::to_pA_per_um(sweep.front().id);
   EXPECT_GT(ioff_pa_um, 1.0);
@@ -382,8 +384,8 @@ TEST(SolverResilience, SweepSkipsUnrecoverablePointAndContinues) {
   faulty.fault.max_bias = 0.21;
   st::TcadDevice dev(nfet_90(), coarse_mesh(), faulty);
 
-  const auto sweep = dev.id_vg(0.25, 0.0, 0.45, 10);
-  const auto& report = dev.last_sweep_report();
+  const st::SweepResult sweep = dev.id_vg(0.25, 0.0, 0.45, 10);
+  const auto& report = sweep.report;
   EXPECT_EQ(report.attempted, 10u);
   ASSERT_EQ(report.failures.size(), 1u);
   EXPECT_NEAR(report.failures.front().vg, 0.20, 1e-12);
@@ -394,10 +396,57 @@ TEST(SolverResilience, SweepSkipsUnrecoverablePointAndContinues) {
     EXPECT_GT(sweep[k].id, sweep[k - 1].id) << "k=" << k;
   }
 
-  // Strict mode turns the same skip into a throw.
-  st::SweepOptions strict;
-  strict.strict = true;
-  EXPECT_THROW(dev.id_vg(0.25, 0.0, 0.45, 10, strict), st::SolverError);
+  // Every attempted point carries an effort record; the lost one is
+  // flagged, the rest converged with real solver work behind them.
+  ASSERT_EQ(sweep.timings.size(), 10u);
+  std::size_t converged = 0;
+  for (const auto& rec : sweep.timings) {
+    if (rec.converged) {
+      ++converged;
+      EXPECT_GT(rec.gummel_iterations, 0u);
+    } else {
+      EXPECT_NEAR(rec.vg, 0.20, 1e-12);
+      EXPECT_GT(rec.retries, 0u);
+    }
+    EXPECT_GE(rec.wall_ms, 0.0);
+  }
+  EXPECT_EQ(converged, 9u);
+
+  // Strict mode (RunContext) turns the same skip into a throw.
+  se::RunContext strict_ctx;
+  strict_ctx.strict = true;
+  EXPECT_THROW(dev.id_vg(0.25, 0.0, 0.45, 10, strict_ctx), st::SolverError);
+}
+
+TEST(SolverResilience, DeprecatedSweepShimStillMatchesNewApi) {
+  // The transitional SweepOptions overload must return exactly the
+  // points of the SweepResult API and park the report in
+  // last_sweep_report(); both go away next PR.
+  st::GummelOptions faulty =
+      faulted_options(st::SolveStage::kPoisson, 1'000'000'000);
+  faulty.fault.min_bias = 0.19;
+  faulty.fault.max_bias = 0.21;
+  // Two identically-built devices: both sweeps start from equilibrium,
+  // so a deterministic solver must produce bitwise-equal curves.
+  st::TcadDevice dev_new(nfet_90(), coarse_mesh(), faulty);
+  const st::SweepResult fresh = dev_new.id_vg(0.25, 0.0, 0.45, 10);
+
+  st::TcadDevice dev_old(nfet_90(), coarse_mesh(), faulty);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  st::SweepOptions options;
+  const std::vector<st::IdVgPoint> old_points =
+      dev_old.id_vg(0.25, 0.0, 0.45, 10, options);
+  const st::SweepReport old_report = dev_old.last_sweep_report();
+#pragma GCC diagnostic pop
+
+  ASSERT_EQ(old_points.size(), fresh.points.size());
+  for (std::size_t k = 0; k < old_points.size(); ++k) {
+    EXPECT_EQ(old_points[k].vg, fresh.points[k].vg);
+    EXPECT_EQ(old_points[k].id, fresh.points[k].id);
+  }
+  EXPECT_EQ(old_report.attempted, fresh.report.attempted);
+  ASSERT_EQ(old_report.failures.size(), fresh.report.failures.size());
 }
 
 TEST(SolverResilience, EquilibriumFaultRecoversWithTightenedDamping) {

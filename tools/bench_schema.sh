@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Validate the telemetry block of BENCH_<name>.json records against the
+# canonical metric schema (src/obs/names.h). Fails when:
+#   * a record has no "obs" block at all (telemetry was not wired in),
+#   * a required headline metric key is missing, or
+#   * the block contains a key outside the whitelist — renaming or adding
+#     a metric must touch BOTH src/obs/names.h and this list, on purpose.
+#
+#   ./tools/bench_schema.sh BENCH_tcad_validation.json [more.json ...]
+#   ./tools/bench_schema.sh            # validates ./BENCH_*.json
+set -euo pipefail
+
+# Whitelist: keep in sync with src/obs/names.h (kebab of the constants)
+# plus the ".count"/".sum" flattening write_metrics_snapshot() applies
+# to histograms.
+allowed_keys="
+exec.pool.pools
+exec.pool.tasks_run
+exec.pool.queue_depth_max
+exec.pool.utilization_pct
+linalg.bicgstab.solves
+linalg.bicgstab.iterations
+linalg.bicgstab.breakdowns
+linalg.bicgstab.failures
+tcad.gummel.solves
+tcad.gummel.outer_iterations
+tcad.gummel.continuation_steps
+tcad.gummel.retries
+tcad.gummel.step_halvings
+tcad.gummel.damping_tightenings
+tcad.gummel.rollbacks
+tcad.gummel.faults_injected
+tcad.gummel.failed_solves
+tcad.gummel.last_residual
+tcad.gummel.iterations_per_solve.count
+tcad.gummel.iterations_per_solve.sum
+tcad.poisson.newton_iterations
+tcad.continuity.solves
+tcad.sweep.points_attempted
+tcad.sweep.points_converged
+tcad.sweep.points_failed
+tcad.sweep.point_ms.count
+tcad.sweep.point_ms.sum
+core.study.nodes_validated
+core.study.node_errors
+core.study.sweep_point_failures
+core.study.node_ms.count
+core.study.node_ms.sum
+"
+
+# Every bench must carry at least these (the cross-PR trajectory keys).
+required_keys="
+tcad.gummel.outer_iterations
+tcad.gummel.retries
+linalg.bicgstab.iterations
+exec.pool.utilization_pct
+"
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  shopt -s nullglob
+  files=(BENCH_*.json)
+  shopt -u nullglob
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "bench_schema: no BENCH_*.json files found" >&2
+    exit 1
+  fi
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if [[ ! -f "$f" ]]; then
+    echo "bench_schema: $f: no such file" >&2
+    status=1
+    continue
+  fi
+  if ! grep -q '"obs"' "$f"; then
+    echo "bench_schema: $f: missing \"obs\" metrics block" >&2
+    status=1
+    continue
+  fi
+  # The obs block is flat: extract its keys (everything between the
+  # "obs" opener and the next closing brace).
+  keys="$(awk '
+    /"obs": \{/ { in_obs = 1; next }
+    in_obs && /\}/ { in_obs = 0 }
+    in_obs {
+      if (match($0, /"[^"]+"/)) {
+        print substr($0, RSTART + 1, RLENGTH - 2)
+      }
+    }' "$f")"
+  if [[ -z "$keys" ]]; then
+    echo "bench_schema: $f: empty \"obs\" block" >&2
+    status=1
+    continue
+  fi
+  while IFS= read -r key; do
+    if ! grep -qxF "$key" <<< "$allowed_keys"; then
+      echo "bench_schema: $f: unknown metric key \"$key\" (update" \
+           "src/obs/names.h AND tools/bench_schema.sh together)" >&2
+      status=1
+    fi
+  done <<< "$keys"
+  while IFS= read -r key; do
+    [[ -z "$key" ]] && continue
+    if ! grep -qxF "$key" <<< "$keys"; then
+      echo "bench_schema: $f: required metric key \"$key\" missing" >&2
+      status=1
+    fi
+  done <<< "$required_keys"
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "bench_schema: ${#files[@]} record(s) OK"
+fi
+exit $status

@@ -41,3 +41,13 @@ fi
 cmake -B "$build_dir" -S "$repo_root" "${cmake_args[@]}"
 cmake --build "$build_dir" -j "$jobs"
 ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${ctest_args[@]}"
+
+# Plain builds also validate the bench telemetry schema: run one fast
+# bench to produce a fresh record and check it against the whitelist
+# (sanitized trees skip this — bench wall times are meaningless there).
+if [[ -z "$sanitize" ]]; then
+  bench_tmp="$(mktemp -d)"
+  (cd "$bench_tmp" && "$build_dir/bench/bench_tcad_validation" > /dev/null)
+  "$repo_root/tools/bench_schema.sh" "$bench_tmp"/BENCH_*.json
+  rm -rf "$bench_tmp"
+fi
