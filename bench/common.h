@@ -14,6 +14,14 @@
 /// (gummel/bicgstab iterations, retries, pool utilization, ...) and
 /// tools/bench_schema.sh can validate it. Set SUBSCALE_METRICS=0 (or
 /// "off") to benchmark the disabled-registry fast path.
+///
+/// Profiling: SUBSCALE_PROFILE=1 additionally installs a process-wide
+/// SpanProfiler (obs::set_default_profiler), prints the self-time
+/// roll-up after the shape verdict, and writes TRACE_<name>.json in
+/// Chrome trace-event format — load it in chrome://tracing or
+/// ui.perfetto.dev. The span totals also land in the "obs" block
+/// (obs.profiler.spans / .spans_dropped), which stay zero when
+/// profiling is off.
 
 #include <chrono>
 #include <cstdio>
@@ -29,8 +37,10 @@
 #include "io/series.h"
 #include "io/table.h"
 #include "io/writer.h"
+#include "io/trace_export.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profiler.h"
 
 namespace bench {
 
@@ -91,9 +101,53 @@ inline subscale::obs::MetricsRegistry* bench_registry() {
   return reg;
 }
 
+/// The process-wide bench profiler, or null unless SUBSCALE_PROFILE
+/// opts in (profiling records every span of every solve, so it is off
+/// by default where the registry is on by default). Installs itself as
+/// the default profiler so the whole stack below picks it up.
+inline subscale::obs::SpanProfiler* bench_profiler() {
+  static subscale::obs::SpanProfiler* prof = [] {
+    const char* env = std::getenv("SUBSCALE_PROFILE");
+    if (env == nullptr || std::strcmp(env, "0") == 0 ||
+        std::strcmp(env, "off") == 0) {
+      return static_cast<subscale::obs::SpanProfiler*>(nullptr);
+    }
+    static subscale::obs::SpanProfiler profiler;
+    subscale::obs::set_default_profiler(&profiler);
+    return &profiler;
+  }();
+  return prof;
+}
+
 inline void write_record(const std::string& name, bool ok, double wall_ms,
                          const Record& record) {
   namespace io = subscale::io;
+  namespace obs = subscale::obs;
+
+  // Fold the span totals into the registry before snapshotting it, so
+  // the "obs" block carries them; export the trace itself alongside.
+  if (obs::SpanProfiler* prof = bench_profiler(); prof != nullptr) {
+    const obs::ProfileSnapshot snap = prof->snapshot();
+    if (obs::MetricsRegistry* reg = bench_registry(); reg != nullptr) {
+      reg->counter(obs::names::kProfilerSpans).add(snap.spans.size());
+      reg->counter(obs::names::kProfilerSpansDropped).add(snap.dropped);
+    }
+    std::printf("%s", snap.rollup_table().c_str());
+    io::JsonWriter tw;
+    io::write_chrome_trace(tw, snap);
+    const std::string trace_path = "TRACE_" + name + ".json";
+    if (std::FILE* tf = std::fopen(trace_path.c_str(), "w");
+        tf != nullptr) {
+      const std::string text = tw.str();
+      std::fwrite(text.data(), 1, text.size(), tf);
+      std::fclose(tf);
+      std::printf("trace: %s (%zu spans)\n\n", trace_path.c_str(),
+                  snap.spans.size());
+    } else {
+      std::fprintf(stderr, "bench: cannot write %s\n", trace_path.c_str());
+    }
+  }
+
   io::JsonWriter w;
   w.begin_object();
   w.key("bench");
@@ -140,6 +194,7 @@ inline int run(const char* name, const char* title, const char* paper_claim,
                const char* shape_criterion,
                const std::function<bool(Record&)>& body) {
   detail::bench_registry();  // install telemetry before the body runs
+  detail::bench_profiler();  // and the span profiler, if opted in
   header(title, paper_claim);
   Record record;
   const auto start = std::chrono::steady_clock::now();

@@ -1,16 +1,24 @@
 // The "MEDICI path": run the from-scratch 2-D drift–diffusion solver on
 // the paper's 90nm NFET, dump the Id–Vg characteristic at two drain
 // biases, and extract S_S / V_th / DIBL exactly the way the paper
-// post-processed its device simulations. Writes tcad_idvg.csv alongside.
+// post-processed its device simulations. Writes tcad_idvg.csv alongside,
+// plus tcad_idvg_convergence.json with the per-solve residual
+// trajectories the Gummel loop recorded (one column set per solve —
+// plot psi_update against iteration to see the decay).
 //
 // Usage: tcad_idvg [lpoly_nm]   (default 65)
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 
 #include "compact/device_spec.h"
+#include "exec/run_context.h"
 #include "io/csv.h"
 #include "io/table.h"
+#include "io/trace_export.h"
+#include "io/writer.h"
+#include "obs/convergence.h"
 #include "physics/units.h"
 #include "tcad/device_sim.h"
 #include "tcad/extract.h"
@@ -27,7 +35,13 @@ int main(int argc, char** argv) {
   std::printf("2-D drift-diffusion simulation of the 90nm-node NFET "
               "(Lpoly = %.0f nm)\n",
               lpoly_nm);
-  tcad::TcadDevice dev(spec);
+  // Opt into convergence recording: the recorder rides in the device's
+  // RunContext, and the solver commits one trajectory per Gummel solve
+  // (including intermediate continuation bias points).
+  obs::ConvergenceRecorder recorder(512);
+  exec::RunContext ctx;
+  ctx.convergence = &recorder;
+  tcad::TcadDevice dev(spec, {}, {}, ctx);
   std::printf("mesh: %zu x %zu = %zu nodes\n\n", dev.structure().mesh().nx(),
               dev.structure().mesh().ny(),
               dev.structure().mesh().node_count());
@@ -57,5 +71,24 @@ int main(int argc, char** argv) {
 
   io::write_csv_file("tcad_idvg.csv", {s_lin, s_sat});
   std::printf("\nwrote tcad_idvg.csv\n");
+
+  const auto solves = recorder.snapshot();
+  std::size_t iterations = 0;
+  std::size_t converged = 0;
+  for (const auto& s : solves) {
+    iterations += s.samples.size();
+    converged += s.converged ? 1u : 0u;
+  }
+  std::printf("convergence recorder: %zu solves kept (%llu offered, "
+              "%llu dropped), %zu/%zu converged, %zu outer iterations\n",
+              solves.size(),
+              static_cast<unsigned long long>(recorder.total_solves()),
+              static_cast<unsigned long long>(recorder.dropped_solves()),
+              converged, solves.size(), iterations);
+
+  io::JsonWriter jw;
+  io::write_convergence_document(jw, solves);
+  std::ofstream("tcad_idvg_convergence.json") << jw.str() << '\n';
+  std::printf("wrote tcad_idvg_convergence.json\n");
   return 0;
 }

@@ -81,6 +81,7 @@ std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
   // runtime, and the lowest-index failure is rethrown below — the same
   // failure a serial strict run surfaces first.
   obs::MetricsRegistry* sink = options.run.sink();
+  obs::SpanProfiler* prof = options.run.span_sink();
   const auto run_node = [&](std::size_t k) {
     const std::size_t i = nodes[k];
     const compact::DeviceSpec& spec =
@@ -88,6 +89,7 @@ std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
     TcadNodeValidation result;
     result.node = i;
     result.lpoly_nm = spec.geometry.lpoly * 1e9;
+    const obs::ScopedSpan node_span(prof, obs::names::spans::kStudyNode);
     obs::ScopedTimer timer(sink, obs::names::kStudyNodeMs);
     try {
       tcad::TcadDevice device(spec, options.mesh, options.gummel,
@@ -117,7 +119,8 @@ std::vector<TcadNodeValidation> ScalingStudy::tcad_validation(
   };
 
   return exec::values_or_throw(exec::parallel_map<TcadNodeValidation>(
-      nodes.size(), run_node, options.run.exec));
+      nodes.size(), run_node, options.run.exec,
+      exec::TaskObs{prof, options.run.trace}));
 }
 
 }  // namespace subscale::core

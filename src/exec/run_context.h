@@ -17,6 +17,11 @@
 ///                 default.
 ///   * `trace`   — optional structured event ring (stage enter/exit,
 ///                 retry, step-halve, rollback, fault injection).
+///   * `profiler` — optional hierarchical span profiler. Null falls
+///                 back to obs::default_profiler() (itself null unless
+///                 installed), mirroring `metrics`.
+///   * `convergence` — optional per-solve residual-trajectory recorder.
+///                 Strictly opt-in: no process-wide default exists.
 ///   * `strict`  — throw on the first solver failure instead of
 ///                 recording it and continuing.
 ///
@@ -27,7 +32,9 @@
 #include <cstddef>
 
 #include "exec/policy.h"
+#include "obs/convergence.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 namespace subscale::exec {
@@ -36,6 +43,8 @@ struct RunContext {
   ExecPolicy exec{};
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRing* trace = nullptr;
+  obs::SpanProfiler* profiler = nullptr;
+  obs::ConvergenceRecorder* convergence = nullptr;
   bool strict = false;
 
   /// Fat-finger guard on explicit thread counts (a request for tens of
@@ -51,6 +60,13 @@ struct RunContext {
   /// registry, else the process default, else null (telemetry off).
   obs::MetricsRegistry* sink() const {
     return metrics != nullptr ? metrics : obs::default_registry();
+  }
+
+  /// The span profiler this context resolves to: the explicit profiler,
+  /// else the process default, else null (profiling off). Components
+  /// resolve this once at construction, Instruments-style.
+  obs::SpanProfiler* span_sink() const {
+    return profiler != nullptr ? profiler : obs::default_profiler();
   }
 
   std::size_t resolved_threads() const { return exec.resolved_threads(); }

@@ -44,7 +44,11 @@ std::string format_double(double v) {
 
 /// Shortest decimal text for CSV cells (matches the old to_csv output,
 /// which used default ostream formatting: "2" not "2.0000000...").
+/// Non-finite values render as "null", matching the JSON backend, so a
+/// NaN in a curve cannot silently become platform-dependent "nan"/"inf"
+/// text that downstream CSV readers disagree on.
 std::string format_cell(double v) {
+  if (!std::isfinite(v)) return "null";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%g", v);
   return buf;

@@ -6,6 +6,7 @@
 #include "linalg/dense.h"
 #include "linalg/ilu0.h"
 #include "obs/names.h"
+#include "obs/profiler.h"
 
 namespace subscale::linalg {
 
@@ -138,6 +139,10 @@ IterativeResult bicgstab_impl(const CsrMatrix& a,
 
 IterativeResult bicgstab(const CsrMatrix& a, const std::vector<double>& b,
                          const BicgstabOptions& options) {
+  const obs::ScopedSpan span(options.profiler != nullptr
+                                 ? options.profiler
+                                 : obs::default_profiler(),
+                             obs::names::spans::kBicgstabSolve);
   const IterativeResult result = bicgstab_impl(a, b, options);
   publish(options.metrics != nullptr ? options.metrics
                                      : obs::default_registry(),

@@ -9,6 +9,10 @@
 #include "linalg/csr_matrix.h"
 #include "obs/metrics.h"
 
+namespace subscale::obs {
+class SpanProfiler;
+}  // namespace subscale::obs
+
 namespace subscale::linalg {
 
 struct IterativeResult {
@@ -30,6 +34,9 @@ struct BicgstabOptions {
   /// obs/names.h). Null falls back to obs::default_registry(); a null
   /// resolved sink costs one pointer test per solve.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Span sink for one "linalg.bicgstab.solve" span per call. Null
+  /// falls back to obs::default_profiler(), same resolution as metrics.
+  obs::SpanProfiler* profiler = nullptr;
 };
 
 /// Solve A x = b with right-preconditioned BiCGSTAB.

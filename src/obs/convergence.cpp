@@ -1,0 +1,46 @@
+#include "obs/convergence.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace subscale::obs {
+
+ConvergenceRecorder::ConvergenceRecorder(std::size_t max_solves)
+    : capacity_(max_solves) {
+  if (max_solves == 0) {
+    throw std::invalid_argument(
+        "ConvergenceRecorder: max_solves must be positive");
+  }
+  solves_.reserve(max_solves);
+}
+
+void ConvergenceRecorder::commit(SolveTrajectory&& trajectory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (solves_.size() < capacity_) {
+    solves_.push_back(std::move(trajectory));
+  }
+}
+
+std::uint64_t ConvergenceRecorder::total_solves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+std::uint64_t ConvergenceRecorder::dropped_solves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ > solves_.size() ? total_ - solves_.size() : 0;
+}
+
+std::vector<SolveTrajectory> ConvergenceRecorder::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return solves_;
+}
+
+void ConvergenceRecorder::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  solves_.clear();
+  total_ = 0;
+}
+
+}  // namespace subscale::obs

@@ -69,6 +69,13 @@ inline constexpr const char* kStudySweepPointFailures =
     "core.study.sweep_point_failures";
 inline constexpr const char* kStudyNodeMs = "core.study.node_ms";
 
+// obs layer — span-profiler export tallies (bumped once at export time
+// so every BENCH record says how many spans its trace carries; zero
+// when profiling is off)
+inline constexpr const char* kProfilerSpans = "obs.profiler.spans";
+inline constexpr const char* kProfilerSpansDropped =
+    "obs.profiler.spans_dropped";
+
 /// Touch every standard instrument so a snapshot (and the BENCH json
 /// written from it) always carries the complete schema, zeros included.
 inline void preregister_standard(MetricsRegistry& registry) {
@@ -80,7 +87,8 @@ inline void preregister_standard(MetricsRegistry& registry) {
         kGummelFaultsInjected, kGummelFailedSolves,
         kPoissonNewtonIterations, kContinuitySolves, kSweepPointsAttempted,
         kSweepPointsConverged, kSweepPointsFailed, kStudyNodesValidated,
-        kStudyNodeErrors, kStudySweepPointFailures}) {
+        kStudyNodeErrors, kStudySweepPointFailures, kProfilerSpans,
+        kProfilerSpansDropped}) {
     registry.counter(name);
   }
   for (const char* name :
@@ -92,5 +100,22 @@ inline void preregister_standard(MetricsRegistry& registry) {
     registry.histogram(name, buckets::kLatencyMs);
   }
 }
+
+/// Canonical span labels for the hierarchical profiler (obs/profiler.h).
+/// Like the metric names, every instrumented layer spells its spans
+/// through these constants so trace exports stay comparable across PRs.
+/// Labels must be static-storage strings (the profiler stores pointers).
+namespace spans {
+inline constexpr const char* kTask = "exec.task";
+inline constexpr const char* kStudyNode = "core.study.node";
+inline constexpr const char* kSweepPoint = "tcad.sweep.point";
+inline constexpr const char* kGummelEquilibrium = "tcad.gummel.equilibrium";
+inline constexpr const char* kGummelBiasRamp = "tcad.gummel.bias_ramp";
+inline constexpr const char* kGummelSolve = "tcad.gummel.solve";
+inline constexpr const char* kGummelPoisson = "tcad.gummel.poisson";
+inline constexpr const char* kGummelContinuity = "tcad.gummel.continuity";
+inline constexpr const char* kBandedLuSolve = "linalg.banded_lu.solve";
+inline constexpr const char* kBicgstabSolve = "linalg.bicgstab.solve";
+}  // namespace spans
 
 }  // namespace subscale::obs::names

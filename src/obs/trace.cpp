@@ -1,9 +1,17 @@
 #include "obs/trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <stdexcept>
 
 namespace subscale::obs {
+
+std::uint32_t thread_ordinal() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
 
 namespace {
 
@@ -42,8 +50,9 @@ TraceRing::TraceRing(std::size_t capacity)
 
 void TraceRing::record(TraceKind kind, const char* what, double a, double b) {
   const std::uint64_t now = steady_now_ns();
+  const std::uint32_t tid = thread_ordinal();
   std::lock_guard<std::mutex> lock(mu_);
-  TraceEvent ev{kind, now - t0_ns_, what, a, b};
+  TraceEvent ev{kind, now - t0_ns_, what, a, b, tid};
   if (events_.size() < capacity_) {
     events_.push_back(ev);
   } else {

@@ -36,12 +36,23 @@ enum class TraceKind {
 
 const char* to_string(TraceKind kind);
 
+/// Small dense ordinal of the calling thread (0, 1, 2, ... in first-use
+/// order, process-wide). Shared by the trace ring and the span profiler
+/// so concurrent events attribute to the same track everywhere. Stable
+/// for a thread's lifetime; NOT stable across runs (scheduling decides
+/// first-use order), so it is diagnostic, never part of a determinism
+/// contract.
+std::uint32_t thread_ordinal();
+
 struct TraceEvent {
   TraceKind kind = TraceKind::kStageEnter;
   std::uint64_t t_ns = 0;    ///< monotonic ns since the ring was created
   const char* what = "";     ///< static label (stage/site name)
   double a = 0.0;            ///< payload (meaning depends on kind)
   double b = 0.0;
+  /// Recording thread (thread_ordinal()), filled by TraceRing::record —
+  /// without it concurrent kTaskSpan events are indistinguishable.
+  std::uint32_t tid = 0;
 };
 
 /// Fixed-capacity, thread-safe event ring.

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "linalg/banded.h"
+#include "obs/names.h"
+#include "obs/profiler.h"
 #include "physics/constants.h"
 #include "physics/fermi.h"
 
@@ -50,7 +52,8 @@ ContinuityResult solve_continuity(const DeviceStructure& dev,
                                   const std::vector<double>& psi,
                                   const std::vector<double>& other_density,
                                   std::vector<double>& density,
-                                  const ContinuityOptions& options) {
+                                  const ContinuityOptions& options,
+                                  obs::SpanProfiler* profiler) {
   const auto& m = dev.mesh();
   const std::size_t n_nodes = m.node_count();
   if (psi.size() != n_nodes || density.size() != n_nodes ||
@@ -136,7 +139,11 @@ ContinuityResult solve_continuity(const DeviceStructure& dev,
     }
   }
 
-  density = linalg::BandedLu(a).solve(rhs);
+  {
+    const obs::ScopedSpan lu_span(profiler,
+                                  obs::names::spans::kBandedLuSolve);
+    density = linalg::BandedLu(a).solve(rhs);
+  }
   // The linear solve can undershoot in sharply graded regions; clamp to a
   // tiny positive floor so logs and SRH terms stay defined. A NaN/Inf
   // (singular pivot from a degenerate potential) is counted and reset so

@@ -11,6 +11,10 @@
 #include "tcad/device_structure.h"
 #include "tcad/solver_status.h"
 
+namespace subscale::obs {
+class SpanProfiler;
+}  // namespace subscale::obs
+
 namespace subscale::tcad {
 
 struct ContinuityOptions {
@@ -30,12 +34,15 @@ struct ContinuityResult {
 /// A non-finite linear-solve output (degenerate potential, singular
 /// pivot) is reported via the result instead of being propagated as
 /// garbage currents; the offending nodes are reset to the density floor.
+/// A non-null `profiler` records the "linalg.banded_lu.solve" span of
+/// the single banded solve.
 ContinuityResult solve_continuity(const DeviceStructure& dev,
                                   physics::Carrier carrier,
                                   const std::vector<double>& psi,
                                   const std::vector<double>& other_density,
                                   std::vector<double>& density,
-                                  const ContinuityOptions& options = {});
+                                  const ContinuityOptions& options = {},
+                                  obs::SpanProfiler* profiler = nullptr);
 
 /// Scharfetter–Gummel edge current (per metre of device width) flowing
 /// from node a to node b for the given carrier [A/m]. Used both by the

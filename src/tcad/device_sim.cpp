@@ -37,6 +37,7 @@ SweepResult TcadDevice::id_vg(double vd, double vg_start, double vg_stop,
   }
   ctx.validate();
   obs::MetricsRegistry* sink = ctx.sink();
+  obs::SpanProfiler* prof = ctx.span_sink();
 
   SweepResult result;
   result.points.reserve(points);
@@ -49,6 +50,7 @@ SweepResult TcadDevice::id_vg(double vd, double vg_start, double vg_stop,
     if (sink != nullptr) {
       sink->counter(obs::names::kSweepPointsAttempted).add(1);
     }
+    const obs::ScopedSpan point_span(prof, obs::names::spans::kSweepPoint);
     obs::ScopedTimer timer(sink, obs::names::kSweepPointMs);
     const SolverReport& report =
         solver_.try_solve_bias(sign_ * vg, sign_ * vd, 0.0, 0.0);
@@ -74,16 +76,6 @@ SweepResult TcadDevice::id_vg(double vd, double vg_start, double vg_stop,
     result.report.failures.push_back({vg, vd, report});
   }
   return result;
-}
-
-std::vector<IdVgPoint> TcadDevice::id_vg(double vd, double vg_start,
-                                         double vg_stop, std::size_t points,
-                                         const SweepOptions& options) {
-  exec::RunContext ctx = run_;
-  ctx.strict = options.strict;
-  SweepResult result = id_vg(vd, vg_start, vg_stop, points, ctx);
-  sweep_report_ = std::move(result.report);
-  return std::move(result.points);
 }
 
 }  // namespace subscale::tcad

@@ -34,15 +34,6 @@ struct IdVgPoint {
   double id = 0.0;  ///< drain current magnitude [A per metre of width]
 };
 
-/// Legacy per-sweep options. Superseded by exec::RunContext (which
-/// carries strictness alongside the telemetry sink); kept one PR so the
-/// deprecated id_vg overload still compiles at old call sites.
-struct SweepOptions {
-  /// Throw SolverError on the first unrecoverable point instead of
-  /// skipping it and recording the failure in the sweep report.
-  bool strict = false;
-};
-
 /// One bias point a sweep had to give up on.
 struct FailedPoint {
   double vg = 0.0;
@@ -113,26 +104,11 @@ class TcadDevice {
   SweepResult id_vg(double vd, double vg_start, double vg_stop,
                     std::size_t points, const exec::RunContext& ctx);
 
-  /// Transitional shim for the pre-SweepResult API. Runs the sweep
-  /// under the construction context with `options.strict` applied and
-  /// returns only the curve; the report lands in last_sweep_report().
-  [[deprecated(
-      "use the SweepResult-returning id_vg overloads; this shim and "
-      "SweepOptions are removed next PR")]]
-  std::vector<IdVgPoint> id_vg(double vd, double vg_start, double vg_stop,
-                               std::size_t points,
-                               const SweepOptions& options);
-
-  /// Diagnostics of the most recent deprecated-shim id_vg() call.
-  [[deprecated("read SweepResult::report instead")]]
-  const SweepReport& last_sweep_report() const { return sweep_report_; }
-
  private:
   DeviceStructure dev_;
   exec::RunContext run_;
   DriftDiffusionSolver solver_;
   double sign_ = 1.0;
-  SweepReport sweep_report_;  ///< feeds the deprecated shim only
 };
 
 }  // namespace subscale::tcad

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/names.h"
 #include "physics/fermi.h"
@@ -61,7 +63,11 @@ void GummelOptions::validate() const {
 DriftDiffusionSolver::DriftDiffusionSolver(const DeviceStructure& dev,
                                            const GummelOptions& options,
                                            const exec::RunContext& ctx)
-    : dev_(dev), options_(options), trace_(ctx.trace) {
+    : dev_(dev),
+      options_(options),
+      trace_(ctx.trace),
+      prof_(ctx.span_sink()),
+      recorder_(ctx.convergence) {
   options_.validate();
   ctx.validate();
   if (obs::MetricsRegistry* sink = ctx.sink(); sink != nullptr) {
@@ -110,6 +116,8 @@ bool DriftDiffusionSolver::fault_fires(
 }
 
 void DriftDiffusionSolver::solve_equilibrium() {
+  const obs::ScopedSpan span(prof_,
+                             obs::names::spans::kGummelEquilibrium);
   const std::size_t n_nodes = dev_.mesh().node_count();
   const double ni = dev_.ni();
   const double vt = dev_.vt();
@@ -184,6 +192,7 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
                                                          double vs,
                                                          double vb) {
   if (!solved_) solve_equilibrium();
+  const obs::ScopedSpan span(prof_, obs::names::spans::kGummelBiasRamp);
   const std::map<std::string, double> target = {
       {"gate", vg}, {"drain", vd}, {"source", vs}, {"bulk", vb}};
   report_ = SolverReport{};
@@ -280,7 +289,23 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
 
 DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at(
     const std::map<std::string, double>& biases, double damping) {
-  const GummelOutcome out = gummel_at_impl(biases, damping);
+  const obs::ScopedSpan span(prof_, obs::names::spans::kGummelSolve);
+  obs::SolveTrajectory trajectory;
+  obs::SolveTrajectory* traj_ptr = nullptr;
+  if (recorder_ != nullptr) {
+    const auto bias_of = [&biases](const char* contact) {
+      const auto it = biases.find(contact);
+      return it != biases.end() ? it->second : 0.0;
+    };
+    trajectory.vg = bias_of("gate");
+    trajectory.vd = bias_of("drain");
+    traj_ptr = &trajectory;
+  }
+  const GummelOutcome out = gummel_at_impl(biases, damping, traj_ptr);
+  if (traj_ptr != nullptr) {
+    trajectory.converged = out.status == SolveStatus::kConverged;
+    recorder_->commit(std::move(trajectory));
+  }
   if (ins_.solves != nullptr) {
     ins_.solves->add(1);
     ins_.outer_iterations->add(out.iterations);
@@ -291,7 +316,8 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at(
 }
 
 DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
-    const std::map<std::string, double>& biases, double damping) {
+    const std::map<std::string, double>& biases, double damping,
+    obs::SolveTrajectory* trajectory) {
   const auto& m = dev_.mesh();
   const std::size_t n_nodes = m.node_count();
   const double ni = dev_.ni();
@@ -317,16 +343,30 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
     }
 
     psi_prev = psi_;
-    PoissonResult pres =
-        solve_poisson(dev_, biases, phi_n, phi_p, psi_, options_.poisson);
+    PoissonResult pres = [&] {
+      const obs::ScopedSpan poisson_span(
+          prof_, obs::names::spans::kGummelPoisson);
+      return solve_poisson(dev_, biases, phi_n, phi_p, psi_,
+                           options_.poisson, prof_);
+    }();
     if (ins_.poisson_newton_iterations != nullptr) {
       ins_.poisson_newton_iterations->add(pres.iterations);
     }
+    // The sample for this outer iteration; fields of stages never
+    // reached stay NaN (rendered null by the JSON exporter).
+    constexpr double kUnreached = std::numeric_limits<double>::quiet_NaN();
+    obs::ConvergenceSample sample;
+    sample.iteration = static_cast<std::uint32_t>(it + 1);
+    sample.poisson_update = pres.max_update;
+    sample.poisson_iterations = static_cast<std::uint32_t>(pres.iterations);
+    sample.continuity_max_density = kUnreached;
+    sample.psi_update = kUnreached;
     if (fault_fires(SolveStage::kPoisson, it, biases)) {
       pres.converged = false;
       pres.status = SolveStatus::kStalled;
     }
     if (!pres.converged) {
+      if (trajectory != nullptr) trajectory->samples.push_back(sample);
       last_iterations_ = it + 1;
       return {pres.status, SolveStage::kPoisson, it + 1, pres.iterations,
               pres.max_update};
@@ -342,20 +382,29 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
       }
     }
 
-    ContinuityResult rn = solve_continuity(
-        dev_, physics::Carrier::kElectron, psi_, p_, n_, options_.continuity);
-    const ContinuityResult rp = solve_continuity(
-        dev_, physics::Carrier::kHole, psi_, n_, p_, options_.continuity);
+    const auto [rn, rp] = [&] {
+      const obs::ScopedSpan continuity_span(
+          prof_, obs::names::spans::kGummelContinuity);
+      ContinuityResult electron =
+          solve_continuity(dev_, physics::Carrier::kElectron, psi_, p_, n_,
+                           options_.continuity, prof_);
+      const ContinuityResult hole =
+          solve_continuity(dev_, physics::Carrier::kHole, psi_, n_, p_,
+                           options_.continuity, prof_);
+      return std::make_pair(electron, hole);
+    }();
+    sample.continuity_max_density = std::max(rn.max_density, rp.max_density);
     if (ins_.continuity_solves != nullptr) ins_.continuity_solves->add(2);
+    SolveStatus rn_status = rn.status;
     if (fault_fires(SolveStage::kContinuity, it, biases)) {
-      rn.status = SolveStatus::kNonFinite;
+      rn_status = SolveStatus::kNonFinite;
     }
-    if (rn.status != SolveStatus::kConverged ||
+    if (rn_status != SolveStatus::kConverged ||
         rp.status != SolveStatus::kConverged) {
+      if (trajectory != nullptr) trajectory->samples.push_back(sample);
       last_iterations_ = it + 1;
-      const SolveStatus bad = rn.status != SolveStatus::kConverged
-                                  ? rn.status
-                                  : rp.status;
+      const SolveStatus bad =
+          rn_status != SolveStatus::kConverged ? rn_status : rp.status;
       return {bad, SolveStage::kContinuity, it + 1, 1, dpsi};
     }
 
@@ -365,6 +414,8 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
       dpsi = std::max(dpsi, std::abs(psi_[idx] - psi_prev[idx]));
       max_psi = std::max(max_psi, std::abs(psi_[idx]));
     }
+    sample.psi_update = dpsi;
+    if (trajectory != nullptr) trajectory->samples.push_back(sample);
     last_iterations_ = it + 1;
     if (!std::isfinite(dpsi) || !std::isfinite(max_psi)) {
       return {SolveStatus::kNonFinite, SolveStage::kGummel, it + 1, it + 1,

@@ -120,11 +120,15 @@ class DriftDiffusionSolver {
   };
 
   /// Publishing wrapper around gummel_at_impl: bumps the per-solve
-  /// counters / histogram / residual gauge exactly once per outcome.
+  /// counters / histogram / residual gauge exactly once per outcome and,
+  /// when a ConvergenceRecorder is wired, commits the solve's trajectory.
   GummelOutcome gummel_at(const std::map<std::string, double>& biases,
                           double damping);
+  /// `trajectory` (nullable) collects one ConvergenceSample per outer
+  /// iteration; the caller owns it and commits it whole.
   GummelOutcome gummel_at_impl(const std::map<std::string, double>& biases,
-                               double damping);
+                               double damping,
+                               obs::SolveTrajectory* trajectory);
   bool fault_fires(SolveStage stage, std::size_t iteration,
                    const std::map<std::string, double>& biases);
 
@@ -155,6 +159,8 @@ class DriftDiffusionSolver {
   GummelOptions options_;
   Instruments ins_;
   obs::TraceRing* trace_ = nullptr;
+  obs::SpanProfiler* prof_ = nullptr;  ///< resolved once (span_sink())
+  obs::ConvergenceRecorder* recorder_ = nullptr;  ///< opt-in, may be null
   std::vector<double> psi_;
   std::vector<double> n_;
   std::vector<double> p_;

@@ -5,6 +5,8 @@
 #include <stdexcept>
 
 #include "linalg/banded.h"
+#include "obs/names.h"
+#include "obs/profiler.h"
 #include "physics/constants.h"
 
 namespace subscale::tcad {
@@ -32,7 +34,8 @@ PoissonResult solve_poisson(const DeviceStructure& dev,
                             const std::vector<double>& phi_n,
                             const std::vector<double>& phi_p,
                             std::vector<double>& psi,
-                            const PoissonOptions& options) {
+                            const PoissonOptions& options,
+                            obs::SpanProfiler* profiler) {
   const auto& m = dev.mesh();
   const std::size_t n_nodes = m.node_count();
   if (psi.size() != n_nodes || phi_n.size() != n_nodes ||
@@ -114,7 +117,11 @@ PoissonResult solve_poisson(const DeviceStructure& dev,
       }
     }
 
-    const std::vector<double> delta = linalg::BandedLu(jac).solve(rhs);
+    const std::vector<double> delta = [&] {
+      const obs::ScopedSpan lu_span(profiler,
+                                    obs::names::spans::kBandedLuSolve);
+      return linalg::BandedLu(jac).solve(rhs);
+    }();
     double max_update = 0.0;
     double max_psi = 0.0;
     for (std::size_t idx = 0; idx < n_nodes; ++idx) {

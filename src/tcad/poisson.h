@@ -15,6 +15,10 @@
 #include "tcad/device_structure.h"
 #include "tcad/solver_status.h"
 
+namespace subscale::obs {
+class SpanProfiler;
+}  // namespace subscale::obs
+
 namespace subscale::tcad {
 
 struct PoissonOptions {
@@ -37,12 +41,15 @@ struct PoissonResult {
 
 /// Solve for psi in place. `biases` maps contact name -> applied voltage.
 /// phi_n/phi_p are per-node quasi-Fermi potentials (used in silicon).
+/// A non-null `profiler` records one "linalg.banded_lu.solve" span per
+/// Newton iteration (the direct-solver leaf of the TCAD span tree).
 PoissonResult solve_poisson(const DeviceStructure& dev,
                             const std::map<std::string, double>& biases,
                             const std::vector<double>& phi_n,
                             const std::vector<double>& phi_p,
                             std::vector<double>& psi,
-                            const PoissonOptions& options = {});
+                            const PoissonOptions& options = {},
+                            obs::SpanProfiler* profiler = nullptr);
 
 /// Boltzmann carrier densities from the potential and quasi-Fermi level,
 /// with overflow-safe exponent clamping. Exposed for the Gummel loop.

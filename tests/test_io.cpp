@@ -9,8 +9,11 @@
 #include "io/csv.h"
 #include "io/series.h"
 #include "io/table.h"
+#include "io/trace_export.h"
 #include "io/writer.h"
+#include "obs/convergence.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 
 namespace si = subscale::io;
 namespace so = subscale::obs;
@@ -223,4 +226,109 @@ TEST(TableJson, HeadersAndRows) {
   const std::string out = w.str();
   EXPECT_NE(out.find("\"headers\""), std::string::npos);
   EXPECT_NE(out.find("\"90nm\""), std::string::npos);
+}
+
+// ---- escaping and non-finite edge cases -----------------------------------
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControlChars) {
+  si::JsonWriter w;
+  w.begin_object();
+  w.key("q\"b\\c");
+  w.value(std::string_view("line1\nline2\ttab\rcr \x01 bell\x07"));
+  w.end_object();
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"q\\\"b\\\\c\""), std::string::npos);
+  EXPECT_NE(out.find("line1\\nline2\\ttab\\rcr"), std::string::npos);
+  EXPECT_NE(out.find("\\u0001"), std::string::npos);
+  EXPECT_NE(out.find("\\u0007"), std::string::npos);
+  // No raw control bytes survive in the document.
+  for (const char c : out) {
+    EXPECT_TRUE(c == '\n' || static_cast<unsigned char>(c) >= 0x20)
+        << "raw control char in output";
+  }
+}
+
+TEST(CsvWriter, NonFiniteCellsBecomeNull) {
+  si::CsvWriter w;
+  w.begin_object();
+  w.key("v");
+  w.begin_array();
+  w.value(1.5);
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(), "v\n1.5\nnull\nnull\nnull\n");
+}
+
+// ---- chrome trace export --------------------------------------------------
+
+namespace {
+
+/// A small two-thread-shaped snapshot built by hand.
+subscale::obs::ProfileSnapshot sample_snapshot() {
+  subscale::obs::ProfileSnapshot snap;
+  snap.spans.push_back({"outer", 0, 0, 1, 0, 1000, 9000});
+  snap.spans.push_back({"inner", 0, 1, 2, 1, 2000, 5000});
+  snap.spans.push_back({"outer", 1, 0, 1, 0, 1500, 4500});
+  return snap;
+}
+
+}  // namespace
+
+TEST(TraceExport, EmitsCompleteEventsPerThreadTrack) {
+  si::JsonWriter w;
+  si::write_chrome_trace(w, sample_snapshot());
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"displayTimeUnit\": \"ms\""), std::string::npos);
+  EXPECT_NE(out.find("\"traceEvents\": ["), std::string::npos);
+  EXPECT_NE(out.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"inner\""), std::string::npos);
+  // Microsecond timestamps: 2000 ns -> 2 us; durations likewise.
+  EXPECT_NE(out.find("\"ts\": 2"), std::string::npos);
+  EXPECT_NE(out.find("\"dur\": 3"), std::string::npos);
+  // One track per recording thread.
+  EXPECT_NE(out.find("\"tid\": 0"), std::string::npos);
+  EXPECT_NE(out.find("\"tid\": 1"), std::string::npos);
+  EXPECT_NE(out.find("\"droppedSpans\": 0"), std::string::npos);
+  // Parent links travel in args for offline reconstruction.
+  EXPECT_NE(out.find("\"parent\": 1"), std::string::npos);
+}
+
+TEST(TraceExport, RoundTripsThroughRealProfiler) {
+  subscale::obs::SpanProfiler prof;
+  {
+    subscale::obs::ScopedSpan outer(&prof, "a");
+    subscale::obs::ScopedSpan inner(&prof, "b");
+  }
+  si::JsonWriter w;
+  si::write_chrome_trace(w, prof.snapshot());
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"name\": \"a\""), std::string::npos);
+  EXPECT_NE(out.find("\"name\": \"b\""), std::string::npos);
+  EXPECT_NE(out.find("\"depth\": 1"), std::string::npos);
+}
+
+TEST(TraceExport, ConvergenceDocumentRendersNaNAsNull) {
+  std::vector<subscale::obs::SolveTrajectory> solves(1);
+  solves[0].vg = 0.25;
+  solves[0].vd = 0.5;
+  solves[0].converged = false;
+  solves[0].samples.push_back({1, 0.125, 7, 1e23, 0.25});
+  solves[0].samples.push_back(
+      {2, 5e-4, 6, std::numeric_limits<double>::quiet_NaN(),
+       std::numeric_limits<double>::quiet_NaN()});
+
+  si::JsonWriter w;
+  si::write_convergence_document(w, solves);
+  const std::string out = w.str();
+  EXPECT_NE(out.find("\"solves\": ["), std::string::npos);
+  EXPECT_NE(out.find("\"vg\": 0.25"), std::string::npos);
+  EXPECT_NE(out.find("\"converged\": false"), std::string::npos);
+  EXPECT_NE(out.find("\"psi_update\": [\n        0.25,\n        null"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"poisson_iterations\": [\n        7,\n        6"),
+            std::string::npos);
 }

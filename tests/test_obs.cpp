@@ -1,7 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
+#include <cmath>
+#include <map>
+#include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -10,8 +15,10 @@
 #include "exec/parallel.h"
 #include "exec/run_context.h"
 #include "linalg/bicgstab.h"
+#include "obs/convergence.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/profiler.h"
 #include "obs/timer.h"
 #include "obs/trace.h"
 #include "tcad/device_sim.h"
@@ -29,6 +36,12 @@ namespace {
 struct DefaultRegistryGuard {
   so::MetricsRegistry* previous = so::default_registry();
   ~DefaultRegistryGuard() { so::set_default_registry(previous); }
+};
+
+/// Same guard for the process-default span profiler.
+struct DefaultProfilerGuard {
+  so::SpanProfiler* previous = so::default_profiler();
+  ~DefaultProfilerGuard() { so::set_default_profiler(previous); }
 };
 
 st::MeshOptions coarse_mesh() {
@@ -400,4 +413,356 @@ TEST(ObsOverhead, DisabledRegistryCostsNearNothing) {
   // And nothing was recorded anywhere for the disabled run: the only
   // registry in the process saw exactly one sweep's worth of points.
   EXPECT_EQ(reg.snapshot().counter(so::names::kSweepPointsAttempted), 6u);
+}
+
+// ---- span profiler --------------------------------------------------------
+
+TEST(Profiler, NestedSpansRecordDepthParentAndOrder) {
+  so::SpanProfiler prof;
+  {
+    so::ScopedSpan outer(&prof, "outer");
+    {
+      so::ScopedSpan inner(&prof, "inner");
+    }
+    {
+      so::ScopedSpan inner2(&prof, "inner");
+    }
+  }
+  const so::ProfileSnapshot snap = prof.snapshot();
+  ASSERT_EQ(snap.spans.size(), 3u);
+  EXPECT_EQ(snap.dropped, 0u);
+  // Sorted by open time: outer first, then the two inner spans.
+  EXPECT_STREQ(snap.spans[0].label, "outer");
+  EXPECT_EQ(snap.spans[0].depth, 0u);
+  EXPECT_EQ(snap.spans[0].parent, 0u);
+  for (std::size_t i : {std::size_t{1}, std::size_t{2}}) {
+    EXPECT_STREQ(snap.spans[i].label, "inner");
+    EXPECT_EQ(snap.spans[i].depth, 1u);
+    EXPECT_EQ(snap.spans[i].parent, snap.spans[0].seq);
+    EXPECT_LE(snap.spans[0].t0_ns, snap.spans[i].t0_ns);
+    EXPECT_GE(snap.spans[0].t1_ns, snap.spans[i].t1_ns);
+  }
+  EXPECT_GE(snap.wall_ns(), snap.spans[0].t1_ns - snap.spans[0].t0_ns);
+}
+
+TEST(Profiler, OverflowCountsDroppedInsteadOfGrowing) {
+  so::SpanProfiler prof(2);
+  for (int i = 0; i < 5; ++i) {
+    so::ScopedSpan span(&prof, "s");
+  }
+  const so::ProfileSnapshot snap = prof.snapshot();
+  EXPECT_EQ(snap.spans.size(), 2u);
+  EXPECT_EQ(snap.dropped, 3u);
+  EXPECT_THROW(so::SpanProfiler(0), std::invalid_argument);
+}
+
+TEST(Profiler, NullProfilerSpansAreInert) {
+  DefaultProfilerGuard guard;
+  so::set_default_profiler(nullptr);
+  so::ScopedSpan span(nullptr, "ignored");
+  // Reaching here without touching any storage is the contract.
+  SUCCEED();
+}
+
+TEST(Profiler, RollupComputesSelfTimeAndPercent) {
+  so::SpanProfiler prof;
+  {
+    so::ScopedSpan outer(&prof, "outer");
+    so::ScopedSpan inner(&prof, "inner");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const so::ProfileSnapshot snap = prof.snapshot();
+  const auto rows = snap.rollup();
+  ASSERT_EQ(rows.size(), 2u);
+  std::map<std::string, so::ProfileRollupRow> by_label;
+  for (const auto& r : rows) by_label[r.label] = r;
+  ASSERT_TRUE(by_label.count("outer"));
+  ASSERT_TRUE(by_label.count("inner"));
+  const auto& outer = by_label["outer"];
+  const auto& inner = by_label["inner"];
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 1u);
+  EXPECT_EQ(outer.min_depth, 0u);
+  EXPECT_EQ(inner.min_depth, 1u);
+  // Outer's self time excludes the inner span entirely.
+  EXPECT_NEAR(outer.self_ms, outer.total_ms - inner.total_ms, 1e-9);
+  EXPECT_NEAR(inner.self_ms, inner.total_ms, 1e-9);
+  EXPECT_GT(outer.pct_of_wall, 99.0);
+
+  const std::string table = snap.rollup_table();
+  EXPECT_NE(table.find("span"), std::string::npos);
+  EXPECT_NE(table.find("outer"), std::string::npos);
+  EXPECT_NE(table.find("  inner"), std::string::npos);  // depth-indented
+}
+
+TEST(Profiler, LabelAndEdgeCountsWalkParentChains) {
+  so::SpanProfiler prof;
+  for (int i = 0; i < 3; ++i) {
+    so::ScopedSpan a(&prof, "a");
+    so::ScopedSpan b(&prof, "b");
+  }
+  const so::ProfileSnapshot snap = prof.snapshot();
+  const auto labels = snap.label_counts();
+  EXPECT_EQ(labels.at("a"), 3u);
+  EXPECT_EQ(labels.at("b"), 3u);
+  const auto edges = snap.edge_counts();
+  EXPECT_EQ(edges.at({"", "a"}), 3u);
+  EXPECT_EQ(edges.at({"a", "b"}), 3u);
+}
+
+TEST(Profiler, DefaultProfilerInstallAndFallback) {
+  DefaultProfilerGuard guard;
+  so::set_default_profiler(nullptr);
+  EXPECT_EQ(so::default_profiler(), nullptr);
+  se::RunContext ctx;
+  EXPECT_EQ(ctx.span_sink(), nullptr);
+
+  so::SpanProfiler fallback;
+  so::set_default_profiler(&fallback);
+  EXPECT_EQ(ctx.span_sink(), &fallback);
+
+  so::SpanProfiler explicit_prof;
+  ctx.profiler = &explicit_prof;
+  EXPECT_EQ(ctx.span_sink(), &explicit_prof);
+}
+
+// ---- convergence recorder -------------------------------------------------
+
+TEST(Convergence, RecorderCapacityAndDropAccounting) {
+  EXPECT_THROW(so::ConvergenceRecorder(0), std::invalid_argument);
+  so::ConvergenceRecorder rec(2);
+  for (int i = 0; i < 3; ++i) {
+    so::SolveTrajectory t;
+    t.vg = 0.1 * i;
+    t.samples.push_back({1, 1e-3, 5, 1e23, 1e-4});
+    rec.commit(std::move(t));
+  }
+  EXPECT_EQ(rec.capacity(), 2u);
+  EXPECT_EQ(rec.total_solves(), 3u);
+  EXPECT_EQ(rec.dropped_solves(), 1u);
+  const auto solves = rec.snapshot();
+  ASSERT_EQ(solves.size(), 2u);
+  EXPECT_DOUBLE_EQ(solves[1].vg, 0.1);
+  rec.clear();
+  EXPECT_EQ(rec.total_solves(), 0u);
+  EXPECT_EQ(rec.snapshot().size(), 0u);
+}
+
+TEST(ObsTcad, ConvergenceRecorderCapturesResidualDecay) {
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+  so::ConvergenceRecorder rec;
+  se::RunContext ctx;
+  ctx.convergence = &rec;
+  st::GummelOptions gummel;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), gummel, ctx);
+  const st::SweepResult sweep = dev.id_vg(0.25, 0.0, 0.3, 4);
+  ASSERT_TRUE(sweep.all_converged());
+
+  const auto solves = rec.snapshot();
+  ASSERT_FALSE(solves.empty());
+  EXPECT_EQ(rec.total_solves(), solves.size());
+  for (const auto& solve : solves) {
+    ASSERT_FALSE(solve.samples.empty());
+    ASSERT_TRUE(solve.converged);
+    // Iterations are 1-based and consecutive; the final outer update is
+    // below the solver's convergence tolerance.
+    for (std::size_t i = 0; i < solve.samples.size(); ++i) {
+      EXPECT_EQ(solve.samples[i].iteration, i + 1);
+      EXPECT_GT(solve.samples[i].poisson_iterations, 0u);
+      EXPECT_TRUE(std::isfinite(solve.samples[i].psi_update));
+      EXPECT_GT(solve.samples[i].continuity_max_density, 0.0);
+    }
+    EXPECT_LT(solve.samples.back().psi_update, gummel.psi_tolerance);
+  }
+  // The recorder saw every Gummel solve: the equilibrium solve plus at
+  // least one continuation solve per attempted sweep point.
+  EXPECT_GE(solves.size(), 1u + sweep.report.attempted);
+}
+
+TEST(ObsTcad, ConvergenceRecorderKeepsFailedSolvePrefix) {
+  DefaultRegistryGuard guard;
+  so::set_default_registry(nullptr);
+  so::ConvergenceRecorder rec;
+  se::RunContext ctx;
+  ctx.convergence = &rec;
+  // Inject an unhealable Poisson failure at iteration 0 in a narrow
+  // bias window: those solves abort with a partial (NaN-tailed) sample.
+  st::GummelOptions faulty;
+  faulty.fault.stage = st::SolveStage::kPoisson;
+  faulty.fault.at_iteration = 0;
+  faulty.fault.count = 1'000'000'000;
+  faulty.fault.min_bias = 0.19;
+  faulty.fault.max_bias = 0.21;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), faulty, ctx);
+  const st::SweepResult sweep = dev.id_vg(0.25, 0.0, 0.45, 10);
+  EXPECT_FALSE(sweep.all_converged());
+
+  bool saw_failed = false;
+  for (const auto& solve : rec.snapshot()) {
+    if (solve.converged) continue;
+    saw_failed = true;
+    ASSERT_FALSE(solve.samples.empty());
+    const auto& last = solve.samples.back();
+    // The Poisson stage failed, so the later stages never ran.
+    EXPECT_TRUE(std::isnan(last.continuity_max_density));
+    EXPECT_TRUE(std::isnan(last.psi_update));
+  }
+  EXPECT_TRUE(saw_failed);
+}
+
+// ---- trace thread attribution (satellite: kTaskSpan tid fix) --------------
+
+TEST(Trace, EventsCarryThreadOrdinal) {
+  so::TraceRing ring(8);
+  ring.record(so::TraceKind::kRetry, "same-thread");
+  ring.record(so::TraceKind::kRetry, "same-thread");
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[0].tid, so::thread_ordinal());
+}
+
+TEST(ParallelTrace, TaskSpanEventsAttributeDistinctThreads) {
+  so::TraceRing ring(16);
+  // Two tasks that rendezvous: neither finishes until both have
+  // started, so a 2-thread pool must run them on distinct workers.
+  std::atomic<int> started{0};
+  se::rethrow_first(se::parallel_for(
+      2,
+      [&](std::size_t) {
+        started.fetch_add(1);
+        while (started.load() < 2) std::this_thread::yield();
+      },
+      se::ExecPolicy{2}, se::TaskObs{nullptr, &ring}));
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  std::set<std::uint32_t> tids;
+  std::set<double> indices;
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.kind, so::TraceKind::kTaskSpan);
+    EXPECT_STREQ(ev.what, "parallel_for");
+    EXPECT_GE(ev.b, 0.0);  // duration ms
+    tids.insert(ev.tid);
+    indices.insert(ev.a);
+  }
+  EXPECT_EQ(tids.size(), 2u) << "task spans attributed to one thread";
+  EXPECT_EQ(indices, (std::set<double>{0.0, 1.0}));
+}
+
+TEST(ParallelTrace, SerialPathRecordsTaskSpansToo) {
+  // Task-event counts are part of the determinism contract: the serial
+  // path must emit exactly the events the pooled path emits.
+  so::TraceRing ring(16);
+  se::rethrow_first(se::parallel_for(
+      3, [](std::size_t) {}, se::ExecPolicy::serial(),
+      se::TaskObs{nullptr, &ring}));
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& ev : events) {
+    EXPECT_EQ(ev.kind, so::TraceKind::kTaskSpan);
+  }
+}
+
+// ---- profiler determinism + thread safety ---------------------------------
+
+TEST(ParallelProfiler, ConcurrentRecordingMergesEveryThread) {
+  so::SpanProfiler prof;
+  constexpr std::size_t kTasks = 32;
+  se::rethrow_first(se::parallel_for(
+      kTasks,
+      [&](std::size_t) {
+        so::ScopedSpan outer(&prof, "task.outer");
+        so::ScopedSpan inner(&prof, "task.inner");
+      },
+      se::ExecPolicy{4}));
+  const so::ProfileSnapshot snap = prof.snapshot();
+  EXPECT_EQ(snap.dropped, 0u);
+  const auto labels = snap.label_counts();
+  EXPECT_EQ(labels.at("task.outer"), kTasks);
+  EXPECT_EQ(labels.at("task.inner"), kTasks);
+  const auto edges = snap.edge_counts();
+  EXPECT_EQ(edges.at({"task.outer", "task.inner"}), kTasks);
+}
+
+TEST(ParallelProfiler, SnapshotWhileRecordingIsSafe) {
+  so::SpanProfiler prof;
+  std::atomic<bool> stop{false};
+  std::thread recorder([&] {
+    while (!stop.load()) {
+      so::ScopedSpan span(&prof, "live");
+    }
+  });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const so::ProfileSnapshot snap = prof.snapshot();
+    // Published span counts are monotone and every record is complete.
+    EXPECT_GE(snap.spans.size() + snap.dropped, last);
+    last = snap.spans.size() + snap.dropped;
+    for (const auto& s : snap.spans) {
+      EXPECT_STREQ(s.label, "live");
+      EXPECT_GE(s.t1_ns, s.t0_ns);
+    }
+  }
+  stop.store(true);
+  recorder.join();
+}
+
+TEST(ParallelProfiler, SpanCountsBitwiseIdenticalAcrossThreadCounts) {
+  // The §10.3 contract extended to nesting: per-label span tallies and
+  // per-(parent,label) edge tallies from a 2-node tcad_validation are
+  // identical at 1, 2 and 4 threads. Timestamps/durations/tids are
+  // wall-clock artifacts and deliberately not compared.
+  DefaultRegistryGuard guard;
+  DefaultProfilerGuard prof_guard;
+  so::set_default_registry(nullptr);
+  so::set_default_profiler(nullptr);
+
+  using Labels = std::map<std::string, std::uint64_t>;
+  using Edges = std::map<std::pair<std::string, std::string>, std::uint64_t>;
+  const auto run_with = [](const se::ExecPolicy& policy, Labels& labels,
+                           Edges& edges) {
+    so::SpanProfiler prof;
+    sco::ScalingStudy study;
+    sco::TcadValidationOptions opt;
+    opt.nodes = {0, 1};
+    opt.points = 6;
+    opt.mesh = coarse_mesh();
+    opt.run.exec = policy;
+    opt.run.profiler = &prof;
+    const auto results = study.tcad_validation(opt);
+    ASSERT_EQ(results.size(), 2u);
+    const so::ProfileSnapshot snap = prof.snapshot();
+    ASSERT_EQ(snap.dropped, 0u);
+    labels = snap.label_counts();
+    edges = snap.edge_counts();
+  };
+
+  Labels serial_labels;
+  Edges serial_edges;
+  run_with(se::ExecPolicy::serial(), serial_labels, serial_edges);
+
+  // The expected shape, not just self-consistency: every study node ran
+  // in a task span, each sweep point nests under its node, and the
+  // direct solver is the leaf under both Gummel stages.
+  namespace spans = so::names::spans;
+  EXPECT_EQ(serial_labels.at(spans::kTask), 2u);
+  EXPECT_EQ(serial_labels.at(spans::kStudyNode), 2u);
+  EXPECT_EQ(serial_labels.at(spans::kSweepPoint), 12u);
+  EXPECT_EQ(serial_edges.at({"", spans::kTask}), 2u);
+  EXPECT_EQ(serial_edges.at({spans::kTask, spans::kStudyNode}), 2u);
+  EXPECT_EQ(serial_edges.at({spans::kStudyNode, spans::kSweepPoint}), 12u);
+  EXPECT_GT(serial_edges.at({spans::kGummelPoisson, spans::kBandedLuSolve}),
+            0u);
+  EXPECT_GT(
+      serial_edges.at({spans::kGummelContinuity, spans::kBandedLuSolve}),
+      0u);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    Labels labels;
+    Edges edges;
+    run_with(se::ExecPolicy{threads}, labels, edges);
+    EXPECT_EQ(labels, serial_labels) << "at " << threads << " threads";
+    EXPECT_EQ(edges, serial_edges) << "at " << threads << " threads";
+  }
 }

@@ -418,37 +418,6 @@ TEST(SolverResilience, SweepSkipsUnrecoverablePointAndContinues) {
   EXPECT_THROW(dev.id_vg(0.25, 0.0, 0.45, 10, strict_ctx), st::SolverError);
 }
 
-TEST(SolverResilience, DeprecatedSweepShimStillMatchesNewApi) {
-  // The transitional SweepOptions overload must return exactly the
-  // points of the SweepResult API and park the report in
-  // last_sweep_report(); both go away next PR.
-  st::GummelOptions faulty =
-      faulted_options(st::SolveStage::kPoisson, 1'000'000'000);
-  faulty.fault.min_bias = 0.19;
-  faulty.fault.max_bias = 0.21;
-  // Two identically-built devices: both sweeps start from equilibrium,
-  // so a deterministic solver must produce bitwise-equal curves.
-  st::TcadDevice dev_new(nfet_90(), coarse_mesh(), faulty);
-  const st::SweepResult fresh = dev_new.id_vg(0.25, 0.0, 0.45, 10);
-
-  st::TcadDevice dev_old(nfet_90(), coarse_mesh(), faulty);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  st::SweepOptions options;
-  const std::vector<st::IdVgPoint> old_points =
-      dev_old.id_vg(0.25, 0.0, 0.45, 10, options);
-  const st::SweepReport old_report = dev_old.last_sweep_report();
-#pragma GCC diagnostic pop
-
-  ASSERT_EQ(old_points.size(), fresh.points.size());
-  for (std::size_t k = 0; k < old_points.size(); ++k) {
-    EXPECT_EQ(old_points[k].vg, fresh.points[k].vg);
-    EXPECT_EQ(old_points[k].id, fresh.points[k].id);
-  }
-  EXPECT_EQ(old_report.attempted, fresh.report.attempted);
-  ASSERT_EQ(old_report.failures.size(), fresh.report.failures.size());
-}
-
 TEST(SolverResilience, EquilibriumFaultRecoversWithTightenedDamping) {
   // Faults at zero bias hit solve_equilibrium, whose only retry knob is
   // under-relaxation; two injected failures take two tightenings.

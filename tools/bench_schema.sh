@@ -46,6 +46,8 @@ core.study.node_errors
 core.study.sweep_point_failures
 core.study.node_ms.count
 core.study.node_ms.sum
+obs.profiler.spans
+obs.profiler.spans_dropped
 "
 
 # Every bench must carry at least these (the cross-PR trajectory keys).

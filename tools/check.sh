@@ -45,9 +45,30 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${ctest_args[@]}"
 # Plain builds also validate the bench telemetry schema: run one fast
 # bench to produce a fresh record and check it against the whitelist
 # (sanitized trees skip this — bench wall times are meaningless there).
+# The same record then exercises the obs_diff regression gate both
+# ways: a record diffed against itself must pass, and a synthetically
+# inflated effort counter must fail.
 if [[ -z "$sanitize" ]]; then
   bench_tmp="$(mktemp -d)"
-  (cd "$bench_tmp" && "$build_dir/bench/bench_tcad_validation" > /dev/null)
+  (cd "$bench_tmp" && SUBSCALE_PROFILE=1 \
+      "$build_dir/bench/bench_tcad_validation" > /dev/null)
   "$repo_root/tools/bench_schema.sh" "$bench_tmp"/BENCH_*.json
+
+  record="$(ls "$bench_tmp"/BENCH_*.json | head -n 1)"
+  "$build_dir/tools/obs_diff" "$record" "$record"
+  # Inflate one deterministic effort counter ~1.5x; the gate must trip.
+  awk '{
+    if ($0 ~ /"tcad.gummel.outer_iterations":/) {
+      match($0, /[0-9]+/)
+      v = substr($0, RSTART, RLENGTH)
+      sub(/[0-9]+/, int(v * 3 / 2) + 1)
+    }
+    print
+  }' "$record" > "$bench_tmp/perturbed.json"
+  if "$build_dir/tools/obs_diff" "$record" "$bench_tmp/perturbed.json"; then
+    echo "check.sh: obs_diff failed to flag a 50% counter regression" >&2
+    exit 1
+  fi
+  echo "obs_diff: regression gate trips on perturbed record (expected)"
   rm -rf "$bench_tmp"
 fi

@@ -1,0 +1,166 @@
+/// obs_diff: compare the "obs" telemetry blocks of two BENCH_<name>.json
+/// records and fail on effort regressions.
+///
+///   obs_diff [--tolerance F] [--include-timing] OLD.json NEW.json
+///
+/// A key regresses when its NEW value exceeds OLD by more than the
+/// relative tolerance (default 0.10), or appears from zero. Solver
+/// effort counters (gummel iterations, retries, linear solves, ...) are
+/// deterministic at any thread count, so a genuine increase means the
+/// change made the solver work harder — the gate catches that without
+/// timing noise. Excluded by default:
+///   * exec.pool.*          — thread-count-dependent by nature,
+///   * *_ms.sum             — wall-clock (opt back in: --include-timing),
+///   * *.last_residual      — a gauge of the final solve, not effort.
+/// A key present in OLD but missing in NEW also fails (schema drift).
+///
+/// Exit codes: 0 = no regression, 1 = regression, 2 = usage/parse error.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+namespace {
+
+bool has_prefix(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool has_suffix(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// Extract the flat key -> number map of the record's "obs" block.
+/// The block is pretty-printed one "key": value pair per line (see
+/// io::JsonWriter), so a line scanner is enough — no JSON library.
+bool parse_obs_block(const std::string& path,
+                     std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "obs_diff: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string line;
+  bool in_obs = false;
+  while (std::getline(in, line)) {
+    if (!in_obs) {
+      if (line.find("\"obs\": {") != std::string::npos) in_obs = true;
+      continue;
+    }
+    if (line.find('}') != std::string::npos) {
+      return true;  // end of the flat block
+    }
+    const std::size_t k0 = line.find('"');
+    if (k0 == std::string::npos) continue;
+    const std::size_t k1 = line.find('"', k0 + 1);
+    if (k1 == std::string::npos) continue;
+    const std::size_t colon = line.find(':', k1);
+    if (colon == std::string::npos) continue;
+    const std::string key = line.substr(k0 + 1, k1 - k0 - 1);
+    const std::string value_text = line.substr(colon + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str()) continue;  // null or malformed: skip
+    out[key] = value;
+  }
+  std::fprintf(stderr, "obs_diff: %s: no \"obs\" block found\n",
+               path.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.10;
+  bool include_timing = false;
+  std::string old_path;
+  std::string new_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obs_diff: --tolerance needs a value\n");
+        return 2;
+      }
+      char* end = nullptr;
+      tolerance = std::strtod(argv[++i], &end);
+      if (end == argv[i] || !(tolerance >= 0.0)) {
+        std::fprintf(stderr, "obs_diff: bad tolerance %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--include-timing") {
+      include_timing = true;
+    } else if (old_path.empty()) {
+      old_path = arg;
+    } else if (new_path.empty()) {
+      new_path = arg;
+    } else {
+      std::fprintf(stderr, "obs_diff: unexpected argument %s\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (old_path.empty() || new_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: obs_diff [--tolerance F] [--include-timing] "
+                 "OLD.json NEW.json\n");
+    return 2;
+  }
+
+  std::map<std::string, double> old_obs;
+  std::map<std::string, double> new_obs;
+  if (!parse_obs_block(old_path, old_obs) ||
+      !parse_obs_block(new_path, new_obs)) {
+    return 2;
+  }
+
+  int regressions = 0;
+  std::size_t compared = 0;
+  for (const auto& [key, old_value] : old_obs) {
+    if (has_prefix(key, "exec.pool.")) continue;
+    if (!include_timing && has_suffix(key, "_ms.sum")) continue;
+    if (has_suffix(key, ".last_residual")) continue;
+
+    const auto it = new_obs.find(key);
+    if (it == new_obs.end()) {
+      std::printf("MISSING  %-44s old=%g (key absent in new record)\n",
+                  key.c_str(), old_value);
+      ++regressions;
+      continue;
+    }
+    ++compared;
+    const double new_value = it->second;
+    bool regressed = false;
+    if (old_value == 0.0) {
+      regressed = new_value > 0.0;
+    } else {
+      regressed = (new_value - old_value) / std::abs(old_value) > tolerance;
+    }
+    if (regressed) {
+      const double pct = old_value == 0.0
+                             ? 100.0
+                             : 100.0 * (new_value - old_value) /
+                                   std::abs(old_value);
+      std::printf("REGRESS  %-44s old=%g new=%g (%+.1f%%)\n", key.c_str(),
+                  old_value, new_value, pct);
+      ++regressions;
+    }
+  }
+
+  if (regressions > 0) {
+    std::printf("obs_diff: %d regression(s) over tolerance %.0f%% (%zu "
+                "keys compared)\n",
+                regressions, 100.0 * tolerance, compared);
+    return 1;
+  }
+  std::printf("obs_diff: OK (%zu keys compared, tolerance %.0f%%)\n",
+              compared, 100.0 * tolerance);
+  return 0;
+}
