@@ -32,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "cache/solve_cache.h"
 #include "core/scaling_study.h"
 #include "exec/policy.h"
 #include "io/series.h"
@@ -195,6 +196,11 @@ inline int run(const char* name, const char* title, const char* paper_claim,
                const std::function<bool(Record&)>& body) {
   detail::bench_registry();  // install telemetry before the body runs
   detail::bench_profiler();  // and the span profiler, if opted in
+  // Honor SUBSCALE_CACHE / SUBSCALE_CACHE_DIR (no-op when unset): the
+  // env-installed cache becomes the process default every layer's
+  // cache_sink() resolves to, and its traffic lands in the "obs" block
+  // as the cache.* counters.
+  subscale::cache::install_env_cache();
   header(title, paper_claim);
   Record record;
   const auto start = std::chrono::steady_clock::now();

@@ -1,0 +1,122 @@
+#pragma once
+
+/// \file bytes.h
+/// Little-endian binary payload (de)serialization for cache records.
+/// Doubles travel as raw IEEE-754 bit patterns, so a round-trip through
+/// the cache is bitwise-exact — the property the golden tier's
+/// cached-vs-uncached equality checks rely on. The reader is fully
+/// bounds-checked and never throws: any overrun flips it into a failed
+/// state the caller turns into a cache miss (a truncated or corrupted
+/// record must never crash or yield garbage).
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace subscale::cache {
+
+class ByteWriter {
+ public:
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    out_.insert(out_.end(), s.begin(), s.end());
+  }
+  void f64_vector(const std::vector<double>& v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(out_); }
+  const std::vector<std::uint8_t>& bytes() const { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : ByteReader(bytes.data(), bytes.size()) {}
+
+  bool u32(std::uint32_t& v) {
+    if (!take(4)) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ - 4 + i]) << (8 * i);
+    }
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (!take(8)) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ - 8 + i]) << (8 * i);
+    }
+    return true;
+  }
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+  }
+  /// Rejects length prefixes that could not possibly fit in the
+  /// remaining bytes before allocating (a corrupted length must not
+  /// trigger a multi-gigabyte allocation).
+  bool str(std::string& s) {
+    std::uint64_t n = 0;
+    if (!u64(n) || n > remaining()) return false;
+    s.assign(reinterpret_cast<const char*>(data_ + pos_),
+             static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
+    return true;
+  }
+  bool f64_vector(std::vector<double>& v) {
+    std::uint64_t n = 0;
+    if (!u64(n) || n > remaining() / 8) return false;
+    v.resize(static_cast<std::size_t>(n));
+    for (double& x : v) {
+      if (!f64(x)) return false;
+    }
+    return true;
+  }
+
+  std::size_t remaining() const { return failed_ ? 0 : size_ - pos_; }
+  bool exhausted() const { return !failed_ && pos_ == size_; }
+  bool ok() const { return !failed_; }
+
+ private:
+  bool take(std::size_t n) {
+    if (failed_ || size_ - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+
+  const std::uint8_t* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace subscale::cache

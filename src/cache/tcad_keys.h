@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file tcad_keys.h
+/// Canonical cache-key derivation for the TCAD stack: a stable
+/// serialization of DeviceSpec + MeshOptions + GummelOptions (and the
+/// bias/sweep coordinates layered on top) into a cache::HashKey.
+///
+/// Header-only on purpose: the cache library stays free of tcad/compact
+/// link dependencies (it is a leaf like obs), while the key schema for
+/// device solves still lives in src/cache next to the hasher whose
+/// canonicalization rules it relies on.
+///
+/// Schema rules (see also DESIGN.md §12.2):
+///   * every field is tagged by name, so adding or reordering fields can
+///     never silently alias two different physical problems;
+///   * only physics-bearing fields participate. GummelOptions::fault is
+///     deliberately excluded — call sites bypass the cache entirely
+///     while fault injection is armed, because replaying a cached result
+///     would mask the recovery paths the faults exist to exercise;
+///   * bump kTcadKeySchema whenever the hashed field set changes — old
+///     records then simply stop being addressed.
+
+#include "cache/hash.h"
+#include "compact/device_spec.h"
+#include "tcad/device_structure.h"
+#include "tcad/gummel.h"
+
+namespace subscale::cache {
+
+/// Version of the hashed-field schema below (NOT the on-disk format
+/// version, which SolveCache owns).
+inline constexpr std::uint64_t kTcadKeySchema = 1;
+
+inline void hash_append(KeyHasher& h, const doping::MosfetGeometry& g) {
+  h.tag("geom")
+      .f64(g.lpoly)
+      .f64(g.tox)
+      .f64(g.lov)
+      .f64(g.xj)
+      .f64(g.lsd)
+      .f64(g.substrate_depth)
+      .f64(g.halo_depth)
+      .f64(g.halo_sigma_x)
+      .f64(g.halo_sigma_y)
+      .f64(g.sd_straggle_x)
+      .f64(g.sd_straggle_y)
+      .f64(g.feature_shrink);
+}
+
+inline void hash_append(KeyHasher& h, const doping::MosfetDopingLevels& l) {
+  h.tag("levels").f64(l.nsub).f64(l.np_halo).f64(l.nsd);
+}
+
+inline void hash_append(KeyHasher& h, const compact::DeviceSpec& spec) {
+  h.tag("spec")
+      .u64(spec.polarity == doping::Polarity::kNfet ? 0 : 1)
+      .f64(spec.vdd)
+      .f64(spec.temperature)
+      .f64(spec.width);
+  hash_append(h, spec.geometry);
+  hash_append(h, spec.levels);
+}
+
+inline void hash_append(KeyHasher& h, const tcad::MeshOptions& m) {
+  h.tag("mesh")
+      .f64(m.surface_spacing)
+      .f64(m.junction_spacing)
+      .f64(m.grading_ratio)
+      .u64(m.oxide_layers)
+      .f64(m.well_multiplier)
+      .f64(m.well_onset_factor)
+      .f64(m.well_straggle_factor);
+}
+
+inline void hash_append(KeyHasher& h, const tcad::GummelOptions& o) {
+  h.tag("gummel")
+      .u64(o.max_iterations)
+      .f64(o.psi_tolerance)
+      .f64(o.bias_step)
+      .f64(o.min_bias_step)
+      .f64(o.damping)
+      .f64(o.retry_damping)
+      .f64(o.min_damping)
+      .f64(o.divergence_threshold)
+      .u64(o.max_continuation_steps);
+  h.tag("poisson")
+      .u64(o.poisson.max_iterations)
+      .f64(o.poisson.update_tolerance)
+      .f64(o.poisson.damping_clamp)
+      .f64(o.poisson.divergence_threshold);
+  h.tag("continuity")
+      .f64(o.continuity.tau_srh)
+      .boolean(o.continuity.velocity_saturation);
+  // GummelOptions::fault intentionally absent — see the file comment.
+}
+
+/// The identity of one discretized solver problem: everything that
+/// determines a solve's result except the bias point.
+inline HashKey device_solve_key(const compact::DeviceSpec& spec,
+                                const tcad::MeshOptions& mesh,
+                                const tcad::GummelOptions& gummel) {
+  KeyHasher h;
+  h.tag("subscale.tcad.device").u64(kTcadKeySchema);
+  hash_append(h, spec);
+  hash_append(h, mesh);
+  hash_append(h, gummel);
+  return h.key();
+}
+
+/// One id_vg sweep on that device.
+inline HashKey sweep_key(const HashKey& device_key, double vd,
+                         double vg_start, double vg_stop,
+                         std::size_t points) {
+  KeyHasher h(device_key);
+  h.tag("sweep").f64(vd).f64(vg_start).f64(vg_stop).u64(points);
+  return h.key();
+}
+
+/// Solver state (psi, n, p) at one solved bias point on that device.
+inline HashKey state_key(const HashKey& device_key, double vg, double vd,
+                         double vs, double vb) {
+  KeyHasher h(device_key);
+  h.tag("state").f64(vg).f64(vd).f64(vs).f64(vb);
+  return h.key();
+}
+
+/// The per-device directory of cached bias states (warm-start lookup).
+inline HashKey bias_index_key(const HashKey& device_key) {
+  KeyHasher h(device_key);
+  h.tag("bias_index");
+  return h.key();
+}
+
+}  // namespace subscale::cache

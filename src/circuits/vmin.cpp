@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "cache/study_keys.h"
 #include "opt/golden_section.h"
+#include "opt/memo.h"
 
 namespace subscale::circuits {
 
@@ -11,9 +13,20 @@ VminResult find_vmin(const InverterDevices& devices, const ChainSpec& chain,
   const auto energy = [&](double vdd) {
     return chain_energy(devices, vdd, chain).e_total;
   };
+  const opt::EvalMemo memo(
+      options.cache_sink(),
+      cache::vmin_key(devices.nfet->spec(), devices.pfet->spec(),
+                      devices.nfet->calibration(), chain, options));
+  const opt::BatchObjective serial_batch =
+      [&](const std::vector<double>& xs) {
+        std::vector<double> values;
+        values.reserve(xs.size());
+        for (const double x : xs) values.push_back(energy(x));
+        return values;
+      };
   const opt::ScalarMinimum m = opt::scan_then_golden(
-      energy, options.v_lo, options.v_hi, options.scan_points,
-      options.v_tolerance);
+      serial_batch, energy, options.v_lo, options.v_hi, options.scan_points,
+      options.v_tolerance, memo);
   VminResult result;
   result.vmin = m.x;
   result.at_vmin = chain_energy(devices, m.x, chain);

@@ -8,6 +8,11 @@
 
 #include "circuits/chain.h"
 
+namespace subscale::cache {
+class SolveCache;
+SolveCache* default_cache();
+}  // namespace subscale::cache
+
 namespace subscale::circuits {
 
 struct VminResult {
@@ -20,6 +25,14 @@ struct VminOptions {
   double v_hi = 0.70;
   double v_tolerance = 1e-3;
   std::size_t scan_points = 13;  ///< coarse scan before refinement
+  /// Solve cache for memoizing chain-energy evaluations across runs
+  /// (opt::EvalMemo, keyed on the device pair + chain + bracket). Null
+  /// falls back to cache::default_cache().
+  cache::SolveCache* cache = nullptr;
+
+  cache::SolveCache* cache_sink() const {
+    return cache != nullptr ? cache : cache::default_cache();
+  }
 };
 
 /// Golden-section (with coarse scan) minimization of chain energy over

@@ -22,6 +22,12 @@ ScalingStudy::ScalingStudy(const compact::Calibration& calib,
       options_.sub.exec = options_.run.exec;
     }
   }
+  // Same folding for the solve cache: a study-wide cache reaches the
+  // design layer unless the caller already set one there. (TCAD
+  // validation picks it up separately through TcadDevice's RunContext.)
+  if (options_.run.cache != nullptr && options_.sub.cache == nullptr) {
+    options_.sub.cache = options_.run.cache;
+  }
 }
 
 const std::vector<scaling::DesignedDevice>& ScalingStudy::super_devices()

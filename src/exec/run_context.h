@@ -22,6 +22,11 @@
 ///                 installed), mirroring `metrics`.
 ///   * `convergence` — optional per-solve residual-trajectory recorder.
 ///                 Strictly opt-in: no process-wide default exists.
+///   * `cache`   — optional persistent solve cache. Null falls back to
+///                 cache::default_cache() (itself null unless installed,
+///                 e.g. via cache::install_env_cache() from
+///                 SUBSCALE_CACHE_DIR), mirroring `metrics`. Components
+///                 resolve it once at construction.
 ///   * `strict`  — throw on the first solver failure instead of
 ///                 recording it and continuing.
 ///
@@ -37,6 +42,11 @@
 #include "obs/profiler.h"
 #include "obs/trace.h"
 
+namespace subscale::cache {
+class SolveCache;
+SolveCache* default_cache();
+}  // namespace subscale::cache
+
 namespace subscale::exec {
 
 struct RunContext {
@@ -45,6 +55,7 @@ struct RunContext {
   obs::TraceRing* trace = nullptr;
   obs::SpanProfiler* profiler = nullptr;
   obs::ConvergenceRecorder* convergence = nullptr;
+  cache::SolveCache* cache = nullptr;
   bool strict = false;
 
   /// Fat-finger guard on explicit thread counts (a request for tens of
@@ -67,6 +78,13 @@ struct RunContext {
   /// resolve this once at construction, Instruments-style.
   obs::SpanProfiler* span_sink() const {
     return profiler != nullptr ? profiler : obs::default_profiler();
+  }
+
+  /// The solve cache this context resolves to: the explicit cache, else
+  /// the process default, else null (caching off). Resolved once at
+  /// component construction, like the metrics sink.
+  cache::SolveCache* cache_sink() const {
+    return cache != nullptr ? cache : cache::default_cache();
   }
 
   std::size_t resolved_threads() const { return exec.resolved_threads(); }

@@ -69,6 +69,16 @@ inline constexpr const char* kStudySweepPointFailures =
     "core.study.sweep_point_failures";
 inline constexpr const char* kStudyNodeMs = "core.study.node_ms";
 
+// cache layer — persistent solve-cache traffic. Hit/miss/store totals
+// depend on what previous runs left on disk, so every cache.* key is
+// excluded from the obs_diff regression gate (tools/obs_diff skip list).
+inline constexpr const char* kCacheHit = "cache.hit";
+inline constexpr const char* kCacheMiss = "cache.miss";
+inline constexpr const char* kCacheStore = "cache.store";
+inline constexpr const char* kCacheEvict = "cache.evict";
+inline constexpr const char* kCacheWarmstart = "cache.warmstart";
+inline constexpr const char* kCacheCorrupt = "cache.corrupt";
+
 // obs layer — span-profiler export tallies (bumped once at export time
 // so every BENCH record says how many spans its trace carries; zero
 // when profiling is off)
@@ -87,8 +97,9 @@ inline void preregister_standard(MetricsRegistry& registry) {
         kGummelFaultsInjected, kGummelFailedSolves,
         kPoissonNewtonIterations, kContinuitySolves, kSweepPointsAttempted,
         kSweepPointsConverged, kSweepPointsFailed, kStudyNodesValidated,
-        kStudyNodeErrors, kStudySweepPointFailures, kProfilerSpans,
-        kProfilerSpansDropped}) {
+        kStudyNodeErrors, kStudySweepPointFailures, kCacheHit, kCacheMiss,
+        kCacheStore, kCacheEvict, kCacheWarmstart, kCacheCorrupt,
+        kProfilerSpans, kProfilerSpansDropped}) {
     registry.counter(name);
   }
   for (const char* name :
@@ -116,6 +127,8 @@ inline constexpr const char* kGummelPoisson = "tcad.gummel.poisson";
 inline constexpr const char* kGummelContinuity = "tcad.gummel.continuity";
 inline constexpr const char* kBandedLuSolve = "linalg.banded_lu.solve";
 inline constexpr const char* kBicgstabSolve = "linalg.bicgstab.solve";
+inline constexpr const char* kCacheLookup = "cache.lookup";
+inline constexpr const char* kCachePublish = "cache.publish";
 }  // namespace spans
 
 }  // namespace subscale::obs::names

@@ -1,0 +1,99 @@
+#include "opt/memo.h"
+
+#include <utility>
+
+#include "cache/bytes.h"
+#include "cache/solve_cache.h"
+
+namespace subscale::opt {
+
+namespace {
+
+bool decode_scalar(const std::vector<std::uint8_t>& bytes, double& out) {
+  cache::ByteReader r(bytes);
+  return r.f64(out) && r.exhausted();
+}
+
+std::vector<std::uint8_t> encode_scalar(double v) {
+  cache::ByteWriter w;
+  w.f64(v);
+  return w.take();
+}
+
+}  // namespace
+
+cache::HashKey EvalMemo::key_for(double x) const {
+  cache::KeyHasher h(domain_);
+  h.tag("opt.eval.x");
+  h.f64(x);
+  return h.key();
+}
+
+double EvalMemo::eval(const std::function<double(double)>& f,
+                      double x) const {
+  if (cache_ == nullptr) return f(x);
+  const cache::HashKey key = key_for(x);
+  if (const auto payload = cache_->lookup(key, cache::PayloadKind::kScalar);
+      payload != nullptr) {
+    double v = 0.0;
+    if (decode_scalar(payload->bytes, v)) return v;
+  }
+  const double v = f(x);
+  cache_->store(key, cache::PayloadKind::kScalar, encode_scalar(v));
+  return v;
+}
+
+std::function<double(double)> EvalMemo::wrap(
+    std::function<double(double)> f) const {
+  if (cache_ == nullptr) return f;
+  return [memo = *this, f = std::move(f)](double x) {
+    return memo.eval(f, x);
+  };
+}
+
+BatchObjective EvalMemo::wrap_batch(BatchObjective batch) const {
+  if (cache_ == nullptr) return batch;
+  return [memo = *this,
+          batch = std::move(batch)](const std::vector<double>& xs) {
+    std::vector<double> values(xs.size(), 0.0);
+    std::vector<double> miss_xs;
+    std::vector<std::size_t> miss_at;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      const cache::HashKey key = memo.key_for(xs[i]);
+      if (const auto payload =
+              memo.cache_->lookup(key, cache::PayloadKind::kScalar);
+          payload != nullptr) {
+        if (decode_scalar(payload->bytes, values[i])) continue;
+      }
+      miss_xs.push_back(xs[i]);
+      miss_at.push_back(i);
+    }
+    if (!miss_xs.empty()) {
+      // Each batch element is computed independently of its peers (see
+      // golden_section.h), so batching only the misses reproduces the
+      // uncached values exactly.
+      const std::vector<double> computed = batch(miss_xs);
+      for (std::size_t j = 0; j < miss_at.size() && j < computed.size();
+           ++j) {
+        values[miss_at[j]] = computed[j];
+        memo.cache_->store(memo.key_for(miss_xs[j]),
+                           cache::PayloadKind::kScalar,
+                           encode_scalar(computed[j]));
+      }
+    }
+    return values;
+  };
+}
+
+ScalarMinimum scan_then_golden(const BatchObjective& batch,
+                               const std::function<double(double)>& f,
+                               double lo, double hi, std::size_t scan_points,
+                               double x_tolerance, const EvalMemo& memo) {
+  if (!memo.active()) {
+    return scan_then_golden(batch, f, lo, hi, scan_points, x_tolerance);
+  }
+  return scan_then_golden(memo.wrap_batch(batch), memo.wrap(f), lo, hi,
+                          scan_points, x_tolerance);
+}
+
+}  // namespace subscale::opt

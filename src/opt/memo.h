@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file memo.h
+/// Persistent memoization of scalar objective evaluations against the
+/// solve cache (PayloadKind::kScalar). An EvalMemo binds a cache to a
+/// DOMAIN key — a content hash of everything the objective closes over
+/// (device, node, calibration, options) — so f(x) can be stored under
+/// hash(domain, x) and replayed bitwise on later runs. The wrapped
+/// objective is numerically identical to the bare one: a miss computes
+/// f(x) exactly as before and a hit returns the very bits a previous
+/// run computed.
+///
+/// The caller is responsible for the domain key covering every input
+/// that influences f; deriving them from the cache/*_keys.h helpers
+/// (which version their schemas) keeps that contract auditable.
+
+#include <functional>
+
+#include "cache/hash.h"
+#include "opt/golden_section.h"
+
+namespace subscale::cache {
+class SolveCache;
+}  // namespace subscale::cache
+
+namespace subscale::opt {
+
+class EvalMemo {
+ public:
+  /// Inert memo: wrap() returns the function unchanged.
+  EvalMemo() = default;
+  /// `cache` may be null (inert). The memo stores the pointer only; the
+  /// cache must outlive every wrapped function.
+  EvalMemo(cache::SolveCache* cache, const cache::HashKey& domain)
+      : cache_(cache), domain_(domain) {}
+
+  bool active() const { return cache_ != nullptr; }
+
+  /// One memoized evaluation.
+  double eval(const std::function<double(double)>& f, double x) const;
+
+  /// Memoizing wrappers (per-x lookup; a batch only computes its
+  /// misses, in the original order, through the original batch).
+  std::function<double(double)> wrap(std::function<double(double)> f) const;
+  BatchObjective wrap_batch(BatchObjective batch) const;
+
+ private:
+  cache::HashKey key_for(double x) const;
+
+  cache::SolveCache* cache_ = nullptr;
+  cache::HashKey domain_{};
+};
+
+/// scan_then_golden with every objective evaluation (scan stage and
+/// golden refinement) routed through the memo.
+ScalarMinimum scan_then_golden(const BatchObjective& batch,
+                               const std::function<double(double)>& f,
+                               double lo, double hi, std::size_t scan_points,
+                               double x_tolerance, const EvalMemo& memo);
+
+}  // namespace subscale::opt

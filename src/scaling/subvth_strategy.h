@@ -19,6 +19,11 @@
 #include "scaling/supervth_strategy.h"
 #include "scaling/technology.h"
 
+namespace subscale::cache {
+class SolveCache;
+SolveCache* default_cache();
+}  // namespace subscale::cache
+
 namespace subscale::scaling {
 
 struct SubVthOptions {
@@ -35,6 +40,17 @@ struct SubVthOptions {
   /// nodes, scan per node) degrades the inner level to inline execution
   /// instead of oversubscribing.
   exec::ExecPolicy exec{};
+  /// Solve cache for memoizing the per-candidate design objective
+  /// (see opt::EvalMemo). Null falls back to cache::default_cache()
+  /// (the env-installed process default; typically null too), exactly
+  /// like RunContext::cache_sink(). ScalingStudy folds its own
+  /// RunContext cache in here, so a study-wide cache reaches the
+  /// design layer without a second knob.
+  cache::SolveCache* cache = nullptr;
+
+  cache::SolveCache* cache_sink() const {
+    return cache != nullptr ? cache : cache::default_cache();
+  }
 };
 
 /// Co-optimize doping at a fixed gate length (I_off constraint + flat

@@ -21,9 +21,27 @@
 /// sweep loop itself (per-point counters, timings, and kSweepPoint
 /// trace events). An id_vg overload accepts a per-sweep context to
 /// override strictness for one call.
+///
+/// Caching: the context's solve cache (RunContext::cache_sink()) is
+/// resolved once at construction, like the metrics sink. When present:
+///   * the equilibrium solution is restored from / published to the
+///     cache (bitwise-exact — the equilibrium solve is deterministic
+///     for a given structure, so a restore equals a fresh solve);
+///   * id_vg consults a sweep record keyed on (device, mesh, solver
+///     options, bias grid); a hit replays the stored result
+///     bitwise-identically without touching the solver state;
+///   * on a sweep miss, the nearest cached bias state of the SAME
+///     device (if any, and if CacheOptions::warm_start) seeds the
+///     continuation ramp — a within-tolerance accelerator, not a
+///     bitwise replay — and a fully converged sweep is published
+///     together with its final solver state for future warm starts.
+/// Cache use is disabled entirely while GummelOptions::fault is armed:
+/// replaying cached results would mask the recovery paths faults exist
+/// to exercise.
 
 #include <vector>
 
+#include "cache/hash.h"
 #include "exec/run_context.h"
 #include "tcad/gummel.h"
 
@@ -104,11 +122,29 @@ class TcadDevice {
   SweepResult id_vg(double vd, double vg_start, double vg_stop,
                     std::size_t points, const exec::RunContext& ctx);
 
+  /// The cache this device resolved at construction (null = caching
+  /// off) and its content key — test observability.
+  cache::SolveCache* solve_cache() const { return cache_; }
+  const cache::HashKey& device_key() const { return device_key_; }
+
  private:
+  /// Restore solver state from the cache record at `key`; false on
+  /// miss or on a record that fails validation.
+  bool restore_cached_state(const cache::HashKey& key);
+  /// Publish the solver's current converged state and register its bias
+  /// point in the per-device warm-start index.
+  void publish_state();
+  /// Seed the solver from the nearest cached bias state to the given
+  /// target (solver-frame volts), if one is strictly nearer than the
+  /// state the solver already holds.
+  void warm_start_toward(double vg, double vd);
+
   DeviceStructure dev_;
   exec::RunContext run_;
   DriftDiffusionSolver solver_;
   double sign_ = 1.0;
+  cache::SolveCache* cache_ = nullptr;
+  cache::HashKey device_key_{};
 };
 
 }  // namespace subscale::tcad

@@ -180,6 +180,33 @@ void DriftDiffusionSolver::solve_equilibrium() {
   }
 }
 
+bool DriftDiffusionSolver::adopt_state(
+    const std::map<std::string, double>& biases, std::vector<double> psi,
+    std::vector<double> n, std::vector<double> p) {
+  const std::size_t n_nodes = dev_.mesh().node_count();
+  if (psi.size() != n_nodes || n.size() != n_nodes || p.size() != n_nodes) {
+    return false;
+  }
+  for (const char* contact : {"gate", "drain", "source", "bulk"}) {
+    if (biases.find(contact) == biases.end()) return false;
+  }
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    if (!std::isfinite(psi[idx]) || !std::isfinite(n[idx]) ||
+        !std::isfinite(p[idx])) {
+      return false;
+    }
+  }
+  psi_ = std::move(psi);
+  n_ = std::move(n);
+  p_ = std::move(p);
+  biases_ = biases;
+  solved_ = true;
+  last_iterations_ = 0;
+  report_ = SolverReport{};
+  report_.target = biases_;
+  return true;
+}
+
 void DriftDiffusionSolver::solve_bias(double vg, double vd, double vs,
                                       double vb) {
   if (!try_solve_bias(vg, vd, vs, vb).converged) {

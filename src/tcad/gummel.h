@@ -100,8 +100,21 @@ class DriftDiffusionSolver {
   const std::vector<double>& psi() const { return psi_; }
   const std::vector<double>& electron_density() const { return n_; }
   const std::vector<double>& hole_density() const { return p_; }
+  /// Contact biases of the currently held solution [V].
+  const std::map<std::string, double>& biases() const { return biases_; }
   const DeviceStructure& structure() const { return dev_; }
   std::size_t last_gummel_iterations() const { return last_iterations_; }
+
+  /// Replace the solver state with an externally supplied solved
+  /// solution (the solve-cache restore / warm-start path). Returns
+  /// false — leaving the state untouched — when the vectors do not
+  /// match the mesh or contain non-finite values; on success the solver
+  /// behaves exactly as if it had just converged at `biases`
+  /// (subsequent bias ramps continue from here). The iteration counters
+  /// of the report are zero: no solver work was done.
+  bool adopt_state(const std::map<std::string, double>& biases,
+                   std::vector<double> psi, std::vector<double> n,
+                   std::vector<double> p);
 
   /// Diagnostics of the most recent solve (equilibrium or bias ramp).
   const SolverReport& last_report() const { return report_; }

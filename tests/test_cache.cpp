@@ -1,0 +1,726 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cache/bytes.h"
+#include "cache/hash.h"
+#include "cache/solve_cache.h"
+#include "cache/study_keys.h"
+#include "cache/tcad_keys.h"
+#include "compact/device_spec.h"
+#include "exec/run_context.h"
+#include "opt/memo.h"
+#include "scaling/technology.h"
+#include "tcad/device_sim.h"
+
+namespace fs = std::filesystem;
+namespace sca = subscale::cache;
+namespace sc = subscale::compact;
+namespace sd = subscale::doping;
+namespace se = subscale::exec;
+namespace st = subscale::tcad;
+
+namespace {
+
+/// Unique on-disk cache root, removed on scope exit.
+struct TempCacheDir {
+  fs::path path;
+  TempCacheDir() {
+    static int seq = 0;
+    path = fs::temp_directory_path() /
+           ("subscale-test-cache-" + std::to_string(::getpid()) + "-" +
+            std::to_string(seq++));
+    fs::remove_all(path);
+  }
+  ~TempCacheDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+sca::CacheOptions disk_options(const TempCacheDir& dir) {
+  sca::CacheOptions opt;
+  opt.dir = dir.str();
+  return opt;
+}
+
+std::vector<std::uint8_t> some_bytes(std::size_t n, std::uint8_t seed = 7) {
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint8_t>(seed + i * 31);
+  }
+  return out;
+}
+
+sca::HashKey key_of(std::uint64_t salt) {
+  sca::KeyHasher h;
+  h.tag("test.key").u64(salt);
+  return h.key();
+}
+
+/// The paper's 90nm super-V_th NFET (Table 2) on a coarse mesh — the
+/// cheapest real TCAD problem the suite has.
+sc::DeviceSpec nfet_90() {
+  return sc::make_spec_from_table(sd::Polarity::kNfet, 65, 2.10, 1.52e18,
+                                  3.63e18, 1.2, 1.0);
+}
+
+st::MeshOptions coarse_mesh() {
+  st::MeshOptions mesh;
+  mesh.surface_spacing = 0.6e-9;
+  mesh.junction_spacing = 1.5e-9;
+  return mesh;
+}
+
+}  // namespace
+
+// ---- float canonicalization ------------------------------------------------
+
+TEST(CacheHash, NegativeZeroCanonicalizesToPositiveZero) {
+  EXPECT_EQ(sca::canonical_f64_bits(-0.0), sca::canonical_f64_bits(0.0));
+  sca::KeyHasher a;
+  a.tag("x").f64(-0.0);
+  sca::KeyHasher b;
+  b.tag("x").f64(0.0);
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(CacheHash, AllNansCanonicalizeToOnePattern) {
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snan = std::numeric_limits<double>::signaling_NaN();
+  EXPECT_EQ(sca::canonical_f64_bits(qnan), sca::canonical_f64_bits(snan));
+  EXPECT_EQ(sca::canonical_f64_bits(-qnan), sca::canonical_f64_bits(qnan));
+  // ... but NaN is still distinct from every number.
+  EXPECT_NE(sca::canonical_f64_bits(qnan), sca::canonical_f64_bits(0.0));
+}
+
+TEST(CacheHash, DistinctValuesDistinctBits) {
+  EXPECT_NE(sca::canonical_f64_bits(1.0), sca::canonical_f64_bits(2.0));
+  EXPECT_NE(sca::canonical_f64_bits(1.0),
+            sca::canonical_f64_bits(std::nextafter(1.0, 2.0)));
+  // Signed nonzero values keep their sign.
+  EXPECT_NE(sca::canonical_f64_bits(-1.0), sca::canonical_f64_bits(1.0));
+}
+
+// ---- key properties ---------------------------------------------------------
+
+TEST(CacheHash, KeysAreDeterministic) {
+  EXPECT_EQ(key_of(42), key_of(42));
+  EXPECT_NE(key_of(42), key_of(43));
+}
+
+TEST(CacheHash, TagsPreventFieldAliasing) {
+  sca::KeyHasher a;
+  a.tag("first").f64(1.0).tag("second").f64(2.0);
+  sca::KeyHasher b;
+  b.tag("first").f64(2.0).tag("second").f64(1.0);
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(CacheHash, SeededChainingDiffersFromFresh) {
+  const sca::HashKey seed = key_of(1);
+  sca::KeyHasher chained(seed);
+  chained.tag("x").f64(3.0);
+  sca::KeyHasher fresh;
+  fresh.tag("x").f64(3.0);
+  EXPECT_NE(chained.key(), fresh.key());
+}
+
+TEST(CacheTcadKeys, EquivalentInputsHashEqual) {
+  const sc::DeviceSpec spec = nfet_90();
+  const st::MeshOptions mesh = coarse_mesh();
+  const st::GummelOptions gummel;
+  EXPECT_EQ(sca::device_solve_key(spec, mesh, gummel),
+            sca::device_solve_key(spec, mesh, gummel));
+
+  // Fault injection is NOT part of the key (call sites bypass the cache
+  // while it is armed).
+  st::GummelOptions faulted = gummel;
+  faulted.fault.stage = st::SolveStage::kPoisson;
+  faulted.fault.count = 3;
+  EXPECT_EQ(sca::device_solve_key(spec, mesh, gummel),
+            sca::device_solve_key(spec, mesh, faulted));
+}
+
+TEST(CacheTcadKeys, EverySpecFieldPerturbsTheKey) {
+  const sc::DeviceSpec base = nfet_90();
+  const st::MeshOptions mesh = coarse_mesh();
+  const st::GummelOptions gummel;
+  const sca::HashKey base_key = sca::device_solve_key(base, mesh, gummel);
+
+  const auto differs = [&](const sc::DeviceSpec& s) {
+    return sca::device_solve_key(s, mesh, gummel) != base_key;
+  };
+  sc::DeviceSpec s = base;
+  s.polarity = sd::Polarity::kPfet;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.vdd += 0.01;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.temperature += 1.0;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.width *= 2.0;
+  EXPECT_TRUE(differs(s));
+  // Geometry fields.
+  s = base;
+  s.geometry.lpoly *= 1.01;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.geometry.tox *= 1.01;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.geometry.xj *= 1.01;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.geometry.feature_shrink *= 1.01;
+  EXPECT_TRUE(differs(s));
+  // Doping levels.
+  s = base;
+  s.levels.nsub *= 1.01;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.levels.np_halo += 1e20;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.levels.nsd *= 1.01;
+  EXPECT_TRUE(differs(s));
+}
+
+TEST(CacheTcadKeys, MeshAndSolverOptionsPerturbTheKey) {
+  const sc::DeviceSpec spec = nfet_90();
+  const st::MeshOptions mesh = coarse_mesh();
+  const st::GummelOptions gummel;
+  const sca::HashKey base_key = sca::device_solve_key(spec, mesh, gummel);
+
+  st::MeshOptions m = mesh;
+  m.surface_spacing *= 1.5;
+  EXPECT_NE(sca::device_solve_key(spec, m, gummel), base_key);
+  m = mesh;
+  m.oxide_layers += 1;
+  EXPECT_NE(sca::device_solve_key(spec, m, gummel), base_key);
+
+  st::GummelOptions g;
+  g.psi_tolerance *= 0.5;
+  EXPECT_NE(sca::device_solve_key(spec, mesh, g), base_key);
+  g = st::GummelOptions{};
+  g.max_iterations += 1;
+  EXPECT_NE(sca::device_solve_key(spec, mesh, g), base_key);
+  g = st::GummelOptions{};
+  g.continuity.velocity_saturation = !g.continuity.velocity_saturation;
+  EXPECT_NE(sca::device_solve_key(spec, mesh, g), base_key);
+}
+
+TEST(CacheTcadKeys, DerivedKeysAreDistinct) {
+  const sca::HashKey dev =
+      sca::device_solve_key(nfet_90(), coarse_mesh(), {});
+  const sca::HashKey sweep = sca::sweep_key(dev, 0.25, 0.0, 0.45, 10);
+  const sca::HashKey state = sca::state_key(dev, 0.0, 0.0, 0.0, 0.0);
+  const sca::HashKey index = sca::bias_index_key(dev);
+  EXPECT_NE(sweep, dev);
+  EXPECT_NE(state, dev);
+  EXPECT_NE(index, dev);
+  EXPECT_NE(sweep, state);
+  EXPECT_NE(state, index);
+  // The bias grid is part of a sweep's identity.
+  EXPECT_NE(sca::sweep_key(dev, 0.25, 0.0, 0.45, 11), sweep);
+  EXPECT_NE(sca::sweep_key(dev, 0.30, 0.0, 0.45, 10), sweep);
+}
+
+TEST(CacheStudyKeys, CalibrationAndNodePerturbTheKey) {
+  const auto& node = subscale::scaling::paper_nodes()[0];
+  const subscale::scaling::SubVthOptions options;
+  const sc::Calibration calib = sc::paper_calibration();
+  const sca::HashKey base =
+      sca::subvth_design_key(node, options, calib);
+  EXPECT_EQ(sca::subvth_design_key(node, options, calib), base);
+
+  sc::Calibration c = calib;
+  c.c_wire *= 1.01;
+  EXPECT_NE(sca::subvth_design_key(node, options, c), base);
+
+  subscale::scaling::SubVthOptions o = options;
+  o.ioff_pa_um *= 2.0;
+  EXPECT_NE(sca::subvth_design_key(node, o, calib), base);
+
+  // The exec policy is NOT hashed: thread count cannot change results.
+  o = options;
+  o.exec = se::ExecPolicy{7};
+  EXPECT_EQ(sca::subvth_design_key(node, o, calib), base);
+}
+
+// ---- byte codec robustness --------------------------------------------------
+
+TEST(CacheBytes, RoundTrip) {
+  sca::ByteWriter w;
+  w.u32(0xdeadbeefu);
+  w.u64(1ull << 60);
+  w.f64(-0.0);
+  w.str("gate");
+  w.f64_vector({1.0, 2.5, -3.75});
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  sca::ByteReader r(bytes);
+  std::uint32_t a = 0;
+  std::uint64_t b = 0;
+  double c = 1.0;
+  std::string s;
+  std::vector<double> v;
+  ASSERT_TRUE(r.u32(a));
+  ASSERT_TRUE(r.u64(b));
+  ASSERT_TRUE(r.f64(c));
+  ASSERT_TRUE(r.str(s));
+  ASSERT_TRUE(r.f64_vector(v));
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 1ull << 60);
+  EXPECT_TRUE(std::signbit(c));  // payloads are raw bits, not canonical
+  EXPECT_EQ(s, "gate");
+  EXPECT_EQ(v, (std::vector<double>{1.0, 2.5, -3.75}));
+}
+
+TEST(CacheBytes, TruncationFailsCleanly) {
+  sca::ByteWriter w;
+  w.f64_vector(std::vector<double>(16, 1.0));
+  std::vector<std::uint8_t> bytes = w.take();
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4},
+                                 std::size_t{8}, bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    sca::ByteReader r(cut);
+    std::vector<double> v;
+    EXPECT_FALSE(r.f64_vector(v)) << "kept " << keep << " bytes";
+  }
+}
+
+TEST(CacheBytes, HugeLengthPrefixRejectedBeforeAllocation) {
+  sca::ByteWriter w;
+  w.u64(~0ull);  // claims 2^64-1 elements
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  sca::ByteReader r(bytes);
+  std::vector<double> v;
+  EXPECT_FALSE(r.f64_vector(v));
+  sca::ByteReader r2(bytes);
+  std::string s;
+  EXPECT_FALSE(r2.str(s));
+}
+
+// ---- in-memory cache --------------------------------------------------------
+
+TEST(SolveCache, MemoryRoundTrip) {
+  sca::SolveCache cache{sca::CacheOptions{}};
+  EXPECT_FALSE(cache.persistent());
+  const sca::HashKey key = key_of(1);
+  EXPECT_EQ(cache.lookup(key, sca::PayloadKind::kScalar), nullptr);
+
+  cache.store(key, sca::PayloadKind::kScalar, some_bytes(24));
+  const auto hit = cache.lookup(key, sca::PayloadKind::kScalar);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->kind, sca::PayloadKind::kScalar);
+  EXPECT_EQ(hit->bytes, some_bytes(24));
+
+  // A kind mismatch is a miss, never a misparse.
+  EXPECT_EQ(cache.lookup(key, sca::PayloadKind::kSweep), nullptr);
+
+  const sca::SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.stores, 1u);
+}
+
+TEST(SolveCache, FifoEvictionIsAccounted) {
+  sca::CacheOptions opt;
+  opt.max_entries_per_shard = 2;
+  sca::SolveCache cache{opt};
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    cache.store(key_of(i), sca::PayloadKind::kScalar, some_bytes(8));
+  }
+  const sca::SolveCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.stores, 64u);
+  // 64 keys over 16 shards with cap 2 must evict.
+  EXPECT_GT(stats.evictions, 0u);
+  // Memory-only: an evicted record is gone for good.
+  std::size_t present = 0;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    if (cache.lookup(key_of(i), sca::PayloadKind::kScalar) != nullptr) {
+      ++present;
+    }
+  }
+  EXPECT_LE(present, 32u);
+}
+
+// ---- persistent cache -------------------------------------------------------
+
+TEST(SolveCache, DiskRoundTripAcrossInstances) {
+  TempCacheDir dir;
+  const sca::HashKey key = key_of(5);
+  {
+    sca::SolveCache writer{disk_options(dir)};
+    EXPECT_TRUE(writer.persistent());
+    writer.store(key, sca::PayloadKind::kSweep, some_bytes(100));
+    EXPECT_TRUE(fs::exists(writer.record_path(key)));
+  }
+  sca::SolveCache reader{disk_options(dir)};
+  const auto hit = reader.lookup(key, sca::PayloadKind::kSweep);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->bytes, some_bytes(100));
+  EXPECT_EQ(reader.stats().hits, 1u);
+}
+
+TEST(SolveCache, EvictedRecordsSurviveOnDisk) {
+  TempCacheDir dir;
+  sca::CacheOptions opt = disk_options(dir);
+  opt.max_entries_per_shard = 0;  // keep nothing in memory
+  sca::SolveCache cache{opt};
+  const sca::HashKey key = key_of(9);
+  cache.store(key, sca::PayloadKind::kState, some_bytes(40));
+  const auto hit = cache.lookup(key, sca::PayloadKind::kState);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->bytes, some_bytes(40));
+}
+
+TEST(SolveCache, StoreReplacesExistingRecord) {
+  TempCacheDir dir;
+  sca::SolveCache cache{disk_options(dir)};
+  const sca::HashKey key = key_of(11);
+  cache.store(key, sca::PayloadKind::kScalar, some_bytes(8, 1));
+  cache.store(key, sca::PayloadKind::kScalar, some_bytes(8, 2));
+  const auto hit = cache.lookup(key, sca::PayloadKind::kScalar);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->bytes, some_bytes(8, 2));
+}
+
+// ---- corruption robustness --------------------------------------------------
+
+namespace {
+
+/// Store one record on disk and return its path; the cache instance
+/// keeps nothing in memory so every lookup re-reads the file.
+struct DiskRecord {
+  TempCacheDir dir;
+  sca::SolveCache cache;
+  sca::HashKey key = key_of(77);
+  std::string path;
+
+  DiskRecord() : cache([this] {
+                   sca::CacheOptions opt;
+                   opt.dir = dir.str();
+                   opt.max_entries_per_shard = 0;
+                   return opt;
+                 }()) {
+    cache.store(key, sca::PayloadKind::kSweep, some_bytes(64));
+    path = cache.record_path(key);
+  }
+};
+
+void overwrite_file(const std::string& path,
+                    const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+}  // namespace
+
+TEST(SolveCacheCorruption, TruncatedRecordIsAMiss) {
+  DiskRecord rec;
+  const std::vector<std::uint8_t> good = read_file(rec.path);
+  ASSERT_GT(good.size(), 28u);
+  for (const std::size_t keep :
+       {std::size_t{1}, std::size_t{10}, std::size_t{28}, good.size() - 1}) {
+    overwrite_file(rec.path,
+                   {good.begin(), good.begin() + static_cast<long>(keep)});
+    EXPECT_EQ(rec.cache.lookup(rec.key, sca::PayloadKind::kSweep), nullptr)
+        << "kept " << keep << " of " << good.size() << " bytes";
+  }
+  EXPECT_GT(rec.cache.stats().corrupt, 0u);
+}
+
+TEST(SolveCacheCorruption, ZeroLengthRecordIsAMiss) {
+  DiskRecord rec;
+  overwrite_file(rec.path, {});
+  EXPECT_EQ(rec.cache.lookup(rec.key, sca::PayloadKind::kSweep), nullptr);
+  EXPECT_GT(rec.cache.stats().corrupt, 0u);
+}
+
+TEST(SolveCacheCorruption, VersionBumpedRecordIsAMiss) {
+  DiskRecord rec;
+  std::vector<std::uint8_t> bytes = read_file(rec.path);
+  bytes[4] += 1;  // format_version lives right after the 4-byte magic
+  overwrite_file(rec.path, bytes);
+  EXPECT_EQ(rec.cache.lookup(rec.key, sca::PayloadKind::kSweep), nullptr);
+  EXPECT_GT(rec.cache.stats().corrupt, 0u);
+}
+
+TEST(SolveCacheCorruption, WrongMagicIsAMiss) {
+  DiskRecord rec;
+  std::vector<std::uint8_t> bytes = read_file(rec.path);
+  bytes[0] ^= 0xff;
+  overwrite_file(rec.path, bytes);
+  EXPECT_EQ(rec.cache.lookup(rec.key, sca::PayloadKind::kSweep), nullptr);
+}
+
+TEST(SolveCacheCorruption, FlippedPayloadBitFailsChecksum) {
+  DiskRecord rec;
+  std::vector<std::uint8_t> bytes = read_file(rec.path);
+  bytes.back() ^= 0x01;  // payload ends the file
+  overwrite_file(rec.path, bytes);
+  EXPECT_EQ(rec.cache.lookup(rec.key, sca::PayloadKind::kSweep), nullptr);
+  EXPECT_GT(rec.cache.stats().corrupt, 0u);
+}
+
+TEST(SolveCacheCorruption, TrailingGarbageIsAMiss) {
+  DiskRecord rec;
+  std::vector<std::uint8_t> bytes = read_file(rec.path);
+  bytes.push_back(0xaa);
+  overwrite_file(rec.path, bytes);
+  EXPECT_EQ(rec.cache.lookup(rec.key, sca::PayloadKind::kSweep), nullptr);
+}
+
+TEST(SolveCacheCorruption, CorruptRecordIsReplacedByNextStore) {
+  DiskRecord rec;
+  overwrite_file(rec.path, some_bytes(13));
+  EXPECT_EQ(rec.cache.lookup(rec.key, sca::PayloadKind::kSweep), nullptr);
+  rec.cache.store(rec.key, sca::PayloadKind::kSweep, some_bytes(64));
+  const auto hit = rec.cache.lookup(rec.key, sca::PayloadKind::kSweep);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->bytes, some_bytes(64));
+}
+
+// ---- fault injection --------------------------------------------------------
+
+TEST(SolveCacheFault, ReadFaultsCountDownThenHeal) {
+  TempCacheDir dir;
+  sca::CacheOptions opt = disk_options(dir);
+  opt.max_entries_per_shard = 0;  // force disk reads
+  opt.fault.fail_reads = 2;
+  sca::SolveCache cache{opt};
+  const sca::HashKey key = key_of(21);
+  cache.store(key, sca::PayloadKind::kScalar, some_bytes(8));
+  EXPECT_EQ(cache.lookup(key, sca::PayloadKind::kScalar), nullptr);
+  EXPECT_EQ(cache.lookup(key, sca::PayloadKind::kScalar), nullptr);
+  // Budget exhausted: the record was never actually damaged.
+  EXPECT_NE(cache.lookup(key, sca::PayloadKind::kScalar), nullptr);
+  EXPECT_EQ(cache.stats().corrupt, 2u);
+}
+
+TEST(SolveCacheFault, WriteFaultDropsThePublish) {
+  TempCacheDir dir;
+  sca::CacheOptions opt = disk_options(dir);
+  opt.fault.fail_writes = 1;
+  const sca::HashKey key = key_of(22);
+  {
+    sca::SolveCache cache{opt};
+    cache.store(key, sca::PayloadKind::kScalar, some_bytes(8));
+    EXPECT_FALSE(fs::exists(cache.record_path(key)));
+    // The next store heals and publishes.
+    cache.store(key, sca::PayloadKind::kScalar, some_bytes(8));
+    EXPECT_TRUE(fs::exists(cache.record_path(key)));
+  }
+  sca::SolveCache reader{disk_options(dir)};
+  EXPECT_NE(reader.lookup(key, sca::PayloadKind::kScalar), nullptr);
+}
+
+// ---- options / resolution ---------------------------------------------------
+
+TEST(CacheOptionsValidation, RejectsNegativeFaultBudgets) {
+  sca::CacheOptions opt;
+  opt.fault.fail_reads = -1;
+  EXPECT_THROW(sca::SolveCache{opt}, std::invalid_argument);
+  opt.fault.fail_reads = 0;
+  opt.fault.fail_writes = -2;
+  EXPECT_THROW(sca::SolveCache{opt}, std::invalid_argument);
+}
+
+TEST(RunContextCache, ExplicitCacheWinsOverDefault) {
+  sca::SolveCache a{sca::CacheOptions{}};
+  sca::SolveCache b{sca::CacheOptions{}};
+  se::RunContext ctx;
+  EXPECT_EQ(ctx.cache_sink(), sca::default_cache());
+  ctx.cache = &a;
+  EXPECT_EQ(ctx.cache_sink(), &a);
+
+  sca::set_default_cache(&b);
+  se::RunContext fallback;
+  EXPECT_EQ(fallback.cache_sink(), &b);
+  ctx.cache = &a;
+  EXPECT_EQ(ctx.cache_sink(), &a);
+  sca::set_default_cache(nullptr);
+}
+
+// ---- opt-layer memoization --------------------------------------------------
+
+TEST(EvalMemo, InertWithoutCache) {
+  const subscale::opt::EvalMemo memo;
+  EXPECT_FALSE(memo.active());
+  int calls = 0;
+  const auto f = memo.wrap([&](double x) {
+    ++calls;
+    return 2.0 * x;
+  });
+  EXPECT_EQ(f(3.0), 6.0);
+  EXPECT_EQ(f(3.0), 6.0);
+  EXPECT_EQ(calls, 2);  // no memoization without a cache
+}
+
+TEST(EvalMemo, RepeatedEvaluationsReplay) {
+  sca::SolveCache cache{sca::CacheOptions{}};
+  const subscale::opt::EvalMemo memo(&cache, key_of(31));
+  int calls = 0;
+  const auto f = memo.wrap([&](double x) {
+    ++calls;
+    return x * x + 0.25;
+  });
+  const double first = f(1.5);
+  const double again = f(1.5);
+  EXPECT_EQ(calls, 1);
+  // Bitwise: the replay returns the stored bits.
+  EXPECT_EQ(std::memcmp(&first, &again, sizeof(double)), 0);
+  EXPECT_EQ(f(2.5), 2.5 * 2.5 + 0.25);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EvalMemo, DistinctDomainsDoNotAlias) {
+  sca::SolveCache cache{sca::CacheOptions{}};
+  const subscale::opt::EvalMemo memo_a(&cache, key_of(1));
+  const subscale::opt::EvalMemo memo_b(&cache, key_of(2));
+  int calls = 0;
+  const auto count = [&](double x) {
+    ++calls;
+    return x;
+  };
+  memo_a.eval(count, 1.0);
+  memo_b.eval(count, 1.0);  // same x, different domain: must recompute
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(EvalMemo, BatchComputesOnlyMisses) {
+  sca::SolveCache cache{sca::CacheOptions{}};
+  const subscale::opt::EvalMemo memo(&cache, key_of(41));
+  std::vector<double> computed;
+  const auto batch =
+      memo.wrap_batch([&](const std::vector<double>& xs) {
+        std::vector<double> values;
+        for (const double x : xs) {
+          computed.push_back(x);
+          values.push_back(3.0 * x);
+        }
+        return values;
+      });
+  const std::vector<double> all = batch({1.0, 2.0, 3.0});
+  EXPECT_EQ(all, (std::vector<double>{3.0, 6.0, 9.0}));
+  EXPECT_EQ(computed.size(), 3u);
+  computed.clear();
+  // 2.0 is cached; only the new points run.
+  const std::vector<double> mixed = batch({2.0, 4.0});
+  EXPECT_EQ(mixed, (std::vector<double>{6.0, 12.0}));
+  EXPECT_EQ(computed, (std::vector<double>{4.0}));
+}
+
+// ---- TCAD wiring ------------------------------------------------------------
+
+TEST(TcadCache, DeviceResolvesCacheAndReplaysSweeps) {
+  TempCacheDir dir;
+  sca::SolveCache cache{disk_options(dir)};
+  se::RunContext ctx;
+  ctx.cache = &cache;
+
+  st::TcadDevice cold(nfet_90(), coarse_mesh(), {}, ctx);
+  EXPECT_EQ(cold.solve_cache(), &cache);
+  const st::SweepResult fresh = cold.id_vg(0.25, 0.0, 0.3, 4);
+  ASSERT_TRUE(fresh.all_converged());
+
+  // Uncached reference: identical problem, no cache.
+  st::TcadDevice plain(nfet_90(), coarse_mesh(), {});
+  EXPECT_EQ(plain.solve_cache(), nullptr);
+  const st::SweepResult reference = plain.id_vg(0.25, 0.0, 0.3, 4);
+
+  // Second device on the same cache: equilibrium restores, sweep replays.
+  const std::uint64_t hits_before = cache.stats().hits;
+  st::TcadDevice warm(nfet_90(), coarse_mesh(), {}, ctx);
+  const st::SweepResult replay = warm.id_vg(0.25, 0.0, 0.3, 4);
+  EXPECT_GT(cache.stats().hits, hits_before);
+
+  ASSERT_EQ(replay.size(), fresh.size());
+  ASSERT_EQ(replay.size(), reference.size());
+  for (std::size_t i = 0; i < replay.size(); ++i) {
+    // Bitwise: cached, replayed, and uncached curves agree exactly.
+    EXPECT_EQ(replay[i].vg, fresh[i].vg);
+    EXPECT_EQ(replay[i].id, fresh[i].id);
+    EXPECT_EQ(replay[i].id, reference[i].id);
+  }
+}
+
+TEST(TcadCache, FaultInjectionDisablesCaching) {
+  TempCacheDir dir;
+  sca::SolveCache cache{disk_options(dir)};
+  se::RunContext ctx;
+  ctx.cache = &cache;
+  st::GummelOptions faulted;
+  faulted.fault.stage = st::SolveStage::kPoisson;
+  faulted.fault.count = 1;
+  faulted.fault.min_bias = 0.18;
+  faulted.fault.max_bias = 0.22;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), faulted, ctx);
+  EXPECT_EQ(dev.solve_cache(), nullptr);
+  EXPECT_EQ(cache.stats().stores, 0u);
+}
+
+TEST(TcadCache, CorruptedSweepRecordRecomputes) {
+  TempCacheDir dir;
+  sca::CacheOptions opt = disk_options(dir);
+  opt.max_entries_per_shard = 0;  // all lookups hit the disk image
+  sca::SolveCache cache{opt};
+  se::RunContext ctx;
+  ctx.cache = &cache;
+
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), {}, ctx);
+  const st::SweepResult fresh = dev.id_vg(0.25, 0.0, 0.3, 4);
+  ASSERT_TRUE(fresh.all_converged());
+
+  const sca::HashKey sweep = sca::sweep_key(
+      sca::device_solve_key(nfet_90(), coarse_mesh(), {}), 0.25, 0.0, 0.3,
+      4);
+  overwrite_file(cache.record_path(sweep), some_bytes(20));
+
+  st::TcadDevice again(nfet_90(), coarse_mesh(), {}, ctx);
+  const st::SweepResult recomputed = again.id_vg(0.25, 0.0, 0.3, 4);
+  EXPECT_GT(cache.stats().corrupt, 0u);
+  ASSERT_EQ(recomputed.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(recomputed[i].id, fresh[i].id);
+  }
+}
+
+TEST(TcadCache, WarmStartSeedsFromNearestState) {
+  TempCacheDir dir;
+  sca::SolveCache cache{disk_options(dir)};
+  se::RunContext ctx;
+  ctx.cache = &cache;
+
+  // Populate: a sweep leaves its final state (vg=0.3, vd=0.25) behind.
+  {
+    st::TcadDevice dev(nfet_90(), coarse_mesh(), {}, ctx);
+    ASSERT_TRUE(dev.id_vg(0.25, 0.0, 0.3, 4).all_converged());
+  }
+  // A DIFFERENT sweep on the same device misses the sweep record but can
+  // warm-start its ramp from the cached neighbor.
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), {}, ctx);
+  const st::SweepResult swept = dev.id_vg(0.25, 0.25, 0.35, 3);
+  EXPECT_TRUE(swept.all_converged());
+  EXPECT_GT(cache.stats().warmstarts, 0u);
+}

@@ -46,6 +46,12 @@ core.study.node_errors
 core.study.sweep_point_failures
 core.study.node_ms.count
 core.study.node_ms.sum
+cache.hit
+cache.miss
+cache.store
+cache.evict
+cache.warmstart
+cache.corrupt
 obs.profiler.spans
 obs.profiler.spans_dropped
 "

@@ -20,7 +20,10 @@ jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 build_dir="$repo_root/build"
 cmake_args=()
-ctest_args=()
+# The tier-1 label is the seed gate: every suite carries it (see
+# tests/CMakeLists.txt), so this is "plain ctest" parity by construction
+# and stays honest if a future suite opts out of the tier.
+ctest_args=("-L" "tier1")
 if [[ -n "$sanitize" ]]; then
   case "$sanitize" in
     address) build_dir="$repo_root/build-asan" ;;
@@ -50,9 +53,17 @@ ctest --test-dir "$build_dir" --output-on-failure -j "$jobs" "${ctest_args[@]}"
 # inflated effort counter must fail.
 if [[ -z "$sanitize" ]]; then
   bench_tmp="$(mktemp -d)"
+  # SUBSCALE_CACHE_DIR exercises the env-installed solve cache along the
+  # way: a cold run must publish records (cache.store > 0 in the bench
+  # telemetry proves the wiring, not just that the env var was read).
   (cd "$bench_tmp" && SUBSCALE_PROFILE=1 \
+      SUBSCALE_CACHE_DIR="$bench_tmp/cache" \
       "$build_dir/bench/bench_tcad_validation" > /dev/null)
   "$repo_root/tools/bench_schema.sh" "$bench_tmp"/BENCH_*.json
+  if ! grep -Eq '"cache\.store": [1-9]' "$bench_tmp"/BENCH_*.json; then
+    echo "check.sh: env-installed cache published no records" >&2
+    exit 1
+  fi
 
   record="$(ls "$bench_tmp"/BENCH_*.json | head -n 1)"
   "$build_dir/tools/obs_diff" "$record" "$record"
@@ -71,4 +82,14 @@ if [[ -z "$sanitize" ]]; then
   fi
   echo "obs_diff: regression gate trips on perturbed record (expected)"
   rm -rf "$bench_tmp"
+
+  # Cache round-trip smoke: bench_ext_cache gates itself (warm replay
+  # >= 5x over cold, cache hits observed, warm results bitwise-identical
+  # to the uncached run) and exits non-zero on any violation. Its record
+  # must also satisfy the telemetry schema.
+  cache_tmp="$(mktemp -d)"
+  (cd "$cache_tmp" && "$build_dir/bench/bench_ext_cache" > /dev/null)
+  "$repo_root/tools/bench_schema.sh" "$cache_tmp"/BENCH_*.json
+  echo "bench_ext_cache: cache round-trip smoke passed"
+  rm -rf "$cache_tmp"
 fi

@@ -1,0 +1,114 @@
+/// golden_gen: (re)generate the golden regression fixtures under
+/// tests/golden/. Each fixture pins the headline values of one paper
+/// table/figure as computed by the CURRENT code: Table 2 (super-V_th
+/// roadmap), Table 3 (sub-V_th roadmap), Fig. 2 (S_S and Ion/Ioff
+/// across nodes), Fig. 9 (energy-optimal L_poly and S_S across nodes).
+/// tests/test_golden.cpp recomputes the same quantities and compares
+/// against the fixtures with a tight relative tolerance — so any PR
+/// that shifts the physics must regenerate the fixtures DELIBERATELY
+/// and show the diff in review.
+///
+///   ./golden_gen [output_dir]     # default: tests/golden
+///
+/// Values are written with %.17g (io::JsonWriter), so fixtures
+/// round-trip doubles bit-exactly and the tolerance only absorbs
+/// genuine numeric drift, not serialization.
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compact/mosfet.h"
+#include "core/scaling_study.h"
+#include "io/writer.h"
+
+namespace {
+
+using subscale::core::ScalingStudy;
+
+void write_fixture(
+    const std::string& dir, const std::string& name,
+    const std::vector<std::pair<std::string, double>>& values) {
+  subscale::io::JsonWriter w;
+  w.begin_object();
+  w.key("fixture");
+  w.value(name);
+  w.key("values");
+  w.begin_object();
+  for (const auto& [key, value] : values) {
+    w.key(key);
+    w.value(value);
+  }
+  w.end_object();
+  w.end_object();
+
+  const std::string path = dir + "/" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "golden_gen: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string text = w.str();
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("golden_gen: wrote %s (%zu values)\n", path.c_str(),
+              values.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string dir = argc > 1 ? argv[1] : "tests/golden";
+  std::filesystem::create_directories(dir);
+
+  const ScalingStudy study;  // default options — what test_golden uses
+  const auto& calib = study.calibration();
+
+  std::vector<std::pair<std::string, double>> table2;
+  std::vector<std::pair<std::string, double>> fig02;
+  for (std::size_t i = 0; i < study.node_count(); ++i) {
+    const auto& d = study.super_devices()[i];
+    const std::string n = d.node.name + ".";
+    table2.emplace_back(n + "lpoly_nm", d.node.lpoly_nm);
+    table2.emplace_back(n + "nsub_cm3", d.nsub_cm3);
+    table2.emplace_back(n + "nhalo_net_cm3", d.nhalo_net_cm3);
+    table2.emplace_back(n + "vth_sat_mv", d.vth_sat_mv);
+    table2.emplace_back(n + "ioff_pa_um", d.ioff_pa_um);
+    table2.emplace_back(n + "ss_mv_dec", d.ss_mv_dec);
+    table2.emplace_back(n + "tau_ps", d.tau_ps);
+
+    const subscale::compact::CompactMosfet fet(d.spec, calib);
+    const double ion = fet.drain_current(d.node.vdd, d.node.vdd);
+    fig02.emplace_back(n + "ss_mv_dec", d.ss_mv_dec);
+    fig02.emplace_back(n + "log10_ion_ioff",
+                       std::log10(ion / fet.ioff()));
+  }
+
+  std::vector<std::pair<std::string, double>> table3;
+  std::vector<std::pair<std::string, double>> fig09;
+  for (std::size_t i = 0; i < study.node_count(); ++i) {
+    const auto& d = study.sub_devices()[i];
+    const std::string n = d.device.node.name + ".";
+    table3.emplace_back(n + "lpoly_opt_nm", d.lpoly_opt_nm);
+    table3.emplace_back(n + "nsub_cm3", d.device.nsub_cm3);
+    table3.emplace_back(n + "nhalo_net_cm3", d.device.nhalo_net_cm3);
+    table3.emplace_back(n + "vth_sat_mv", d.device.vth_sat_mv);
+    table3.emplace_back(n + "ioff_pa_um", d.device.ioff_pa_um);
+    table3.emplace_back(n + "ss_mv_dec", d.device.ss_mv_dec);
+    table3.emplace_back(n + "tau_ps", d.device.tau_ps);
+    table3.emplace_back(n + "energy_factor_raw", d.energy_factor_raw);
+    table3.emplace_back(n + "delay_factor_raw", d.delay_factor_raw);
+
+    fig09.emplace_back(n + "lpoly_opt_nm", d.lpoly_opt_nm);
+    fig09.emplace_back(n + "ss_mv_dec", d.device.ss_mv_dec);
+  }
+
+  write_fixture(dir, "table2_supervth", table2);
+  write_fixture(dir, "table3_subvth", table3);
+  write_fixture(dir, "fig02_ss_ionioff", fig02);
+  write_fixture(dir, "fig09_lpoly_ss", fig09);
+  return 0;
+}

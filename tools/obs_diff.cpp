@@ -10,6 +10,9 @@
 /// change made the solver work harder — the gate catches that without
 /// timing noise. Excluded by default:
 ///   * exec.pool.*          — thread-count-dependent by nature,
+///   * cache.*              — hit/miss/store totals depend on what past
+///                            runs left in SUBSCALE_CACHE_DIR, not on
+///                            the change under test,
 ///   * *_ms.sum             — wall-clock (opt back in: --include-timing),
 ///   * *.last_residual      — a gauge of the final solve, not effort.
 /// A key present in OLD but missing in NEW also fails (schema drift).
@@ -125,6 +128,7 @@ int main(int argc, char** argv) {
   std::size_t compared = 0;
   for (const auto& [key, old_value] : old_obs) {
     if (has_prefix(key, "exec.pool.")) continue;
+    if (has_prefix(key, "cache.")) continue;
     if (!include_timing && has_suffix(key, "_ms.sum")) continue;
     if (has_suffix(key, ".last_residual")) continue;
 
