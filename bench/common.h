@@ -24,6 +24,7 @@
 /// profiling is off.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -121,7 +122,7 @@ inline subscale::obs::SpanProfiler* bench_profiler() {
 }
 
 inline void write_record(const std::string& name, bool ok, double wall_ms,
-                         const Record& record) {
+                         const Record& record, bool interrupted = false) {
   namespace io = subscale::io;
   namespace obs = subscale::obs;
 
@@ -155,6 +156,10 @@ inline void write_record(const std::string& name, bool ok, double wall_ms,
   w.value(name);
   w.key("shape_ok");
   w.value(ok);
+  if (interrupted) {
+    w.key("interrupted");
+    w.value(true);
+  }
   w.key("wall_ms");
   w.value(wall_ms);
   w.key("threads");
@@ -185,12 +190,56 @@ inline void write_record(const std::string& name, bool ok, double wall_ms,
   std::fclose(f);
 }
 
+/// State the interrupt handler needs to flush a partial record. A bench
+/// is a single-document batch process, so one static slot suffices; the
+/// `active` flag keeps the handler inert outside the timed body (and
+/// after a first delivery, making a racing second signal harmless).
+struct ActiveRun {
+  std::string name;
+  Record* record = nullptr;
+  std::chrono::steady_clock::time_point start{};
+  volatile std::sig_atomic_t active = 0;
+};
+
+inline ActiveRun& active_run() {
+  static ActiveRun run;
+  return run;
+}
+
+/// SIGINT/SIGTERM: flush the partial BENCH record (shape_ok false,
+/// "interrupted" true, whatever metrics the body recorded so far, and
+/// the trace under SUBSCALE_PROFILE=1), then re-raise with the default
+/// disposition so the exit status still says "killed by signal".
+/// Formatting JSON here is not strictly async-signal-safe; a bench is a
+/// terminal batch tool where the alternative is losing the record, and
+/// the worst torn outcome is an invalid file the next run overwrites —
+/// the cache/orch layers never read BENCH json.
+inline void interrupt_handler(int signo) {
+  ActiveRun& run = active_run();
+  if (run.active != 0) {
+    run.active = 0;
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - run.start)
+            .count();
+    std::printf("\nbench interrupted (signal %d): flushing partial record\n",
+                signo);
+    write_record(run.name, /*ok=*/false, wall_ms, *run.record,
+                 /*interrupted=*/true);
+  }
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
 }  // namespace detail
 
 /// The common bench driver: prints the header, times the body, prints
 /// the shape verdict, writes BENCH_<name>.json, and returns the process
 /// exit code. The body fills `Record` with its headline metrics and
-/// returns whether the shape criterion held.
+/// returns whether the shape criterion held. An interrupted bench
+/// (SIGINT/SIGTERM mid-body) still flushes a valid partial record
+/// marked "interrupted" before dying with the signal's default
+/// disposition.
 inline int run(const char* name, const char* title, const char* paper_claim,
                const char* shape_criterion,
                const std::function<bool(Record&)>& body) {
@@ -204,12 +253,20 @@ inline int run(const char* name, const char* title, const char* paper_claim,
   header(title, paper_claim);
   Record record;
   const auto start = std::chrono::steady_clock::now();
+  detail::ActiveRun& active = detail::active_run();
+  active.name = name;
+  active.record = &record;
+  active.start = start;
+  active.active = 1;
+  std::signal(SIGINT, detail::interrupt_handler);
+  std::signal(SIGTERM, detail::interrupt_handler);
   bool ok = false;
   try {
     ok = body(record);
   } catch (const std::exception& e) {
     std::printf("bench aborted: %s\n", e.what());
   }
+  active.active = 0;  // from here the normal record path owns the file
   const double wall_ms =
       std::chrono::duration<double, std::milli>(
           std::chrono::steady_clock::now() - start)

@@ -1,5 +1,6 @@
 #include "cache/solve_cache.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +12,7 @@
 #include <unistd.h>
 
 #include "cache/bytes.h"
+#include "cache/lease.h"
 #include "obs/names.h"
 
 namespace subscale::cache {
@@ -225,6 +227,12 @@ bool SolveCache::write_disk(const HashKey& key, const Payload& payload) {
   bool ok = std::fwrite(h.data(), 1, h.size(), f) == h.size();
   ok = ok && std::fwrite(payload.bytes.data(), 1, payload.bytes.size(), f) ==
                  payload.bytes.size();
+  // Flush to the platter before the rename: a crash after the publish
+  // must find the complete record, not a page-cache torso. Opt-out via
+  // SUBSCALE_CACHE_FSYNC=0 (atomicity is the rename's job either way).
+  if (ok && fsync_enabled()) {
+    ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
+  }
   ok = std::fclose(f) == 0 && ok;
   if (consume(write_fault_budget_)) ok = false;  // injected publish failure
   if (!ok) {
@@ -239,6 +247,34 @@ bool SolveCache::write_disk(const HashKey& key, const Payload& payload) {
     return false;
   }
   return true;
+}
+
+std::size_t SolveCache::sweep_stale_temps(double min_age_seconds) {
+  if (!persistent()) return 0;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return 0;
+  std::size_t removed = 0;
+  for (const fs::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("tmp-", 0) != 0) continue;
+    const fs::file_time_type mtime = fs::last_write_time(entry.path(), ec);
+    if (ec) continue;
+    const double age = std::chrono::duration<double>(
+                           fs::file_time_type::clock::now() - mtime)
+                           .count();
+    if (age < min_age_seconds) continue;  // possibly a live writer
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  if (removed > 0) {
+    // Torn-write debris: the records these were meant to become will
+    // read as plain misses, so account them under the corruption
+    // counter like any other unreadable record.
+    corrupt_.fetch_add(removed, std::memory_order_relaxed);
+    if (ins_.corrupt != nullptr) ins_.corrupt->add(removed);
+  }
+  return removed;
 }
 
 SolveCache::Stats SolveCache::stats() const {

@@ -15,8 +15,12 @@
 ///     eviction accounting;
 ///   * an optional disk store under CacheOptions::dir backs the index:
 ///     one file per record, sharded into 256 subdirectories by the
-///     first key byte, published write-to-temp + atomic rename so a
-///     concurrent reader sees either the whole record or none of it.
+///     first key byte, published write-to-temp + fsync + atomic rename
+///     so a concurrent reader sees either the whole record or none of
+///     it, and a record that survives a crash is complete on disk (the
+///     fsync is opt-out via SUBSCALE_CACHE_FSYNC=0, see cache/lease.h).
+///     A writer killed mid-publish leaves only a torn temp file, which
+///     sweep_stale_temps() later removes and counts as a miss.
 ///
 /// On-disk record format (little-endian):
 ///   magic "SUBC" | format_version u32 | kind u32 | payload_size u64 |
@@ -57,6 +61,7 @@ enum class PayloadKind : std::uint32_t {
   kState = 2,      ///< solver state (biases, psi, n, p) at one bias point
   kBiasIndex = 3,  ///< per-device list of cached bias-state points
   kScalar = 4,     ///< one memoized objective evaluation (opt layer)
+  kUnit = 5,       ///< one orchestrator work-unit result (src/orch)
 };
 
 struct Payload {
@@ -135,6 +140,16 @@ class SolveCache {
   /// Path the record for `key` lives at (even if absent) — test hook
   /// for the corruption suite.
   std::string record_path(const HashKey& key) const;
+
+  /// Remove torn temp files left at the store root by writers that died
+  /// mid-publish (a SIGKILLed worker, a crashed bench). Only temps older
+  /// than `min_age_seconds` are touched — a live writer's temp exists
+  /// for milliseconds, so the age gate keeps the sweep safe to run while
+  /// other processes publish. Each removal is counted as corruption
+  /// (cache.corrupt): the debris is evidence of a torn write, and the
+  /// record it was meant to become reads as a plain miss. Returns the
+  /// number of temps removed; no-op (0) for in-memory caches.
+  std::size_t sweep_stale_temps(double min_age_seconds = 60.0);
 
  private:
   static constexpr std::size_t kShards = 16;

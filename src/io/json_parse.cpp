@@ -1,0 +1,261 @@
+#include "io/json_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace subscale::io {
+
+/// Recursive-descent parser over a bounded view. Depth-limited so a
+/// pathological file cannot blow the stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonPtr parse(std::string* error) {
+    JsonPtr v = value(0);
+    skip_ws();
+    if (v != nullptr && pos_ != text_.size()) {
+      fail("trailing characters after document");
+      v = nullptr;
+    }
+    if (v == nullptr && error != nullptr) *error = error_;
+    return v;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 64;
+
+  void fail(const std::string& why) {
+    if (error_.empty()) {
+      error_ = "json: offset " + std::to_string(pos_) + ": " + why;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr value(std::size_t depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return nullptr;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return nullptr;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return object(depth);
+      case '[':
+        return array(depth);
+      case '"':
+        return string_value();
+      case 't':
+        if (literal("true")) return make_bool(true);
+        break;
+      case 'f':
+        if (literal("false")) return make_bool(false);
+        break;
+      case 'n':
+        if (literal("null")) return std::make_shared<JsonValue>();
+        break;
+      default:
+        return number();
+    }
+    fail("unrecognized token");
+    return nullptr;
+  }
+
+  static JsonPtr make_bool(bool b) {
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::kBool;
+    v->bool_ = b;
+    return v;
+  }
+
+  JsonPtr number() {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    // strtod accepts exactly the JSON number grammar plus a few
+    // extensions (hex, inf, nan); reject the extensions below.
+    const double d = std::strtod(begin, &end);
+    if (end == begin) {
+      fail("expected a value");
+      return nullptr;
+    }
+    const std::string_view consumed(begin,
+                                    static_cast<std::size_t>(end - begin));
+    for (const char ch : consumed) {
+      if (std::isalpha(static_cast<unsigned char>(ch)) != 0 && ch != 'e' &&
+          ch != 'E') {
+        fail("malformed number");
+        return nullptr;
+      }
+    }
+    pos_ += consumed.size();
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::kNumber;
+    v->number_ = d;
+    return v;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected '\"'");
+      return false;
+    }
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("bad \\u escape");
+              return false;
+            }
+          }
+          // UTF-8 encode the BMP code point (the writers only escape
+          // control characters, so surrogate pairs are out of scope;
+          // a lone surrogate encodes as-is rather than failing).
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  JsonPtr string_value() {
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::kString;
+    if (!parse_string(v->string_)) return nullptr;
+    return v;
+  }
+
+  JsonPtr array(std::size_t depth) {
+    consume('[');
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::kArray;
+    if (consume(']')) return v;
+    while (true) {
+      JsonPtr item = value(depth + 1);
+      if (item == nullptr) return nullptr;
+      v->array_.push_back(std::move(item));
+      if (consume(',')) continue;
+      if (consume(']')) return v;
+      fail("expected ',' or ']' in array");
+      return nullptr;
+    }
+  }
+
+  JsonPtr object(std::size_t depth) {
+    consume('{');
+    auto v = std::make_shared<JsonValue>();
+    v->kind_ = JsonValue::Kind::kObject;
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(key)) return nullptr;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return nullptr;
+      }
+      JsonPtr item = value(depth + 1);
+      if (item == nullptr) return nullptr;
+      v->object_[key] = std::move(item);
+      if (consume(',')) continue;
+      if (consume('}')) return v;
+      fail("expected ',' or '}' in object");
+      return nullptr;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonPtr json_parse(std::string_view text, std::string* error) {
+  JsonParser parser(text);
+  return parser.parse(error);
+}
+
+JsonPtr json_parse_file(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "json: cannot open " + path;
+    return nullptr;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  return json_parse(text, error);
+}
+
+}  // namespace subscale::io

@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file json_parse.h
+/// Minimal JSON reader for the library's own artifacts (study manifests,
+/// BENCH records, merged study outputs). The writers in this directory
+/// emit a small, predictable JSON dialect; this parser accepts full
+/// JSON anyway (objects, arrays, strings with escapes, numbers, bools,
+/// null) so hand-edited manifests still load.
+///
+/// Design mirrors cache::ByteReader: no exceptions from malformed
+/// input — parse() returns nullptr and fills an error string with the
+/// offset and reason. Numbers are held as double (the writers emit
+/// %.17g, so doubles round-trip bit-exactly; integers are exact up to
+/// 2^53, far beyond any index this library serializes).
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace subscale::io {
+
+class JsonValue;
+using JsonPtr = std::shared_ptr<const JsonValue>;
+
+/// One parsed JSON value. Accessors are total: asking an object for a
+/// missing key (or the wrong type) returns null / a caller default
+/// instead of throwing, so manifest-loading code reads as a straight
+/// line with explicit fallbacks.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+
+  bool as_bool(bool fallback = false) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0.0) const {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  const std::string& as_string() const { return string_; }
+
+  /// Array access; null when out of range or not an array.
+  std::size_t size() const { return array_.size(); }
+  JsonPtr at(std::size_t i) const {
+    return i < array_.size() ? array_[i] : nullptr;
+  }
+  const std::vector<JsonPtr>& items() const { return array_; }
+
+  /// Object access; null when the key is absent or not an object.
+  JsonPtr get(const std::string& key) const {
+    const auto it = object_.find(key);
+    return it != object_.end() ? it->second : nullptr;
+  }
+  bool has(const std::string& key) const {
+    return object_.find(key) != object_.end();
+  }
+  const std::map<std::string, JsonPtr>& fields() const { return object_; }
+
+  /// Convenience: object lookup with typed fallback in one call.
+  double number_at(const std::string& key, double fallback) const {
+    const JsonPtr v = get(key);
+    return v != nullptr ? v->as_number(fallback) : fallback;
+  }
+  bool bool_at(const std::string& key, bool fallback) const {
+    const JsonPtr v = get(key);
+    return v != nullptr ? v->as_bool(fallback) : fallback;
+  }
+  std::string string_at(const std::string& key,
+                        const std::string& fallback = {}) const {
+    const JsonPtr v = get(key);
+    return v != nullptr && v->kind() == Kind::kString ? v->as_string()
+                                                      : fallback;
+  }
+
+ private:
+  friend class JsonParser;
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonPtr> array_;
+  std::map<std::string, JsonPtr> object_;
+};
+
+/// Parse a complete JSON document. Returns null on any syntax error and
+/// describes it (byte offset + reason) in `error` when non-null.
+/// Trailing garbage after the document is an error.
+JsonPtr json_parse(std::string_view text, std::string* error = nullptr);
+
+/// Parse the contents of a file; null when the file is unreadable or
+/// malformed (reason in `error`).
+JsonPtr json_parse_file(const std::string& path,
+                        std::string* error = nullptr);
+
+}  // namespace subscale::io

@@ -79,6 +79,18 @@ inline constexpr const char* kCacheEvict = "cache.evict";
 inline constexpr const char* kCacheWarmstart = "cache.warmstart";
 inline constexpr const char* kCacheCorrupt = "cache.corrupt";
 
+// orch layer — multi-process study orchestration (src/orch). Claim/
+// reassign/poison traffic depends on scheduling, lease timeouts and
+// chaos policy — wall-clock artifacts, not solver effort — so every
+// orch.* key is excluded from the obs_diff regression gate alongside
+// cache.*.
+inline constexpr const char* kOrchUnitsTotal = "orch.units_total";
+inline constexpr const char* kOrchClaimed = "orch.claimed";
+inline constexpr const char* kOrchCompleted = "orch.completed";
+inline constexpr const char* kOrchReassigned = "orch.reassigned";
+inline constexpr const char* kOrchPoisoned = "orch.poisoned";
+inline constexpr const char* kOrchWorkerRestarts = "orch.worker_restarts";
+
 // obs layer — span-profiler export tallies (bumped once at export time
 // so every BENCH record says how many spans its trace carries; zero
 // when profiling is off)
@@ -99,7 +111,9 @@ inline void preregister_standard(MetricsRegistry& registry) {
         kSweepPointsConverged, kSweepPointsFailed, kStudyNodesValidated,
         kStudyNodeErrors, kStudySweepPointFailures, kCacheHit, kCacheMiss,
         kCacheStore, kCacheEvict, kCacheWarmstart, kCacheCorrupt,
-        kProfilerSpans, kProfilerSpansDropped}) {
+        kOrchUnitsTotal, kOrchClaimed, kOrchCompleted, kOrchReassigned,
+        kOrchPoisoned, kOrchWorkerRestarts, kProfilerSpans,
+        kProfilerSpansDropped}) {
     registry.counter(name);
   }
   for (const char* name :
@@ -129,6 +143,7 @@ inline constexpr const char* kBandedLuSolve = "linalg.banded_lu.solve";
 inline constexpr const char* kBicgstabSolve = "linalg.bicgstab.solve";
 inline constexpr const char* kCacheLookup = "cache.lookup";
 inline constexpr const char* kCachePublish = "cache.publish";
+inline constexpr const char* kOrchUnit = "orch.unit";
 }  // namespace spans
 
 }  // namespace subscale::obs::names

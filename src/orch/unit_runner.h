@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file unit_runner.h
+/// Solving and publishing one manifest work unit. Shared by the worker
+/// processes and by the orchestrator's serial (workers == 0) mode, so
+/// the multi-process path and the single-process reference run execute
+/// literally the same code per unit.
+///
+/// Determinism contract: a UnitResult holds only the solver's exact
+/// outputs — the converged curve, the attempted count, and the failure
+/// digest — never wall-clock timings, hostnames or pids. Combined with
+/// workers disabling bias warm-starts (CacheOptions::warm_start = false,
+/// the one within-tolerance-only accelerator), this is what makes a
+/// chaos-interrupted multi-process study merge bitwise-identical to an
+/// uninterrupted serial run: every unit's bytes depend only on its key.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/run_context.h"
+#include "orch/manifest.h"
+#include "tcad/device_sim.h"
+
+namespace subscale::orch {
+
+/// Bump when the UnitResult byte layout changes; decode rejects other
+/// versions (the record then reads as a miss and is re-solved).
+inline constexpr std::uint32_t kUnitResultVersion = 1;
+
+/// One sweep point the solver gave up on, reduced to the deterministic
+/// facts (stage/status names, not the full retry history).
+struct UnitFailure {
+  double vg = 0.0;
+  double vd = 0.0;
+  std::string stage;   ///< tcad::to_string(SolveStage)
+  std::string status;  ///< tcad::to_string(SolveStatus)
+};
+
+/// The published outcome of one work unit.
+struct UnitResult {
+  std::size_t node = 0;
+  double lpoly_nm = 0.0;  ///< designed gate length of the node
+  std::string error;      ///< non-empty: device never reached equilibrium
+  std::vector<tcad::IdVgPoint> points;  ///< converged sweep points
+  std::size_t attempted = 0;            ///< points the sweep tried
+  std::vector<UnitFailure> failures;
+
+  bool usable() const { return error.empty() && points.size() >= 2; }
+};
+
+/// Byte codec (cache::ByteWriter layout, versioned). decode returns
+/// false on truncation/version mismatch and leaves `out` unspecified.
+std::vector<std::uint8_t> encode_unit_result(const UnitResult& result);
+bool decode_unit_result(const std::vector<std::uint8_t>& bytes,
+                        UnitResult& out);
+
+/// Chaos hook points inside one unit solve (worker.h's ChaosPolicy picks
+/// one per kill); also usable by tests to observe progress.
+enum class UnitPhase {
+  kAfterEquilibrium,  ///< device built, equilibrium published
+  kAfterSolve,        ///< sweep done, result NOT yet published
+};
+using UnitPhaseHook = std::function<void(UnitPhase)>;
+
+/// Solve `unit` through the normal TcadDevice path under `ctx` (which
+/// carries the solve cache the equilibrium/sweep records publish to).
+/// Designs the device through `study`, wraps the work in an orch.unit
+/// span, and reports solver failures in-band (UnitResult::error) rather
+/// than throwing — a worker must outlive a hard node. `hook` (optional)
+/// fires at the UnitPhase points.
+UnitResult solve_unit(const core::ScalingStudy& study, const StudySpec& spec,
+                      const WorkUnit& unit, const exec::RunContext& ctx,
+                      const UnitPhaseHook& hook = {});
+
+/// Publish `result` into `cache` under the unit's result key. Returns
+/// false when the cache rejects the disk write (the unit then stays
+/// unclaimed for another attempt).
+bool publish_unit_result(cache::SolveCache& cache, const WorkUnit& unit,
+                         const UnitResult& result);
+
+/// Look the unit up in `cache`; true + `out` on a decodable record.
+bool load_unit_result(cache::SolveCache& cache, const WorkUnit& unit,
+                      UnitResult& out);
+
+/// Render the merged study output — every unit in manifest order with
+/// its result (or its poisoned marker) — as canonical JSON. Two merges
+/// over identical unit results produce identical bytes, which is the
+/// artifact the chaos tier diffs against the serial reference.
+/// `results[i]` pairs with `manifest.units[i]`; a null entry means the
+/// unit was poisoned/skipped.
+std::string study_result_json(const Manifest& manifest,
+                              const std::vector<const UnitResult*>& results);
+
+}  // namespace subscale::orch

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -10,10 +12,12 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cache/bytes.h"
 #include "cache/hash.h"
+#include "cache/lease.h"
 #include "cache/solve_cache.h"
 #include "cache/study_keys.h"
 #include "cache/tcad_keys.h"
@@ -723,4 +727,163 @@ TEST(TcadCache, WarmStartSeedsFromNearestState) {
   const st::SweepResult swept = dev.id_vg(0.25, 0.25, 0.35, 3);
   EXPECT_TRUE(swept.all_converged());
   EXPECT_GT(cache.stats().warmstarts, 0u);
+}
+
+// ---- crash-tolerant publish (multi-process store hardening) -----------------
+
+TEST(AtomicWriteFile, RoundTripsWithAndWithoutFsync) {
+  TempCacheDir dir;
+  const std::string path = dir.str() + "/nested/dir/file.bin";
+  const std::vector<std::uint8_t> payload = some_bytes(257);
+  ASSERT_TRUE(sca::atomic_write_file(path, payload, /*sync=*/true));
+  std::vector<std::uint8_t> back;
+  ASSERT_TRUE(sca::read_file_bytes(path, back));
+  EXPECT_EQ(back, payload);
+  // Replacing content is atomic too, and the no-fsync fast path (the
+  // SUBSCALE_CACHE_FSYNC=0 configuration) writes the same bytes.
+  const std::vector<std::uint8_t> second = some_bytes(64, 99);
+  ASSERT_TRUE(sca::atomic_write_file(path, second, /*sync=*/false));
+  ASSERT_TRUE(sca::read_file_bytes(path, back));
+  EXPECT_EQ(back, second);
+}
+
+TEST(AtomicWriteFile, FsyncDefaultsOnWhenEnvUnset) {
+  // The suite runs without SUBSCALE_CACHE_FSYNC in the environment, so
+  // the latched default must be durable-by-default.
+  EXPECT_TRUE(sca::fsync_enabled());
+}
+
+TEST(ConcurrentPublish, ThreadsSameKeyIdenticalPayload) {
+  TempCacheDir dir;
+  sca::SolveCache cache(disk_options(dir));
+  const sca::HashKey key = key_of(1001);
+  const std::vector<std::uint8_t> payload = some_bytes(512);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        cache.store(key, sca::PayloadKind::kSweep, payload);
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  // A fresh instance with no memory index reads purely off disk.
+  sca::CacheOptions cold = disk_options(dir);
+  cold.max_entries_per_shard = 0;
+  sca::SolveCache reader(cold);
+  const auto rec = reader.lookup(key, sca::PayloadKind::kSweep);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->bytes, payload);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+  EXPECT_EQ(reader.stats().corrupt, 0u);
+}
+
+TEST(ConcurrentPublish, ThreadsSameKeyDifferingPayloadsNeverTear) {
+  TempCacheDir dir;
+  sca::SolveCache cache(disk_options(dir));
+  const sca::HashKey key = key_of(2002);
+  const std::vector<std::uint8_t> a = some_bytes(2048, 3);
+  const std::vector<std::uint8_t> b = some_bytes(4096, 5);
+  std::thread wa([&] {
+    for (int i = 0; i < 40; ++i) cache.store(key, sca::PayloadKind::kSweep, a);
+  });
+  std::thread wb([&] {
+    for (int i = 0; i < 40; ++i) cache.store(key, sca::PayloadKind::kSweep, b);
+  });
+  // Concurrent cold readers must see a whole record or none — never a
+  // torn mix (which the checksum would count as corrupt).
+  sca::CacheOptions cold = disk_options(dir);
+  cold.max_entries_per_shard = 0;
+  sca::SolveCache reader(cold);
+  for (int i = 0; i < 200; ++i) {
+    const auto rec = reader.lookup(key, sca::PayloadKind::kSweep);
+    if (rec != nullptr) {
+      EXPECT_TRUE(rec->bytes == a || rec->bytes == b);
+    }
+  }
+  wa.join();
+  wb.join();
+  // Last writer wins: the settled record is exactly one candidate.
+  const auto final_rec = reader.lookup(key, sca::PayloadKind::kSweep);
+  ASSERT_NE(final_rec, nullptr);
+  EXPECT_TRUE(final_rec->bytes == a || final_rec->bytes == b);
+  EXPECT_EQ(reader.stats().corrupt, 0u);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+}
+
+TEST(ConcurrentPublish, ProcessesShareOneStore) {
+  TempCacheDir dir;
+  const sca::HashKey shared = key_of(3003);
+  const std::vector<std::uint8_t> payload = some_bytes(1024, 11);
+  constexpr int kProcs = 2;
+  pid_t pids[kProcs] = {0, 0};
+  for (int p = 0; p < kProcs; ++p) {
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: its own SolveCache over the same directory; hammer the
+      // shared key with the identical payload plus a private key.
+      sca::SolveCache mine(disk_options(dir));
+      for (int i = 0; i < 30; ++i) {
+        mine.store(shared, sca::PayloadKind::kSweep, payload);
+      }
+      mine.store(key_of(4000u + static_cast<unsigned>(p)),
+                 sca::PayloadKind::kState, some_bytes(128, 13));
+      _exit(mine.stats().corrupt == 0 ? 0 : 1);
+    }
+    pids[p] = pid;
+  }
+  for (const pid_t pid : pids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  }
+  sca::SolveCache reader(disk_options(dir));
+  const auto rec = reader.lookup(shared, sca::PayloadKind::kSweep);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->bytes, payload);
+  for (int p = 0; p < kProcs; ++p) {
+    EXPECT_NE(reader.lookup(key_of(4000u + static_cast<unsigned>(p)),
+                            sca::PayloadKind::kState),
+              nullptr);
+  }
+  EXPECT_EQ(reader.stats().corrupt, 0u);
+}
+
+TEST(StaleTempSweep, TornTempIsInvisibleSweptAndCounted) {
+  TempCacheDir dir;
+  sca::SolveCache cache(disk_options(dir));
+  const sca::HashKey key = key_of(5005);
+  cache.store(key, sca::PayloadKind::kSweep, some_bytes(96));
+
+  // Simulate a writer SIGKILLed mid-publish: a zero-length temp and a
+  // partial temp at the store root.
+  const std::string torn_a = dir.str() + "/tmp-9999-0";
+  const std::string torn_b = dir.str() + "/tmp-9999-1";
+  { std::ofstream(torn_a).flush(); }
+  { std::ofstream(torn_b) << "SUBC-torso"; }
+
+  // Torn temps never affect lookups: the published record still reads,
+  // an unpublished key is a plain miss, nothing counts as corrupt.
+  EXPECT_NE(cache.lookup(key, sca::PayloadKind::kSweep), nullptr);
+  EXPECT_EQ(cache.lookup(key_of(5006), sca::PayloadKind::kSweep), nullptr);
+  EXPECT_EQ(cache.stats().corrupt, 0u);
+
+  // Young temps survive an age-gated sweep (they could be live writers).
+  EXPECT_EQ(cache.sweep_stale_temps(60.0), 0u);
+  ASSERT_TRUE(fs::exists(torn_a));
+
+  // Age them past the gate and sweep again: removed and counted.
+  const auto old_time =
+      fs::file_time_type::clock::now() - std::chrono::hours(1);
+  fs::last_write_time(torn_a, old_time);
+  fs::last_write_time(torn_b, old_time);
+  EXPECT_EQ(cache.sweep_stale_temps(60.0), 2u);
+  EXPECT_FALSE(fs::exists(torn_a));
+  EXPECT_FALSE(fs::exists(torn_b));
+  EXPECT_EQ(cache.stats().corrupt, 2u);
+  // Real records are untouched.
+  EXPECT_NE(cache.lookup(key, sca::PayloadKind::kSweep), nullptr);
 }

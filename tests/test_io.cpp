@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "io/csv.h"
+#include "io/json_parse.h"
 #include "io/series.h"
 #include "io/table.h"
 #include "io/trace_export.h"
@@ -331,4 +332,118 @@ TEST(TraceExport, ConvergenceDocumentRendersNaNAsNull) {
             std::string::npos);
   EXPECT_NE(out.find("\"poisson_iterations\": [\n        7,\n        6"),
             std::string::npos);
+}
+
+// ---- JsonParse ------------------------------------------------------------------
+//
+// The reader side of the library's own JSON dialect (manifests, merged
+// study outputs, BENCH records). The contract under test: full JSON
+// acceptance, total accessors (wrong type / missing key -> fallback,
+// never a throw), and hard rejection of malformed documents with an
+// offset-bearing error instead of an exception.
+
+TEST(JsonParse, ParsesScalarsAndContainers) {
+  std::string error;
+  si::JsonPtr v = si::json_parse(
+      R"({"b": true, "n": -1.5e3, "s": "hi", "z": null,)"
+      R"( "a": [1, 2, 3], "o": {"k": 4}})",
+      &error);
+  ASSERT_NE(v, nullptr) << error;
+  EXPECT_EQ(v->kind(), si::JsonValue::Kind::kObject);
+  EXPECT_TRUE(v->bool_at("b", false));
+  EXPECT_DOUBLE_EQ(v->number_at("n", 0.0), -1500.0);
+  EXPECT_EQ(v->string_at("s"), "hi");
+  EXPECT_TRUE(v->get("z")->is_null());
+  ASSERT_EQ(v->get("a")->size(), 3u);
+  EXPECT_DOUBLE_EQ(v->get("a")->at(1)->as_number(), 2.0);
+  EXPECT_DOUBLE_EQ(v->get("o")->number_at("k", 0.0), 4.0);
+}
+
+TEST(JsonParse, AccessorsAreTotalOnMismatch) {
+  si::JsonPtr v = si::json_parse(R"({"s": "text", "n": 7})");
+  ASSERT_NE(v, nullptr);
+  // Wrong-type and missing-key reads fall back instead of throwing.
+  EXPECT_DOUBLE_EQ(v->number_at("s", -1.0), -1.0);
+  EXPECT_EQ(v->string_at("n", "fb"), "fb");
+  EXPECT_EQ(v->get("absent"), nullptr);
+  EXPECT_FALSE(v->has("absent"));
+  EXPECT_EQ(v->at(0), nullptr);         // object, not array
+  EXPECT_EQ(v->get("n")->at(99), nullptr);  // number, not array
+}
+
+TEST(JsonParse, WriterOutputRoundTripsBitExactDoubles) {
+  // The writers emit %.17g; the parser holds doubles, so every value a
+  // JsonWriter produces must read back bit-identical.
+  const double samples[] = {0.0, 1.0 / 3.0, 6.5e-9, 1.7976931348623157e308,
+                            -2.2250738585072014e-308, 42.0};
+  si::JsonWriter w;
+  w.begin_array();
+  for (double d : samples) w.value(d);
+  w.end_array();
+  si::JsonPtr v = si::json_parse(w.str());
+  ASSERT_NE(v, nullptr);
+  ASSERT_EQ(v->size(), std::size(samples));
+  for (std::size_t i = 0; i < std::size(samples); ++i) {
+    EXPECT_EQ(v->at(i)->as_number(), samples[i]) << "sample " << i;
+  }
+}
+
+TEST(JsonParse, DecodesEscapesIncludingUnicode) {
+  si::JsonPtr v = si::json_parse(
+      R"(["a\"b", "tab\there", "nl\n", "back\\slash", "\u00e9\u0024"])");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->at(0)->as_string(), "a\"b");
+  EXPECT_EQ(v->at(1)->as_string(), "tab\there");
+  EXPECT_EQ(v->at(2)->as_string(), "nl\n");
+  EXPECT_EQ(v->at(3)->as_string(), "back\\slash");
+  EXPECT_EQ(v->at(4)->as_string(), "\xc3\xa9$");  // UTF-8 for e-acute
+}
+
+TEST(JsonParse, RejectsMalformedWithOffsetError) {
+  const char* bad[] = {
+      "",                 // empty document
+      "{",                // truncated object
+      "[1, 2",            // truncated array
+      "{\"k\": }",        // missing value
+      "{\"k\" 1}",        // missing colon
+      "[1,, 2]",          // empty element
+      "\"unterminated",   // unterminated string
+      "\"bad \\q escape\"",
+      "\"trunc \\u12\"",  // truncated \u escape
+      "tru",              // truncated keyword
+      "{\"k\": 1} extra", // trailing garbage
+      "nan",              // non-finite literals are not JSON
+  };
+  for (const char* doc : bad) {
+    std::string error;
+    EXPECT_EQ(si::json_parse(doc, &error), nullptr) << doc;
+    EXPECT_FALSE(error.empty()) << doc;
+  }
+}
+
+TEST(JsonParse, EnforcesNestingDepthLimit) {
+  // 64 nested arrays parse; deep bombs are rejected, not stack-crashed.
+  const std::string ok(64, '['), ok_close(64, ']');
+  EXPECT_NE(si::json_parse(ok + "1" + ok_close), nullptr);
+  std::string error;
+  const std::string bomb(5000, '[');
+  EXPECT_EQ(si::json_parse(bomb + std::string(5000, ']'), &error), nullptr);
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(JsonParse, FileHelperReportsUnreadableAndRoundTrips) {
+  std::string error;
+  EXPECT_EQ(si::json_parse_file("/nonexistent/subscale.json", &error),
+            nullptr);
+  EXPECT_FALSE(error.empty());
+
+  const std::string path = "test_io_json_parse_tmp.json";
+  {
+    std::ofstream out(path);
+    out << R"({"answer": 42})";
+  }
+  si::JsonPtr v = si::json_parse_file(path, &error);
+  ASSERT_NE(v, nullptr) << error;
+  EXPECT_DOUBLE_EQ(v->number_at("answer", 0.0), 42.0);
+  std::remove(path.c_str());
 }

@@ -52,6 +52,12 @@ cache.store
 cache.evict
 cache.warmstart
 cache.corrupt
+orch.units_total
+orch.claimed
+orch.completed
+orch.reassigned
+orch.poisoned
+orch.worker_restarts
 obs.profiler.spans
 obs.profiler.spans_dropped
 "

@@ -92,4 +92,28 @@ if [[ -z "$sanitize" ]]; then
   "$repo_root/tools/bench_schema.sh" "$cache_tmp"/BENCH_*.json
   echo "bench_ext_cache: cache round-trip smoke passed"
   rm -rf "$cache_tmp"
+
+  # Orchestrator resume smoke: a forked-worker study, then a rerun
+  # against the same dirs. The rerun must be a pure resume (claimed=0 —
+  # every unit found in the content-addressed store, nothing re-solved)
+  # and merge to byte-identical output. The full chaos tier (seeded
+  # worker SIGKILLs, mid-flight orchestrator kill) lives in
+  # tools/chaos_study.sh; this keeps the fast path honest.
+  orch_tmp="$(mktemp -d)"
+  orch_args=(--nodes 0,1 --points 3 --coarse-mesh --workers 2
+             --study-dir "$orch_tmp/study" --cache-dir "$orch_tmp/cache")
+  "$build_dir/tools/subscale_orch" "${orch_args[@]}" \
+      --out "$orch_tmp/run1.json" > /dev/null
+  resume_summary="$("$build_dir/tools/subscale_orch" "${orch_args[@]}" \
+      --out "$orch_tmp/run2.json")"
+  if [[ "$resume_summary" != *"claimed=0"* ]]; then
+    echo "check.sh: orchestrator resume re-solved units: $resume_summary" >&2
+    exit 1
+  fi
+  cmp "$orch_tmp/run1.json" "$orch_tmp/run2.json" || {
+    echo "check.sh: orchestrator resume output differs from first run" >&2
+    exit 1
+  }
+  echo "subscale_orch: resume smoke passed ($resume_summary)"
+  rm -rf "$orch_tmp"
 fi

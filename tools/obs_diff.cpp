@@ -13,6 +13,9 @@
 ///   * cache.*              — hit/miss/store totals depend on what past
 ///                            runs left in SUBSCALE_CACHE_DIR, not on
 ///                            the change under test,
+///   * orch.*               — claim/reassign/poison traffic depends on
+///                            scheduling, lease timeouts and chaos
+///                            policy, not solver effort,
 ///   * *_ms.sum             — wall-clock (opt back in: --include-timing),
 ///   * *.last_residual      — a gauge of the final solve, not effort.
 /// A key present in OLD but missing in NEW also fails (schema drift).
@@ -129,6 +132,7 @@ int main(int argc, char** argv) {
   for (const auto& [key, old_value] : old_obs) {
     if (has_prefix(key, "exec.pool.")) continue;
     if (has_prefix(key, "cache.")) continue;
+    if (has_prefix(key, "orch.")) continue;
     if (!include_timing && has_suffix(key, "_ms.sum")) continue;
     if (has_suffix(key, ".last_residual")) continue;
 
