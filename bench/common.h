@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "cache/solve_cache.h"
+#include "cards/technology_card.h"
 #include "core/scaling_study.h"
 #include "exec/policy.h"
 #include "io/series.h"
@@ -46,9 +47,29 @@
 
 namespace bench {
 
-/// One study shared inside a binary (each binary is its own process).
+/// The technology card the bench study runs on: SUBSCALE_CARD (a
+/// builtin id or a card-file path) or the paper deck when unset — so
+/// any bench re-runs on another deck without a rebuild:
+///   SUBSCALE_CARD=paper_bulk_hot350 ./bench_table2_supervth
+inline const subscale::cards::TechnologyCard& card() {
+  static const subscale::cards::TechnologyCard c = [] {
+    const char* env = std::getenv("SUBSCALE_CARD");
+    return env != nullptr && env[0] != '\0'
+               ? subscale::cards::resolve_card(env)
+               : subscale::cards::paper_bulk_lstp();
+  }();
+  return c;
+}
+
+/// One study shared inside a binary (each binary is its own process),
+/// built on the active card.
 inline const subscale::core::ScalingStudy& study() {
-  static const subscale::core::ScalingStudy s;
+  static const subscale::core::ScalingStudy s(
+      subscale::compact::paper_calibration(), [] {
+        subscale::core::StudyOptions options;
+        options.card = card();
+        return options;
+      }());
   return s;
 }
 
@@ -63,10 +84,10 @@ inline void footer_shape(bool ok, const char* what) {
   std::printf("[shape %s] %s\n\n", ok ? "OK " : "MISS", what);
 }
 
-/// Node x-axis value (nm) for series.
+/// Node x-axis value (nm) for series, read off the active card's node
+/// names ("90nm" -> 90.0) so extended decks chart correctly too.
 inline double node_nm(std::size_t i) {
-  static const double kNm[4] = {90.0, 65.0, 45.0, 32.0};
-  return kNm[i];
+  return std::atof(study().node(i).name.c_str());
 }
 
 /// Headline numbers a bench wants in its JSON record, insertion-ordered.
@@ -154,6 +175,8 @@ inline void write_record(const std::string& name, bool ok, double wall_ms,
   w.begin_object();
   w.key("bench");
   w.value(name);
+  w.key("card");
+  w.value(card().id);
   w.key("shape_ok");
   w.value(ok);
   if (interrupted) {

@@ -21,7 +21,10 @@
 
 namespace subscale::cache {
 
-inline constexpr std::uint64_t kStudyKeySchema = 1;
+/// v2: SubVthOptions carries a DeviceEnv (backend kind, temperature,
+/// nanowire radius) — two cards differing only in environment must
+/// never share a design-objective memo.
+inline constexpr std::uint64_t kStudyKeySchema = 2;
 
 inline void hash_append(KeyHasher& h, const compact::Calibration& c) {
   h.tag("calib")
@@ -49,6 +52,13 @@ inline void hash_append(KeyHasher& h, const scaling::NodeInput& n) {
       .f64(n.ileak_max_pa_um);
 }
 
+inline void hash_append(KeyHasher& h, const compact::DeviceEnv& env) {
+  h.tag("env")
+      .u64(static_cast<std::uint64_t>(env.backend))
+      .f64(env.temperature)
+      .f64(env.nw_radius_nm);
+}
+
 inline void hash_append(KeyHasher& h, const scaling::SubVthOptions& o) {
   // exec (and the cache pointer itself) intentionally absent: results
   // are thread-count independent by construction.
@@ -58,6 +68,7 @@ inline void hash_append(KeyHasher& h, const scaling::SubVthOptions& o) {
       .f64(o.lpoly_max_factor)
       .u64(o.lpoly_scan_points)
       .u64(o.split_iterations);
+  hash_append(h, o.env);
 }
 
 /// Domain key of design_subvth_device's L_poly objective: every input

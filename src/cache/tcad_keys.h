@@ -29,7 +29,9 @@ namespace subscale::cache {
 
 /// Version of the hashed-field schema below (NOT the on-disk format
 /// version, which SolveCache owns).
-inline constexpr std::uint64_t kTcadKeySchema = 1;
+/// v2: DeviceSpec grew a backend kind and nanowire radius (a cached
+/// bulk solve must never be addressable from a nanowire query).
+inline constexpr std::uint64_t kTcadKeySchema = 2;
 
 inline void hash_append(KeyHasher& h, const doping::MosfetGeometry& g) {
   h.tag("geom")
@@ -54,8 +56,10 @@ inline void hash_append(KeyHasher& h, const doping::MosfetDopingLevels& l) {
 inline void hash_append(KeyHasher& h, const compact::DeviceSpec& spec) {
   h.tag("spec")
       .u64(spec.polarity == doping::Polarity::kNfet ? 0 : 1)
+      .u64(static_cast<std::uint64_t>(spec.backend))
       .f64(spec.vdd)
       .f64(spec.temperature)
+      .f64(spec.nw_radius)
       .f64(spec.width);
   hash_append(h, spec.geometry);
   hash_append(h, spec.levels);

@@ -1,0 +1,164 @@
+#include "cards/technology_card.h"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <sys/stat.h>
+
+#include "cards/card_io.h"
+
+namespace subscale::cards {
+
+std::vector<scaling::NodeInput> ScalingRecipe::derive() const {
+  if (node_count < 0 || first_generation < 0) {
+    throw std::invalid_argument(
+        "ScalingRecipe::derive: negative node_count or first_generation");
+  }
+  std::vector<scaling::NodeInput> out;
+  out.reserve(static_cast<std::size_t>(node_count));
+  for (int g = first_generation; g < first_generation + node_count; ++g) {
+    // Names / generation / feature shrink continue the ITRS cadence;
+    // the scalar trajectories come from the recipe's own rates.
+    scaling::NodeInput node = scaling::extrapolate_node(g);
+    node.lpoly_nm = lpoly0_nm * std::pow(lpoly_shrink, g);
+    node.tox_nm = tox0_nm * std::pow(tox_shrink, g);
+    node.vdd = std::max(vdd_floor, vdd0 - vdd_step * g);
+    node.ileak_max_pa_um = ileak0_pa_um * std::pow(ileak_growth, g);
+    out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<scaling::NodeInput> TechnologyCard::resolved_nodes() const {
+  return use_recipe ? recipe.derive() : nodes;
+}
+
+void TechnologyCard::validate() const {
+  if (id.empty()) {
+    throw std::invalid_argument("TechnologyCard: empty id");
+  }
+  env.validate();
+  if (!(subvth_ioff_pa_um > 0.0)) {
+    throw std::invalid_argument("TechnologyCard '" + id +
+                                "': subvth_ioff_pa_um must be positive");
+  }
+  const std::vector<scaling::NodeInput> resolved = resolved_nodes();
+  if (resolved.empty()) {
+    throw std::invalid_argument("TechnologyCard '" + id + "': no nodes");
+  }
+  std::set<std::string> seen;
+  for (const scaling::NodeInput& node : resolved) {
+    if (node.name.empty()) {
+      throw std::invalid_argument("TechnologyCard '" + id +
+                                  "': node with empty name");
+    }
+    if (!seen.insert(node.name).second) {
+      throw std::invalid_argument("TechnologyCard '" + id +
+                                  "': duplicate node name '" + node.name +
+                                  "'");
+    }
+    if (!(node.lpoly_nm > 0.0) || !(node.tox_nm > 0.0) ||
+        !(node.vdd > 0.0) || !(node.feature_shrink > 0.0) ||
+        !(node.ileak_max_pa_um > 0.0)) {
+      throw std::invalid_argument("TechnologyCard '" + id + "': node '" +
+                                  node.name +
+                                  "' has a non-positive parameter");
+    }
+  }
+}
+
+namespace {
+
+TechnologyCard make_paper_card() {
+  TechnologyCard card;
+  card.id = "paper_bulk_lstp";
+  card.description =
+      "DAC'07 Table-2 LSTP deck: bulk MOSFET, 300 K, 90nm..32nm";
+  // Explicit copy of paper_nodes() — bitwise identical, by construction.
+  const auto& nodes = scaling::paper_nodes();
+  card.nodes.assign(nodes.begin(), nodes.end());
+  return card;
+}
+
+TechnologyCard make_extended_card() {
+  TechnologyCard card;
+  card.id = "bulk_lstp_extended";
+  card.description =
+      "Recipe-extrapolated bulk deck continuing the paper cadence to 16nm";
+  card.use_recipe = true;
+  card.recipe.node_count = 6;  // 90nm .. 16nm
+  return card;
+}
+
+TechnologyCard make_hot_card() {
+  TechnologyCard card = make_paper_card();
+  card.id = "paper_bulk_hot350";
+  card.description = "Paper deck at the 350 K hot corner";
+  card.env.temperature = 350.0;
+  return card;
+}
+
+TechnologyCard make_nanowire_card() {
+  TechnologyCard card = make_paper_card();
+  card.id = "nanowire_gaa";
+  card.description =
+      "Gate-all-around nanowire deck (R = 4 nm) on the paper's nodes";
+  card.env.backend = compact::BackendKind::kNanowireGaa;
+  card.env.nw_radius_nm = 4.0;
+  return card;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace
+
+const TechnologyCard& paper_bulk_lstp() {
+  static const TechnologyCard card = make_paper_card();
+  return card;
+}
+
+const TechnologyCard& bulk_lstp_extended() {
+  static const TechnologyCard card = make_extended_card();
+  return card;
+}
+
+const TechnologyCard& paper_bulk_hot350() {
+  static const TechnologyCard card = make_hot_card();
+  return card;
+}
+
+const TechnologyCard& nanowire_gaa() {
+  static const TechnologyCard card = make_nanowire_card();
+  return card;
+}
+
+std::vector<std::string> builtin_card_ids() {
+  return {paper_bulk_lstp().id, bulk_lstp_extended().id,
+          paper_bulk_hot350().id, nanowire_gaa().id};
+}
+
+TechnologyCard resolve_card(const std::string& id_or_path) {
+  for (const TechnologyCard* card :
+       {&paper_bulk_lstp(), &bulk_lstp_extended(), &paper_bulk_hot350(),
+        &nanowire_gaa()}) {
+    if (card->id == id_or_path) return *card;
+  }
+  if (file_exists(id_or_path)) {
+    return load_card(id_or_path);
+  }
+  std::string known;
+  for (const std::string& id : builtin_card_ids()) {
+    if (!known.empty()) known += ", ";
+    known += id;
+  }
+  throw std::invalid_argument(
+      "resolve_card: '" + id_or_path +
+      "' is neither a builtin card id nor a readable card file (builtin "
+      "ids: " +
+      known + ")");
+}
+
+}  // namespace subscale::cards

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file technology_card.h
+/// Declarative technology decks. A TechnologyCard bundles everything a
+/// scaling study needs to know about "which technology am I studying":
+/// the node list (explicit, or derived from a scaling recipe), the
+/// device backend (bulk MOSFET vs gate-all-around nanowire), the
+/// operating temperature as a first-class axis, and the strategy-level
+/// constraints (the sub-V_th leakage anchor). Studies, benches and the
+/// orchestrator resolve nodes from a card instead of hard-coding
+/// paper_nodes(), so switching the whole pipeline to a different deck
+/// is a one-line change (or a JSON file, see card_io.h).
+///
+/// The builtin `paper_bulk_lstp` card reproduces scaling::paper_nodes()
+/// bitwise — every existing golden is pinned against it.
+
+#include <string>
+#include <vector>
+
+#include "compact/device_spec.h"
+#include "scaling/technology.h"
+
+namespace subscale::cards {
+
+/// Derive nodes by continuing the paper's cadence with tunable rates.
+/// Names, generation indices and the 0.7^g feature shrink follow
+/// scaling::extrapolate_node; L_poly / T_ox / V_dd / I_leak come from
+/// the recipe parameters. Note the paper's own Table-2 nodes are NOT
+/// pure recipe outputs (65nm uses L_poly = 46 nm, not 65*0.7 = 45.5),
+/// which is exactly why `paper_bulk_lstp` carries an explicit node list
+/// while the extended card derives.
+struct ScalingRecipe {
+  int first_generation = 0;
+  int node_count = 0;  ///< 0 = recipe unused (explicit node list instead)
+  double lpoly0_nm = 65.0;
+  double lpoly_shrink = 0.7;  ///< per generation
+  double tox0_nm = 2.10;
+  double tox_shrink = 0.9;
+  double vdd0 = 1.2;
+  double vdd_step = 0.1;  ///< subtracted per generation ...
+  double vdd_floor = 0.6; ///< ... down to this floor
+  double ileak0_pa_um = 100.0;
+  double ileak_growth = 1.25;
+
+  std::vector<scaling::NodeInput> derive() const;
+};
+
+struct TechnologyCard {
+  std::string id;           ///< stable identity; keyed into caches
+  std::string description;
+  /// Device environment folded into every spec the strategies build:
+  /// backend kind, temperature [K], nanowire radius [nm].
+  compact::DeviceEnv env{};
+  /// Strategy constraint: the fixed sub-V_th leakage anchor [pA/um]
+  /// (the super-V_th cap is per-node, on NodeInput).
+  double subvth_ioff_pa_um = 100.0;
+  /// Explicit node list; used when `use_recipe` is false.
+  std::vector<scaling::NodeInput> nodes;
+  /// Recipe alternative; used when `use_recipe` is true.
+  ScalingRecipe recipe;
+  bool use_recipe = false;
+
+  /// The card's node list, whichever way it is specified.
+  std::vector<scaling::NodeInput> resolved_nodes() const;
+
+  /// Throws std::invalid_argument on an unusable card: empty id, bad
+  /// env, non-positive constraint, empty/duplicate/malformed nodes.
+  void validate() const;
+};
+
+/// The paper's deck: Table-2 nodes, bulk MOSFET at 300 K. Bitwise equal
+/// to scaling::paper_nodes() — the default card everywhere, so all
+/// pre-card goldens are unchanged.
+const TechnologyCard& paper_bulk_lstp();
+
+/// Recipe-derived 6-node deck (90nm .. 16nm) continuing the paper's
+/// scaling rules beyond Table 2.
+const TechnologyCard& bulk_lstp_extended();
+
+/// Hot corner of the paper deck: same nodes, 350 K.
+const TechnologyCard& paper_bulk_hot350();
+
+/// Gate-all-around nanowire deck on the paper's node geometry
+/// (R = 4 nm wires, compact-model backend #2; TCAD stays bulk-only).
+const TechnologyCard& nanowire_gaa();
+
+/// Ids of all builtin cards, in resolution order.
+std::vector<std::string> builtin_card_ids();
+
+/// Resolve an id-or-path: builtin ids first, then a JSON card file.
+/// Throws std::invalid_argument listing the builtin ids when neither
+/// matches.
+TechnologyCard resolve_card(const std::string& id_or_path);
+
+}  // namespace subscale::cards

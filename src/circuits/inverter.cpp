@@ -20,21 +20,21 @@ InverterDevices make_inverter(const compact::DeviceSpec& nfet_spec,
   }
   InverterDevices inv;
   inv.vdd = nfet_spec.vdd;
-  inv.nfet = std::make_shared<compact::CompactMosfet>(nfet_spec, calib);
+  inv.nfet = compact::make_device_model(nfet_spec, calib);
 
   compact::DeviceSpec pfet_spec = nfet_spec;
   pfet_spec.polarity = doping::Polarity::kPfet;
   // Probe the weak-inversion current ratio at equal width, then up-size
   // the PFET so the inverter's pull-up and pull-down I_o match.
-  const compact::CompactMosfet pfet_probe(pfet_spec, calib);
+  const auto pfet_probe = compact::make_device_model(pfet_spec, calib);
   const double v_probe = 0.15;  // deep subthreshold for any of our devices
   const double i_n = inv.nfet->drain_current(v_probe, v_probe);
-  const double i_p = pfet_probe.drain_current(v_probe, v_probe);
+  const double i_p = pfet_probe->drain_current(v_probe, v_probe);
   if (i_p <= 0.0 || i_n <= 0.0) {
     throw std::logic_error("make_inverter: non-positive probe current");
   }
   pfet_spec.width = nfet_spec.width * (i_n / i_p);
-  inv.pfet = std::make_shared<compact::CompactMosfet>(pfet_spec, calib);
+  inv.pfet = compact::make_device_model(pfet_spec, calib);
   return inv;
 }
 

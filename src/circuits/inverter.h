@@ -9,13 +9,13 @@
 
 #include <memory>
 
-#include "compact/mosfet.h"
+#include "compact/device_model.h"
 
 namespace subscale::circuits {
 
 struct InverterDevices {
-  std::shared_ptr<const compact::CompactMosfet> nfet;
-  std::shared_ptr<const compact::CompactMosfet> pfet;
+  std::shared_ptr<const compact::DeviceModel> nfet;
+  std::shared_ptr<const compact::DeviceModel> pfet;
   double vdd = 0.0;  ///< operating rail for this instance [V]
 
   /// FO1 load: the gate capacitance of an identical inverter [F].
@@ -48,7 +48,9 @@ struct InverterDevices {
 
 /// Build a balanced inverter from an NFET spec: the PFET copies geometry
 /// and doping, and its width is scaled by the weak-inversion N/P current
-/// ratio so that I_o,N = I_o,P.
+/// ratio so that I_o,N = I_o,P. Devices are built through
+/// compact::make_device_model, so the spec's backend kind selects the
+/// device physics (bulk MOSFET or nanowire GAA).
 InverterDevices make_inverter(const compact::DeviceSpec& nfet_spec,
                               const compact::Calibration& calib =
                                   compact::paper_calibration());

@@ -48,7 +48,7 @@ std::vector<NodeId> Circuit::free_nodes() const {
   return out;
 }
 
-void Circuit::add_mosfet(std::shared_ptr<const compact::CompactMosfet> model,
+void Circuit::add_mosfet(std::shared_ptr<const compact::DeviceModel> model,
                          NodeId drain, NodeId gate, NodeId source) {
   if (!model) {
     throw std::invalid_argument("Circuit::add_mosfet: null model");

@@ -14,7 +14,7 @@
 #include <string>
 #include <vector>
 
-#include "compact/mosfet.h"
+#include "compact/device_model.h"
 
 namespace subscale::circuits {
 
@@ -25,7 +25,7 @@ using NodeId = std::size_t;
 /// PFET) — body effect within a stack is not modelled, which is adequate
 /// for the paper's inverter-class circuits.
 struct MosfetInstance {
-  std::shared_ptr<const compact::CompactMosfet> model;
+  std::shared_ptr<const compact::DeviceModel> model;
   NodeId drain = 0;
   NodeId gate = 0;
   NodeId source = 0;
@@ -60,7 +60,7 @@ class Circuit {
   /// Indices of the free (solved) nodes, in creation order.
   std::vector<NodeId> free_nodes() const;
 
-  void add_mosfet(std::shared_ptr<const compact::CompactMosfet> model,
+  void add_mosfet(std::shared_ptr<const compact::DeviceModel> model,
                   NodeId drain, NodeId gate, NodeId source);
   void add_capacitor(NodeId a, NodeId b, double capacitance);
 

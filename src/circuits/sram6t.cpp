@@ -19,17 +19,17 @@ Sram6tCell make_sram_cell(const compact::DeviceSpec& nfet_spec,
   cell.vdd = nfet_spec.vdd;
 
   compact::DeviceSpec access_spec = nfet_spec;  // unit-width access
-  cell.access = std::make_shared<compact::CompactMosfet>(access_spec, calib);
+  cell.access = compact::make_device_model(access_spec, calib);
 
   compact::DeviceSpec pd_spec = nfet_spec;
   pd_spec.width = nfet_spec.width * cell_ratio;
-  cell.pull_down = std::make_shared<compact::CompactMosfet>(pd_spec, calib);
+  cell.pull_down = compact::make_device_model(pd_spec, calib);
 
   // Balanced PFET (as in make_inverter) scaled by the pull-up ratio.
   const InverterDevices inv = make_inverter(pd_spec, calib);
   compact::DeviceSpec pu_spec = inv.pfet->spec();
   pu_spec.width *= pullup_ratio;
-  cell.pull_up = std::make_shared<compact::CompactMosfet>(pu_spec, calib);
+  cell.pull_up = compact::make_device_model(pu_spec, calib);
   return cell;
 }
 

@@ -14,9 +14,9 @@ namespace subscale::circuits {
 /// Device complement of a 6T cell. The cell ratio (driver/access width
 /// ratio) and pull-up ratio are expressed through the specs' widths.
 struct Sram6tCell {
-  std::shared_ptr<const compact::CompactMosfet> pull_down;  ///< NFET
-  std::shared_ptr<const compact::CompactMosfet> pull_up;    ///< PFET
-  std::shared_ptr<const compact::CompactMosfet> access;     ///< NFET
+  std::shared_ptr<const compact::DeviceModel> pull_down;  ///< NFET
+  std::shared_ptr<const compact::DeviceModel> pull_up;    ///< PFET
+  std::shared_ptr<const compact::DeviceModel> access;     ///< NFET
   double vdd = 0.0;
 };
 

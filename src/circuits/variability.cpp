@@ -24,13 +24,13 @@ double MismatchModel::sigma_vth(const compact::DeviceSpec& spec) const {
 namespace {
 
 /// Rebuild a device model with a shifted threshold (the calibration's
-/// delta_vth is exactly an additive V_th term, so mismatch composes with
-/// it directly).
-std::shared_ptr<const compact::CompactMosfet> shifted(
-    const compact::CompactMosfet& base, double dvth) {
+/// delta_vth is exactly an additive V_th term on every backend, so
+/// mismatch composes with it directly, whatever the device physics).
+std::shared_ptr<const compact::DeviceModel> shifted(
+    const compact::DeviceModel& base, double dvth) {
   compact::Calibration calib = base.calibration();
   calib.delta_vth += dvth;
-  return std::make_shared<compact::CompactMosfet>(base.spec(), calib);
+  return base.with_calibration(calib);
 }
 
 }  // namespace

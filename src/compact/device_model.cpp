@@ -1,0 +1,55 @@
+#include "compact/device_model.h"
+
+#include <stdexcept>
+
+#include "compact/mosfet.h"
+#include "compact/nanowire.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace subscale::compact {
+
+DeviceModel::DeviceModel(DeviceSpec spec, const Calibration& calib)
+    : spec_(std::move(spec)), calib_(calib) {
+  spec_.validate();
+}
+
+double DeviceModel::vth_sat_extracted() const {
+  // Bisection for vgs where Id(vgs, vdd) = j_crit * W/Leff.
+  const double target = calib_.j_crit * spec_.width / spec_.geometry.leff();
+  double lo = -0.5;
+  double hi = spec_.vdd + 1.5;
+  if (drain_current(hi, spec_.vdd) < target) {
+    throw std::runtime_error(
+        "vth_sat_extracted: extraction current never reached");
+  }
+  for (int i = 0; i < 100; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (drain_current(mid, spec_.vdd) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double DeviceModel::intrinsic_delay() const {
+  return gate_capacitance() * spec_.vdd / ion();
+}
+
+std::shared_ptr<const DeviceModel> make_device_model(
+    const DeviceSpec& spec, const Calibration& calib) {
+  if (obs::MetricsRegistry* reg = obs::default_registry(); reg != nullptr) {
+    reg->counter(obs::names::kCardsBackendDispatches).add(1);
+  }
+  switch (spec.backend) {
+    case BackendKind::kBulkMosfet:
+      return std::make_shared<CompactMosfet>(spec, calib);
+    case BackendKind::kNanowireGaa:
+      return std::make_shared<NanowireFet>(spec, calib);
+  }
+  throw std::invalid_argument("make_device_model: unknown backend kind");
+}
+
+}  // namespace subscale::compact

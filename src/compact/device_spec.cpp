@@ -6,6 +6,37 @@
 
 namespace subscale::compact {
 
+const char* backend_kind_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kBulkMosfet:
+      return "bulk_mosfet";
+    case BackendKind::kNanowireGaa:
+      return "nanowire_gaa";
+  }
+  return "unknown";
+}
+
+bool parse_backend_kind(const std::string& name, BackendKind& out) {
+  if (name == "bulk_mosfet") {
+    out = BackendKind::kBulkMosfet;
+    return true;
+  }
+  if (name == "nanowire_gaa") {
+    out = BackendKind::kNanowireGaa;
+    return true;
+  }
+  return false;
+}
+
+void DeviceEnv::validate() const {
+  if (temperature <= 0.0) {
+    throw std::invalid_argument("DeviceEnv: temperature must be positive");
+  }
+  if (nw_radius_nm <= 0.0) {
+    throw std::invalid_argument("DeviceEnv: nw_radius_nm must be positive");
+  }
+}
+
 void DeviceSpec::validate() const {
   if (geometry.lpoly <= 0.0 || geometry.tox <= 0.0) {
     throw std::invalid_argument("DeviceSpec: lpoly and tox must be positive");
@@ -28,6 +59,17 @@ void DeviceSpec::validate() const {
   if (width <= 0.0) {
     throw std::invalid_argument("DeviceSpec: width must be positive");
   }
+  if (backend == BackendKind::kNanowireGaa && nw_radius <= 0.0) {
+    throw std::invalid_argument(
+        "DeviceSpec: nw_radius must be positive for the nanowire backend");
+  }
+}
+
+void DeviceSpec::apply_env(const DeviceEnv& env) {
+  env.validate();
+  backend = env.backend;
+  temperature = env.temperature;
+  nw_radius = units::nm(env.nw_radius_nm);
 }
 
 DeviceSpec make_spec_from_table(doping::Polarity polarity, double lpoly_nm,

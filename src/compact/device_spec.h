@@ -6,10 +6,46 @@
 /// N_sub and peak halo doping N_p,halo — plus V_dd. Geometry details
 /// (junction depth, halo straggles, overlaps) derive from the node's
 /// feature shrink via doping::MosfetGeometry.
+///
+/// Since the technology-card refactor a spec also names WHICH compact
+/// device physics interprets it: `backend` selects the planar-bulk
+/// MOSFET (the paper's device) or the cylindrical nanowire/GAA FET, and
+/// `nw_radius` carries the wire radius the nanowire backend needs. The
+/// environment knobs a card imposes uniformly on every device it builds
+/// (backend, temperature, wire radius) travel together as DeviceEnv.
+
+#include <string>
 
 #include "doping/mosfet_doping.h"
 
 namespace subscale::compact {
+
+/// Which compact device physics a spec is interpreted by. Values are
+/// part of the cache-key schema (cache/tcad_keys.h hashes the integer),
+/// so existing entries must never be renumbered.
+enum class BackendKind {
+  kBulkMosfet = 0,   ///< planar bulk MOSFET (the paper's device)
+  kNanowireGaa = 1,  ///< cylindrical gate-all-around nanowire FET
+};
+
+/// Canonical lowercase name ("bulk_mosfet" / "nanowire_gaa").
+const char* backend_kind_name(BackendKind kind);
+
+/// Parse a backend name; false (out untouched) on an unknown name.
+bool parse_backend_kind(const std::string& name, BackendKind& out);
+
+/// Device-environment knobs a technology card applies uniformly to
+/// every spec it instantiates. Defaults reproduce the paper's setup
+/// exactly (bulk device at room temperature), so a default-constructed
+/// env is always bitwise-neutral.
+struct DeviceEnv {
+  BackendKind backend = BackendKind::kBulkMosfet;
+  double temperature = 300.0;  ///< lattice temperature [K]
+  double nw_radius_nm = 4.0;   ///< nanowire radius [nm] (GAA backend only)
+
+  /// Throws std::invalid_argument naming the offending field.
+  void validate() const;
+};
 
 /// A fully specified transistor at some technology node.
 struct DeviceSpec {
@@ -19,9 +55,16 @@ struct DeviceSpec {
   double vdd = 1.2;            ///< nominal supply [V]
   double temperature = 300.0;  ///< lattice temperature [K]
   double width = 1e-6;         ///< reference gate width [m]
+  /// Which device physics interprets this spec (see BackendKind).
+  BackendKind backend = BackendKind::kBulkMosfet;
+  /// Nanowire radius [m]; ignored by the bulk backend.
+  double nw_radius = 4e-9;
 
   /// Validate invariants; throws std::invalid_argument on violation.
   void validate() const;
+
+  /// Copy the card-level environment knobs into this spec.
+  void apply_env(const DeviceEnv& env);
 
   /// Effective channel doping N_eff [m^-3] (substrate + averaged halo) at
   /// unit halo weight. Model code should prefer the calibrated overload

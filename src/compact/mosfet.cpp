@@ -18,8 +18,7 @@ double softplus(double x) {
 }
 
 CompactMosfet::CompactMosfet(DeviceSpec spec, const Calibration& calib)
-    : spec_(std::move(spec)), calib_(calib) {
-  spec_.validate();
+    : DeviceModel(std::move(spec), calib) {
   neff_ = spec_.effective_channel_doping(calib_.k_halo);
   wdep_ = depletion_width_at_threshold(neff_, spec_.temperature);
   ss_ = compact::subthreshold_swing(neff_, spec_.geometry.tox,
@@ -28,6 +27,11 @@ CompactMosfet::CompactMosfet(DeviceSpec spec, const Calibration& calib)
   n_ = slope_factor_from_swing(ss_, spec_.temperature);
   cox_ = physics::oxide_capacitance(spec_.geometry.tox);
   vt_ = physics::thermal_voltage(spec_.temperature);
+}
+
+std::shared_ptr<const DeviceModel> CompactMosfet::with_calibration(
+    const Calibration& calib) const {
+  return std::make_shared<CompactMosfet>(spec_, calib);
 }
 
 double CompactMosfet::vth_long() const {
@@ -91,31 +95,6 @@ double CompactMosfet::drain_current(double vgs, double vds) const {
                                  (2.0 * vsat * spec_.geometry.leff());
 
   return sign * specific_current(vgs) * i_norm / denom;
-}
-
-double CompactMosfet::vth_sat_extracted() const {
-  // Bisection for vgs where Id(vgs, vdd) = j_crit * W/Leff.
-  const double target =
-      calib_.j_crit * spec_.width / spec_.geometry.leff();
-  double lo = -0.5;
-  double hi = spec_.vdd + 1.5;
-  if (drain_current(hi, spec_.vdd) < target) {
-    throw std::runtime_error(
-        "vth_sat_extracted: extraction current never reached");
-  }
-  for (int i = 0; i < 100; ++i) {
-    const double mid = 0.5 * (lo + hi);
-    if (drain_current(mid, spec_.vdd) < target) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi);
-}
-
-double CompactMosfet::intrinsic_delay() const {
-  return gate_capacitance() * spec_.vdd / ion();
 }
 
 }  // namespace subscale::compact

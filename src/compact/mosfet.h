@@ -6,13 +6,15 @@
 /// the V_th decomposition of Sec. 2.2, an EKV-style interpolation for the
 /// super-threshold region (needed for the nominal-V_dd points of Figs. 3
 /// and 5 and Table 2's C_g V_dd/I_on metric) and a Caughey–Thomas
-/// velocity-saturation correction.
+/// velocity-saturation correction. Backend #1 of the DeviceModel
+/// interface (compact/device_model.h) and the default everywhere.
 ///
 /// The model is polarity-agnostic: it computes source-referenced
 /// *magnitudes* (an NFET's I_d(V_gs, V_ds) or a PFET's I_d(V_sg, V_sd));
 /// the circuit layer applies signs. Currents scale with spec.width.
 
 #include "compact/calibration.h"
+#include "compact/device_model.h"
 #include "compact/device_spec.h"
 
 namespace subscale::compact {
@@ -20,64 +22,44 @@ namespace subscale::compact {
 /// Numerically safe softplus ln(1 + e^x), the EKV interpolation kernel.
 double softplus(double x);
 
-class CompactMosfet {
+class CompactMosfet final : public DeviceModel {
  public:
   /// \param spec   fully specified device (validated on construction)
   /// \param calib  calibration constants (default: fit to the paper)
   explicit CompactMosfet(DeviceSpec spec,
                          const Calibration& calib = paper_calibration());
 
-  const DeviceSpec& spec() const { return spec_; }
-  const Calibration& calibration() const { return calib_; }
+  // ---- DeviceModel contract ----------------------------------------
 
-  // ---- derived device quantities -----------------------------------
+  BackendKind backend() const override { return BackendKind::kBulkMosfet; }
+  double drain_current(double vgs, double vds) const override;
+  /// Inverse subthreshold slope S_S [V/dec] (Eq. 2b).
+  double subthreshold_swing() const override { return ss_; }
+  /// Slope factor m = S_S/(vT ln 10).
+  double slope_factor() const override { return n_; }
+  /// Threshold magnitude at drain bias vds [V] (model parameter).
+  double vth(double vds) const override;
+  /// Total gate capacitance C_g = W (C_ox L_poly + 2 (C_ox l_ov + C_fr)) [F].
+  double gate_capacitance() const override;
+  std::shared_ptr<const DeviceModel> with_calibration(
+      const Calibration& calib) const override;
+
+  // ---- bulk-specific derived quantities -----------------------------
 
   /// Effective channel doping N_eff [m^-3].
   double neff() const { return neff_; }
   /// Depletion width at threshold [m].
   double wdep() const { return wdep_; }
-  /// Inverse subthreshold slope S_S [V/dec] (Eq. 2b).
-  double subthreshold_swing() const { return ss_; }
-  /// Slope factor m = S_S/(vT ln 10).
-  double slope_factor() const { return n_; }
   /// Long-channel threshold (no SCE/DIBL) [V].
   double vth_long() const;
-  /// Threshold magnitude at drain bias vds [V] (model parameter).
-  double vth(double vds) const;
-  /// Saturation threshold V_th(V_ds = V_dd) [V] (model parameter).
-  double vth_sat() const { return vth(spec_.vdd); }
-  /// Constant-current extracted threshold at V_ds = V_dd [V]; this is what
-  /// Table 2's V_th,sat column reports (extraction current density set by
-  /// calibration j_crit, per W/L_eff square).
-  double vth_sat_extracted() const;
   /// Oxide capacitance per area [F/m^2].
   double cox() const { return cox_; }
-  /// Total gate capacitance C_g = W (C_ox L_poly + 2 (C_ox l_ov + C_fr)) [F].
-  double gate_capacitance() const;
   /// Effective mobility at gate bias vgs [m^2/Vs].
   double mu_eff(double vgs) const;
   /// EKV specific current at gate bias vgs [A].
   double specific_current(double vgs) const;
 
-  // ---- currents (magnitudes) ----------------------------------------
-
-  /// Drain current at (vgs, vds) [A]. Valid in all regions; antisymmetric
-  /// in vds for small reverse bias (keeps circuit Newton well-behaved).
-  double drain_current(double vgs, double vds) const;
-
-  /// Off current I_off = I_d(0, V_dd) [A].
-  double ioff() const { return drain_current(0.0, spec_.vdd); }
-  /// On current I_on = I_d(V_dd, V_dd) [A].
-  double ion() const { return drain_current(spec_.vdd, spec_.vdd); }
-  /// On current at a reduced rail: I_d(v, v) [A] (paper's 250 mV points).
-  double ion_at(double v) const { return drain_current(v, v); }
-
-  /// Intrinsic delay C_g V_dd / I_on [s] (Table 2's figure of merit).
-  double intrinsic_delay() const;
-
  private:
-  DeviceSpec spec_;
-  Calibration calib_;
   double neff_ = 0.0;
   double wdep_ = 0.0;
   double ss_ = 0.0;

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cards/technology_card.h"
 #include "circuits/inverter.h"
 #include "compact/calibration.h"
 #include "exec/run_context.h"
@@ -20,6 +21,12 @@
 namespace subscale::core {
 
 struct StudyOptions {
+  /// The technology deck: node list, device backend, temperature, and
+  /// the sub-V_th leakage anchor. The default reproduces the paper's
+  /// deck bitwise (it IS scaling::paper_nodes()). The card's env and
+  /// leakage anchor are folded into super/sub at construction unless
+  /// the caller already overrode those fields explicitly.
+  cards::TechnologyCard card = cards::paper_bulk_lstp();
   scaling::SuperVthOptions super;
   scaling::SubVthOptions sub;
   double vdd_subthreshold = 0.25;  ///< the paper's sub-V_th test supply [V]
@@ -58,7 +65,7 @@ struct TcadValidationOptions {
 /// `error` is non-empty when the device could not even reach a solved
 /// equilibrium (the whole node is then skipped, not the study).
 struct TcadNodeValidation {
-  std::size_t node = 0;     ///< index into paper_nodes()
+  std::size_t node = 0;     ///< index into the card's node list
   double lpoly_nm = 0.0;    ///< the designed gate length
   std::string error;        ///< construction/equilibrium failure, if any
   std::vector<tcad::IdVgPoint> sweep;
@@ -77,10 +84,9 @@ class ScalingStudy {
   const compact::Calibration& calibration() const { return calib_; }
   const StudyOptions& options() const { return options_; }
 
-  std::size_t node_count() const { return scaling::paper_nodes().size(); }
-  const scaling::NodeInput& node(std::size_t i) const {
-    return scaling::paper_nodes()[i];
-  }
+  std::size_t node_count() const { return nodes_.size(); }
+  const scaling::NodeInput& node(std::size_t i) const { return nodes_.at(i); }
+  const std::vector<scaling::NodeInput>& nodes() const { return nodes_; }
 
   /// Designed devices (lazily computed once; safe to call from many
   /// threads — initialization is guarded by std::call_once).
@@ -104,6 +110,7 @@ class ScalingStudy {
  private:
   compact::Calibration calib_;
   StudyOptions options_;
+  std::vector<scaling::NodeInput> nodes_;  ///< card's resolved node list
   mutable std::once_flag super_once_;
   mutable std::once_flag sub_once_;
   mutable std::vector<scaling::DesignedDevice> super_;

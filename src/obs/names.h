@@ -91,6 +91,13 @@ inline constexpr const char* kOrchReassigned = "orch.reassigned";
 inline constexpr const char* kOrchPoisoned = "orch.poisoned";
 inline constexpr const char* kOrchWorkerRestarts = "orch.worker_restarts";
 
+// cards layer — technology-deck traffic: card JSON loads and compact
+// device-backend factory dispatches (make_device_model). Both are
+// deterministic for a given study shape at any thread count.
+inline constexpr const char* kCardsLoads = "cards.loads";
+inline constexpr const char* kCardsBackendDispatches =
+    "cards.backend_dispatches";
+
 // obs layer — span-profiler export tallies (bumped once at export time
 // so every BENCH record says how many spans its trace carries; zero
 // when profiling is off)
@@ -112,7 +119,8 @@ inline void preregister_standard(MetricsRegistry& registry) {
         kStudyNodeErrors, kStudySweepPointFailures, kCacheHit, kCacheMiss,
         kCacheStore, kCacheEvict, kCacheWarmstart, kCacheCorrupt,
         kOrchUnitsTotal, kOrchClaimed, kOrchCompleted, kOrchReassigned,
-        kOrchPoisoned, kOrchWorkerRestarts, kProfilerSpans,
+        kOrchPoisoned, kOrchWorkerRestarts, kCardsLoads,
+        kCardsBackendDispatches, kProfilerSpans,
         kProfilerSpansDropped}) {
     registry.counter(name);
   }

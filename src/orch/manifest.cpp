@@ -6,6 +6,7 @@
 
 #include "cache/lease.h"
 #include "cache/tcad_keys.h"
+#include "cards/technology_card.h"
 #include "io/json_parse.h"
 #include "io/writer.h"
 #include "scaling/technology.h"
@@ -34,6 +35,7 @@ void StudySpec::validate() const {
   const auto fail = [](const char* msg) {
     throw std::invalid_argument(std::string("StudySpec: ") + msg);
   };
+  if (card.empty()) fail("card must not be empty");
   if (strategies.empty()) fail("strategies must not be empty");
   if (vds.empty()) fail("vds must not be empty");
   if (points < 2) fail("points must be >= 2");
@@ -44,6 +46,7 @@ void StudySpec::validate() const {
 cache::HashKey unit_result_key(const compact::DeviceSpec& spec,
                                const tcad::MeshOptions& mesh,
                                const tcad::GummelOptions& gummel,
+                               const std::string& card,
                                core::Strategy strategy, std::size_t node,
                                double vd, double vg_start, double vg_stop,
                                std::size_t points) {
@@ -53,9 +56,16 @@ cache::HashKey unit_result_key(const compact::DeviceSpec& spec,
   cache::KeyHasher h(sweep);
   h.tag("subscale.orch.unit")
       .u64(kOrchKeySchema)
+      .str(card)
       .str(strategy_name(strategy))
       .u64(node);
   return h.key();
+}
+
+core::StudyOptions study_options_for(const StudySpec& spec) {
+  core::StudyOptions options;
+  options.card = cards::resolve_card(spec.card);
+  return options;
 }
 
 Manifest build_manifest(const StudySpec& spec,
@@ -87,7 +97,7 @@ Manifest build_manifest(const StudySpec& spec,
         unit.node = node;
         unit.vd = vd;
         unit.result_key = unit_result_key(
-            device, spec.mesh, spec.gummel, strategy, node, vd,
+            device, spec.mesh, spec.gummel, spec.card, strategy, node, vd,
             spec.vg_start, spec.vg_stop, spec.points);
         manifest.units.push_back(unit);
       }
@@ -97,7 +107,8 @@ Manifest build_manifest(const StudySpec& spec,
 }
 
 Manifest build_manifest(const StudySpec& spec) {
-  const core::ScalingStudy study;
+  const core::ScalingStudy study(compact::paper_calibration(),
+                                 study_options_for(spec));
   return build_manifest(spec, study);
 }
 
@@ -238,6 +249,8 @@ std::string manifest_to_json(const Manifest& manifest) {
   w.value(static_cast<std::uint64_t>(manifest.version));
   w.key("spec");
   w.begin_object();
+  w.key("card");
+  w.value(manifest.spec.card);
   w.key("strategies");
   w.begin_array();
   for (const core::Strategy s : manifest.spec.strategies) {
@@ -308,6 +321,8 @@ bool load_manifest(const std::string& path, Manifest& out,
 
   const io::JsonPtr spec = doc->get("spec");
   if (spec == nullptr) return fail("missing spec");
+  out.spec.card = spec->string_at("card");
+  if (out.spec.card.empty()) return fail("spec.card missing or empty");
   out.spec.strategies.clear();
   if (const io::JsonPtr arr = spec->get("strategies"); arr != nullptr) {
     for (const io::JsonPtr& item : arr->items()) {

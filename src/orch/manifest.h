@@ -35,12 +35,14 @@ namespace subscale::orch {
 
 /// Bump when the manifest JSON layout or the unit-key derivation
 /// changes meaning; a loader rejects unknown versions.
-inline constexpr std::uint64_t kManifestVersion = 1;
+/// v2: the spec carries a technology-card id.
+inline constexpr std::uint64_t kManifestVersion = 2;
 
 /// Key-schema version folded into every unit result key (mirrors
 /// cache::kTcadKeySchema's role: bump = old records stop being asked
 /// for).
-inline constexpr std::uint64_t kOrchKeySchema = 1;
+/// v2: the card id joins the provenance fields.
+inline constexpr std::uint64_t kOrchKeySchema = 2;
 
 const char* strategy_name(core::Strategy strategy);
 bool parse_strategy(const std::string& name, core::Strategy& out);
@@ -50,8 +52,13 @@ bool parse_strategy(const std::string& name, core::Strategy& out);
 /// discretized problem (GummelOptions::fault is deliberately not
 /// serialized — process-level chaos replaces in-process faults here).
 struct StudySpec {
+  /// Technology card id (builtin) or card-file path; resolved through
+  /// cards::resolve_card when the study is built, and part of every
+  /// unit's result key — the same grid on two decks never shares
+  /// records.
+  std::string card = "paper_bulk_lstp";
   std::vector<core::Strategy> strategies{core::Strategy::kSuperVth};
-  std::vector<std::size_t> nodes;  ///< indices into paper_nodes(); empty = all
+  std::vector<std::size_t> nodes;  ///< indices into the card's nodes; empty = all
   std::vector<double> vds{0.25};   ///< drain biases, one sweep per entry
   double vg_start = 0.0;
   double vg_stop = 0.45;
@@ -68,7 +75,7 @@ struct StudySpec {
 struct WorkUnit {
   std::size_t index = 0;  ///< position in the manifest (display/lease id)
   core::Strategy strategy = core::Strategy::kSuperVth;
-  std::size_t node = 0;   ///< index into paper_nodes()
+  std::size_t node = 0;   ///< index into the card's node list
   double vd = 0.25;
   cache::HashKey result_key{};  ///< where the UnitResult publishes
 };
@@ -86,17 +93,26 @@ struct Manifest {
 cache::HashKey unit_result_key(const compact::DeviceSpec& spec,
                                const tcad::MeshOptions& mesh,
                                const tcad::GummelOptions& gummel,
+                               const std::string& card,
                                core::Strategy strategy, std::size_t node,
                                double vd, double vg_start, double vg_stop,
                                std::size_t points);
 
+/// Study options matching the spec: the spec's card resolved through
+/// cards::resolve_card (throws on an unknown id/path). Every process of
+/// a run builds its study through this so they agree on the deck.
+core::StudyOptions study_options_for(const StudySpec& spec);
+
 /// Expand the spec's grid into units, designing the devices (through
 /// `study`, so the design cache is honored) to derive each result key.
-/// Node indices out of range throw std::out_of_range.
+/// The study must have been built on the spec's card (see
+/// study_options_for). Node indices out of range throw
+/// std::out_of_range.
 Manifest build_manifest(const StudySpec& spec,
                         const core::ScalingStudy& study);
 
-/// Convenience: build with a default study on the paper calibration.
+/// Convenience: build with a spec-matched study on the paper
+/// calibration.
 Manifest build_manifest(const StudySpec& spec);
 
 /// JSON round-trip. save_manifest publishes by atomic rename and

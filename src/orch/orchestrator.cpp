@@ -187,7 +187,8 @@ StudyResult run_study(const Manifest& manifest, const OrchOptions& options) {
 
   if (remaining > 0 && options.workers == 0) {
     // ---- serial reference mode ---------------------------------------------
-    const core::ScalingStudy study;
+    const core::ScalingStudy study(compact::paper_calibration(),
+                                   study_options_for(manifest.spec));
     exec::RunContext ctx = options.run;
     ctx.exec = exec::ExecPolicy::serial();
     ctx.cache = &cache;

@@ -142,7 +142,8 @@ int worker_main(const Manifest& manifest, const WorkerOptions& options) {
   ctx.exec = exec::ExecPolicy::serial();
   ctx.cache = &cache;
 
-  const core::ScalingStudy study;
+  const core::ScalingStudy study(compact::paper_calibration(),
+                                 study_options_for(manifest.spec));
   std::size_t claimed = 0;
 
   // Scan until a full pass claims nothing: then every unit is either

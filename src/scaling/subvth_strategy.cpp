@@ -4,7 +4,7 @@
 #include <stdexcept>
 
 #include "cache/study_keys.h"
-#include "compact/mosfet.h"
+#include "compact/device_model.h"
 #include "compact/vth_model.h"
 #include "exec/parallel.h"
 #include "opt/bisection.h"
@@ -20,11 +20,11 @@ namespace u = subscale::units;
 
 double ioff_at(const NodeInput& node, double lpoly_nm,
                const doping::MosfetDopingLevels& levels, double vds_ref,
-               const compact::Calibration& calib) {
+               const compact::Calibration& calib,
+               const compact::DeviceEnv& env) {
   const compact::DeviceSpec spec =
-      make_node_spec(node, lpoly_nm, levels, vds_ref);
-  const compact::CompactMosfet fet(spec, calib);
-  return fet.ioff();  // V_gs = 0, V_ds = vds_ref
+      make_node_spec(node, lpoly_nm, levels, vds_ref, env);
+  return compact::make_device_model(spec, calib)->ioff();
 }
 
 }  // namespace
@@ -46,8 +46,8 @@ compact::DeviceSpec optimize_subvth_doping(const NodeInput& node,
       doping::MosfetDopingLevels trial = levels;
       trial.nsub = nsub;
       trial.np_halo = ratio * nsub;
-      return std::log(
-          ioff_at(node, lpoly_nm, trial, options.vds_ref, calib));
+      return std::log(ioff_at(node, lpoly_nm, trial, options.vds_ref, calib,
+                              options.env));
     };
     const auto scale_root = opt::solve_monotone_log(
         leak_of_scale, std::log(ioff_target), levels.nsub, u::per_cm3(3e16),
@@ -59,12 +59,21 @@ compact::DeviceSpec optimize_subvth_doping(const NodeInput& node,
     levels.nsub = scale_root.x;
     levels.np_halo = ratio * levels.nsub;
 
-    // (b) Split from the flat-roll-off condition dV_halo = dV_SCE.
+    // (b) Split from the flat-roll-off condition dV_halo = dV_SCE. The
+    // halo/SCE decomposition is a bulk concept (threshold_components
+    // models a planar depletion charge); on a non-bulk backend the
+    // electrostatics are gate-all-around and halos buy nothing, so the
+    // co-optimization solves the I_off scale only with np_halo = 0.
+    if (options.env.backend != compact::BackendKind::kBulkMosfet) {
+      levels.np_halo = 0.0;
+      ratio = 0.0;
+      continue;
+    }
     const auto flatness = [&](double np) {
       doping::MosfetDopingLevels trial = levels;
       trial.np_halo = np;
       const compact::DeviceSpec spec =
-          make_node_spec(node, lpoly_nm, trial, options.vds_ref);
+          make_node_spec(node, lpoly_nm, trial, options.vds_ref, options.env);
       const auto c =
           compact::threshold_components(spec, calib, options.vds_ref);
       return c.dvth_halo - c.dvth_sce;
@@ -84,7 +93,7 @@ compact::DeviceSpec optimize_subvth_doping(const NodeInput& node,
     ratio = levels.np_halo / levels.nsub;
   }
 
-  return make_node_spec(node, lpoly_nm, levels, options.vds_ref);
+  return make_node_spec(node, lpoly_nm, levels, options.vds_ref, options.env);
 }
 
 namespace {
@@ -92,7 +101,7 @@ namespace {
 /// The circuit load C_L of Eqs. 6/8: device gate capacitance plus the
 /// per-stage wire/junction load (which scales with the node's features,
 /// not with the transistor's gate length).
-double circuit_load(const compact::CompactMosfet& fet,
+double circuit_load(const compact::DeviceModel& fet,
                     const compact::Calibration& calib) {
   return fet.gate_capacitance() + calib.c_wire *
                                       fet.spec().geometry.feature_shrink *
@@ -103,15 +112,15 @@ double circuit_load(const compact::CompactMosfet& fet,
 
 double energy_factor(const compact::DeviceSpec& spec,
                      const compact::Calibration& calib) {
-  const compact::CompactMosfet fet(spec, calib);
-  const double ss = fet.subthreshold_swing();
-  return circuit_load(fet, calib) * ss * ss;
+  const auto fet = compact::make_device_model(spec, calib);
+  const double ss = fet->subthreshold_swing();
+  return circuit_load(*fet, calib) * ss * ss;
 }
 
 double delay_factor(const compact::DeviceSpec& spec,
                     const compact::Calibration& calib) {
-  const compact::CompactMosfet fet(spec, calib);
-  return circuit_load(fet, calib) * fet.subthreshold_swing() / fet.ioff();
+  const auto fet = compact::make_device_model(spec, calib);
+  return circuit_load(*fet, calib) * fet->subthreshold_swing() / fet->ioff();
 }
 
 SubVthDevice design_subvth_device(const NodeInput& node,
@@ -149,21 +158,28 @@ SubVthDevice design_subvth_device(const NodeInput& node,
   out.energy_factor_raw = energy_factor(out.device.spec, calib);
   out.delay_factor_raw = delay_factor(out.device.spec, calib);
 
-  const compact::CompactMosfet fet(out.device.spec, calib);
+  const auto fet = compact::make_device_model(out.device.spec, calib);
   out.device.nsub_cm3 = u::to_per_cm3(out.device.spec.levels.nsub);
   out.device.nhalo_net_cm3 = u::to_per_cm3(out.device.spec.levels.nsub +
                                            out.device.spec.levels.np_halo);
-  out.device.vth_sat_mv = u::to_mV(fet.vth(options.vds_ref));
+  out.device.vth_sat_mv = u::to_mV(fet->vth(options.vds_ref));
   out.device.ioff_pa_um =
-      u::to_pA_per_um(fet.ioff() / out.device.spec.width);
-  out.device.ss_mv_dec = fet.subthreshold_swing() * 1e3;
-  out.device.tau_ps = u::to_ps(fet.intrinsic_delay());
+      u::to_pA_per_um(fet->ioff() / out.device.spec.width);
+  out.device.ss_mv_dec = fet->subthreshold_swing() * 1e3;
+  out.device.tau_ps = u::to_ps(fet->intrinsic_delay());
   return out;
 }
 
 std::vector<SubVthDevice> subvth_roadmap(const SubVthOptions& options,
                                          const compact::Calibration& calib) {
   const auto& nodes = paper_nodes();
+  return subvth_roadmap(std::vector<NodeInput>(nodes.begin(), nodes.end()),
+                        options, calib);
+}
+
+std::vector<SubVthDevice> subvth_roadmap(const std::vector<NodeInput>& nodes,
+                                         const SubVthOptions& options,
+                                         const compact::Calibration& calib) {
   return exec::values_or_throw(exec::parallel_map<SubVthDevice>(
       nodes.size(),
       [&](std::size_t i) {

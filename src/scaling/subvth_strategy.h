@@ -33,6 +33,12 @@ struct SubVthOptions {
   double lpoly_max_factor = 3.5;  ///< search L_poly in [min, factor*min]
   std::size_t lpoly_scan_points = 17;
   std::size_t split_iterations = 5;  ///< scale/split fixed-point sweeps
+  /// Card-level device environment (backend kind, temperature, wire
+  /// radius); the default reproduces the paper's bulk-at-300K setup
+  /// bitwise. On a non-bulk backend the halo-split flatness condition
+  /// is a bulk-specific concept, so the doping co-optimization solves
+  /// the I_off scale only (np_halo stays 0) — GAA wires need no halos.
+  compact::DeviceEnv env{};
   /// Fan-out policy for the independent design candidates: the L_poly
   /// scan grid inside design_subvth_device (each candidate runs its own
   /// doping co-optimization) and the nodes of subvth_roadmap. Results
@@ -88,6 +94,12 @@ SubVthDevice design_subvth_device(
 /// The full roadmap (Table 3 equivalent).
 std::vector<SubVthDevice> subvth_roadmap(
     const SubVthOptions& options = {},
+    const compact::Calibration& calib = compact::paper_calibration());
+
+/// The roadmap over an explicit node list (a technology card's resolved
+/// nodes). The default overload above is exactly this on paper_nodes().
+std::vector<SubVthDevice> subvth_roadmap(
+    const std::vector<NodeInput>& nodes, const SubVthOptions& options = {},
     const compact::Calibration& calib = compact::paper_calibration());
 
 }  // namespace subscale::scaling

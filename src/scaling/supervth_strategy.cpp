@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "compact/mosfet.h"
+#include "compact/device_model.h"
 #include "exec/parallel.h"
 #include "opt/bisection.h"
 #include "physics/units.h"
@@ -17,16 +17,14 @@ namespace u = subscale::units;
 /// I_off [A] of the device assembled from the node + doping choice, with
 /// the gate length overridden (long- vs short-channel probes).
 double ioff_of(const NodeInput& node, double lpoly_nm, double nsub,
-               double np_halo, const compact::Calibration& calib) {
-  compact::DeviceSpec spec;
-  spec.polarity = doping::Polarity::kNfet;
-  spec.geometry = doping::MosfetGeometry::scaled(
-      u::nm(lpoly_nm), u::nm(node.tox_nm), node.feature_shrink);
-  spec.levels.nsub = nsub;
-  spec.levels.np_halo = np_halo;
-  spec.vdd = node.vdd;
-  const compact::CompactMosfet fet(spec, calib);
-  return fet.ioff();
+               double np_halo, const compact::Calibration& calib,
+               const compact::DeviceEnv& env) {
+  doping::MosfetDopingLevels levels;
+  levels.nsub = nsub;
+  levels.np_halo = np_halo;
+  const compact::DeviceSpec spec =
+      make_node_spec(node, lpoly_nm, levels, node.vdd, env);
+  return compact::make_device_model(spec, calib)->ioff();
 }
 
 }  // namespace
@@ -39,7 +37,7 @@ DesignedDevice design_supervth_device(const NodeInput& node,
   // Step 1: substrate doping from the long-channel device (no halo).
   const double long_lpoly = options.long_channel_factor * node.lpoly_nm;
   const auto long_leak = [&](double nsub) {
-    return std::log(ioff_of(node, long_lpoly, nsub, 0.0, calib));
+    return std::log(ioff_of(node, long_lpoly, nsub, 0.0, calib, options.env));
   };
   const auto nsub_root = opt::solve_monotone_log(
       long_leak, std::log(ioff_target), u::per_cm3(1.5e18),
@@ -53,9 +51,11 @@ DesignedDevice design_supervth_device(const NodeInput& node,
   // Step 2: halo doping from the short-channel device. If the minimum
   // device already meets the cap without halo, none is needed.
   double np_halo = 0.0;
-  if (ioff_of(node, node.lpoly_nm, nsub, 0.0, calib) > ioff_target) {
+  if (ioff_of(node, node.lpoly_nm, nsub, 0.0, calib, options.env) >
+      ioff_target) {
     const auto short_leak = [&](double np) {
-      return std::log(ioff_of(node, node.lpoly_nm, nsub, np, calib));
+      return std::log(
+          ioff_of(node, node.lpoly_nm, nsub, np, calib, options.env));
     };
     const auto np_root = opt::solve_monotone_log(
         short_leak, std::log(ioff_target), nsub, u::per_cm3(1e15),
@@ -69,27 +69,32 @@ DesignedDevice design_supervth_device(const NodeInput& node,
 
   DesignedDevice out;
   out.node = node;
-  out.spec.polarity = doping::Polarity::kNfet;
-  out.spec.geometry = doping::MosfetGeometry::scaled(
-      u::nm(node.lpoly_nm), u::nm(node.tox_nm), node.feature_shrink);
-  out.spec.levels.nsub = nsub;
-  out.spec.levels.np_halo = np_halo;
-  out.spec.vdd = node.vdd;
-  out.spec.validate();
+  doping::MosfetDopingLevels levels;
+  levels.nsub = nsub;
+  levels.np_halo = np_halo;
+  out.spec = make_node_spec(node, node.lpoly_nm, levels, node.vdd,
+                            options.env);
 
-  const compact::CompactMosfet fet(out.spec, calib);
+  const auto fet = compact::make_device_model(out.spec, calib);
   out.nsub_cm3 = u::to_per_cm3(nsub);
   out.nhalo_net_cm3 = u::to_per_cm3(nsub + np_halo);
-  out.vth_sat_mv = u::to_mV(fet.vth_sat_extracted());
-  out.ioff_pa_um = u::to_pA_per_um(fet.ioff() / out.spec.width);
-  out.ss_mv_dec = fet.subthreshold_swing() * 1e3;
-  out.tau_ps = u::to_ps(fet.intrinsic_delay());
+  out.vth_sat_mv = u::to_mV(fet->vth_sat_extracted());
+  out.ioff_pa_um = u::to_pA_per_um(fet->ioff() / out.spec.width);
+  out.ss_mv_dec = fet->subthreshold_swing() * 1e3;
+  out.tau_ps = u::to_ps(fet->intrinsic_delay());
   return out;
 }
 
 std::vector<DesignedDevice> supervth_roadmap(
     const compact::Calibration& calib, const SuperVthOptions& options) {
   const auto& nodes = paper_nodes();
+  return supervth_roadmap(
+      std::vector<NodeInput>(nodes.begin(), nodes.end()), calib, options);
+}
+
+std::vector<DesignedDevice> supervth_roadmap(
+    const std::vector<NodeInput>& nodes, const compact::Calibration& calib,
+    const SuperVthOptions& options) {
   return exec::values_or_throw(exec::parallel_map<DesignedDevice>(
       nodes.size(),
       [&](std::size_t i) {

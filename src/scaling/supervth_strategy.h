@@ -37,6 +37,10 @@ struct SuperVthOptions {
   double nsub_lo_cm3 = 5e16;  ///< doping search window
   double nsub_hi_cm3 = 5e19;
   double long_channel_factor = 6.0;  ///< "long" device: this x L_poly
+  /// Card-level device environment: backend kind, temperature, wire
+  /// radius. The default is the paper's bulk-at-300K setup (bitwise
+  /// neutral); a technology card folds its env in here.
+  compact::DeviceEnv env{};
   /// Roadmap fan-out: each node's design runs as its own task
   /// (deterministic — node designs are independent and pure).
   exec::ExecPolicy exec{};
@@ -50,6 +54,14 @@ DesignedDevice design_supervth_device(
 
 /// The whole roadmap (Table 2 equivalent), 90nm -> 32nm.
 std::vector<DesignedDevice> supervth_roadmap(
+    const compact::Calibration& calib = compact::paper_calibration(),
+    const SuperVthOptions& options = {});
+
+/// The roadmap over an explicit node list (a technology card's resolved
+/// nodes). The default-roadmap overload above is exactly this on
+/// paper_nodes().
+std::vector<DesignedDevice> supervth_roadmap(
+    const std::vector<NodeInput>& nodes,
     const compact::Calibration& calib = compact::paper_calibration(),
     const SuperVthOptions& options = {});
 

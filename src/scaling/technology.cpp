@@ -21,7 +21,13 @@ const NodeInput& node_by_name(const std::string& name) {
   for (const NodeInput& node : paper_nodes()) {
     if (node.name == name) return node;
   }
-  throw std::invalid_argument("node_by_name: unknown node '" + name + "'");
+  std::string known;
+  for (const NodeInput& node : paper_nodes()) {
+    if (!known.empty()) known += ", ";
+    known += node.name;
+  }
+  throw std::invalid_argument("node_by_name: unknown node '" + name +
+                              "' (known nodes: " + known + ")");
 }
 
 NodeInput extrapolate_node(int generation) {
@@ -48,7 +54,8 @@ NodeInput extrapolate_node(int generation) {
 
 compact::DeviceSpec make_node_spec(const NodeInput& node, double lpoly_nm,
                                    const doping::MosfetDopingLevels& levels,
-                                   double vdd) {
+                                   double vdd,
+                                   const compact::DeviceEnv& env) {
   namespace u = subscale::units;
   compact::DeviceSpec spec;
   spec.polarity = doping::Polarity::kNfet;
@@ -56,6 +63,7 @@ compact::DeviceSpec make_node_spec(const NodeInput& node, double lpoly_nm,
       u::nm(lpoly_nm), u::nm(node.tox_nm), node.feature_shrink);
   spec.levels = levels;
   spec.vdd = vdd;
+  spec.apply_env(env);
   spec.validate();
   return spec;
 }

@@ -26,7 +26,8 @@ struct NodeInput {
 /// The four nodes of the study (Table 2's headers and constraints).
 const std::array<NodeInput, 4>& paper_nodes();
 
-/// A node by name ("90nm", "65nm", "45nm", "32nm"); throws on unknown.
+/// A node by name ("90nm", "65nm", "45nm", "32nm"); throws
+/// std::invalid_argument listing the known names on an unknown one.
 const NodeInput& node_by_name(const std::string& name);
 
 /// Generate a node beyond the paper's range by continuing the same rules
@@ -36,9 +37,12 @@ NodeInput extrapolate_node(int generation);
 
 /// Assemble a device spec on this node's feature set with an arbitrary
 /// gate length and doping (the building block of both strategies and of
-/// the Fig. 7 sweeps).
+/// the Fig. 7 sweeps). `env` carries the card-level device environment
+/// (backend kind, temperature, wire radius); the default env reproduces
+/// the paper's bulk-at-300K setup bitwise.
 compact::DeviceSpec make_node_spec(const NodeInput& node, double lpoly_nm,
                                    const doping::MosfetDopingLevels& levels,
-                                   double vdd);
+                                   double vdd,
+                                   const compact::DeviceEnv& env = {});
 
 }  // namespace subscale::scaling

@@ -148,7 +148,7 @@ TcadDevice::TcadDevice(const compact::DeviceSpec& spec,
                        const MeshOptions& mesh_options,
                        const GummelOptions& gummel_options,
                        const exec::RunContext& ctx)
-    : dev_(spec, mesh_options),
+    : dev_(make_device_structure(spec, mesh_options)),
       run_(ctx),
       solver_(dev_, gummel_options, ctx) {
   run_.validate();

@@ -149,4 +149,19 @@ void DeviceStructure::ohmic_carriers(std::size_t node, double* n_out,
   }
 }
 
+DeviceStructure make_device_structure(const compact::DeviceSpec& spec,
+                                      const MeshOptions& options) {
+  switch (spec.backend) {
+    case compact::BackendKind::kBulkMosfet:
+      return DeviceStructure(spec, options);
+    case compact::BackendKind::kNanowireGaa:
+      break;
+  }
+  throw std::invalid_argument(
+      std::string("make_device_structure: no TCAD mesh for backend '") +
+      compact::backend_kind_name(spec.backend) +
+      "' (the planar 2-D cross-section only represents bulk MOSFETs; "
+      "nanowire decks validate through the compact backend)");
+}
+
 }  // namespace subscale::tcad

@@ -85,4 +85,12 @@ class DeviceStructure {
   double gate_offset_ = 0.0;
 };
 
+/// Factory keyed by the spec's backend kind — the one construction path
+/// the simulator stack uses. The 2-D planar mesh only represents bulk
+/// MOSFETs; a nanowire/GAA spec throws std::invalid_argument naming the
+/// backend (the nanowire backend is compact-model only: its cylindrical
+/// electrostatics have no cross-section in this mesh).
+DeviceStructure make_device_structure(const compact::DeviceSpec& spec,
+                                      const MeshOptions& options = {});
+
 }  // namespace subscale::tcad

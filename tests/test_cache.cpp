@@ -198,6 +198,14 @@ TEST(CacheTcadKeys, EverySpecFieldPerturbsTheKey) {
   s = base;
   s.levels.nsd *= 1.01;
   EXPECT_TRUE(differs(s));
+  // Backend discrimination: a cached bulk solve must never serve a
+  // nanowire query, and the wire radius is physics-bearing.
+  s = base;
+  s.backend = sc::BackendKind::kNanowireGaa;
+  EXPECT_TRUE(differs(s));
+  s = base;
+  s.nw_radius *= 1.5;
+  EXPECT_TRUE(differs(s));
 }
 
 TEST(CacheTcadKeys, MeshAndSolverOptionsPerturbTheKey) {
@@ -260,6 +268,35 @@ TEST(CacheStudyKeys, CalibrationAndNodePerturbTheKey) {
   o = options;
   o.exec = se::ExecPolicy{7};
   EXPECT_EQ(sca::subvth_design_key(node, o, calib), base);
+}
+
+TEST(CacheStudyKeys, DeviceEnvDiscriminatesCardsBackendsTemperatures) {
+  // Two cards that differ only in environment must never share a
+  // design-objective memo: each env axis perturbs the 128-bit key.
+  const auto& node = subscale::scaling::paper_nodes()[0];
+  const sc::Calibration calib = sc::paper_calibration();
+  const subscale::scaling::SubVthOptions bulk300;
+  const sca::HashKey base = sca::subvth_design_key(node, bulk300, calib);
+
+  subscale::scaling::SubVthOptions o = bulk300;
+  o.env.backend = sc::BackendKind::kNanowireGaa;
+  const sca::HashKey nanowire = sca::subvth_design_key(node, o, calib);
+  EXPECT_NE(nanowire, base);
+
+  o = bulk300;
+  o.env.temperature = 350.0;
+  const sca::HashKey hot = sca::subvth_design_key(node, o, calib);
+  EXPECT_NE(hot, base);
+  EXPECT_NE(hot, nanowire);
+
+  o = bulk300;
+  o.env.nw_radius_nm = 6.0;
+  EXPECT_NE(sca::subvth_design_key(node, o, calib), base);
+
+  // And the same env hashes identically (keys are pure functions).
+  o = bulk300;
+  o.env.temperature = 350.0;
+  EXPECT_EQ(sca::subvth_design_key(node, o, calib), hot);
 }
 
 // ---- byte codec robustness --------------------------------------------------

@@ -1,0 +1,247 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+#include "cards/card_io.h"
+#include "cards/technology_card.h"
+#include "compact/device_spec.h"
+#include "scaling/technology.h"
+
+namespace fs = std::filesystem;
+namespace cards = subscale::cards;
+namespace sc = subscale::compact;
+namespace ss = subscale::scaling;
+
+namespace {
+
+std::string temp_card_path() {
+  static int seq = 0;
+  return (fs::temp_directory_path() /
+          ("subscale-card-" + std::to_string(::getpid()) + "-" +
+           std::to_string(seq++) + ".json"))
+      .string();
+}
+
+/// Field-by-field bitwise equality (doubles compared with ==).
+void expect_cards_equal(const cards::TechnologyCard& a,
+                        const cards::TechnologyCard& b) {
+  EXPECT_EQ(a.id, b.id);
+  EXPECT_EQ(a.description, b.description);
+  EXPECT_EQ(a.env.backend, b.env.backend);
+  EXPECT_EQ(a.env.temperature, b.env.temperature);
+  EXPECT_EQ(a.env.nw_radius_nm, b.env.nw_radius_nm);
+  EXPECT_EQ(a.subvth_ioff_pa_um, b.subvth_ioff_pa_um);
+  EXPECT_EQ(a.use_recipe, b.use_recipe);
+  const auto an = a.resolved_nodes();
+  const auto bn = b.resolved_nodes();
+  ASSERT_EQ(an.size(), bn.size());
+  for (std::size_t i = 0; i < an.size(); ++i) {
+    EXPECT_EQ(an[i].name, bn[i].name);
+    EXPECT_EQ(an[i].generation, bn[i].generation);
+    EXPECT_EQ(an[i].lpoly_nm, bn[i].lpoly_nm);
+    EXPECT_EQ(an[i].tox_nm, bn[i].tox_nm);
+    EXPECT_EQ(an[i].vdd, bn[i].vdd);
+    EXPECT_EQ(an[i].feature_shrink, bn[i].feature_shrink);
+    EXPECT_EQ(an[i].ileak_max_pa_um, bn[i].ileak_max_pa_um);
+  }
+}
+
+}  // namespace
+
+// ---- builtins ---------------------------------------------------------------
+
+TEST(Cards, PaperCardReproducesPaperNodesBitwise) {
+  const cards::TechnologyCard& card = cards::paper_bulk_lstp();
+  card.validate();
+  const auto nodes = card.resolved_nodes();
+  const auto& paper = ss::paper_nodes();
+  ASSERT_EQ(nodes.size(), paper.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i].name, paper[i].name);
+    EXPECT_EQ(nodes[i].lpoly_nm, paper[i].lpoly_nm);
+    EXPECT_EQ(nodes[i].tox_nm, paper[i].tox_nm);
+    EXPECT_EQ(nodes[i].vdd, paper[i].vdd);
+    EXPECT_EQ(nodes[i].feature_shrink, paper[i].feature_shrink);
+    EXPECT_EQ(nodes[i].ileak_max_pa_um, paper[i].ileak_max_pa_um);
+  }
+  EXPECT_EQ(card.env.backend, sc::BackendKind::kBulkMosfet);
+  EXPECT_EQ(card.env.temperature, 300.0);
+}
+
+TEST(Cards, AllBuiltinsValidateAndAreDistinct) {
+  const auto ids = cards::builtin_card_ids();
+  EXPECT_GE(ids.size(), 4u);
+  for (const std::string& id : ids) {
+    const cards::TechnologyCard card = cards::resolve_card(id);
+    EXPECT_EQ(card.id, id);
+    card.validate();
+  }
+  EXPECT_EQ(cards::paper_bulk_hot350().env.temperature, 350.0);
+  EXPECT_EQ(cards::nanowire_gaa().env.backend, sc::BackendKind::kNanowireGaa);
+}
+
+TEST(Cards, ExtendedRecipeContinuesThePaperCadence) {
+  const cards::TechnologyCard& card = cards::bulk_lstp_extended();
+  const auto nodes = card.resolved_nodes();
+  ASSERT_EQ(nodes.size(), 6u);
+  EXPECT_EQ(nodes[0].name, "90nm");
+  EXPECT_EQ(nodes[4].name, "22nm");
+  EXPECT_EQ(nodes[5].name, "16nm");
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_LT(nodes[i].lpoly_nm, nodes[i - 1].lpoly_nm);
+    EXPECT_LT(nodes[i].tox_nm, nodes[i - 1].tox_nm);
+    EXPECT_GT(nodes[i].ileak_max_pa_um, nodes[i - 1].ileak_max_pa_um);
+  }
+}
+
+TEST(Cards, ResolveUnknownIdListsBuiltins) {
+  try {
+    cards::resolve_card("no_such_deck");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_deck"), std::string::npos);
+    for (const std::string& id : cards::builtin_card_ids()) {
+      EXPECT_NE(what.find(id), std::string::npos)
+          << "error should list builtin '" << id << "': " << what;
+    }
+  }
+}
+
+// ---- JSON round-trip --------------------------------------------------------
+
+TEST(CardIo, JsonRoundTripIsBitwise) {
+  for (const std::string& id : cards::builtin_card_ids()) {
+    const cards::TechnologyCard card = cards::resolve_card(id);
+    const std::string text = cards::card_to_json(card);
+    const cards::TechnologyCard back = cards::card_from_json(text);
+    expect_cards_equal(card, back);
+    // Fixed point: serializing the reloaded card is byte-identical.
+    EXPECT_EQ(text, cards::card_to_json(back)) << id;
+  }
+}
+
+TEST(CardIo, FileRoundTrip) {
+  const std::string path = temp_card_path();
+  cards::save_card(cards::nanowire_gaa(), path);
+  const cards::TechnologyCard back = cards::load_card(path);
+  expect_cards_equal(cards::nanowire_gaa(), back);
+  // resolve_card falls through builtin ids to readable files.
+  expect_cards_equal(cards::nanowire_gaa(), cards::resolve_card(path));
+  fs::remove(path);
+}
+
+// ---- malformed documents ----------------------------------------------------
+
+TEST(CardIo, TruncatedJsonReportsByteOffset) {
+  const std::string text = cards::card_to_json(cards::paper_bulk_lstp());
+  const std::string truncated = text.substr(0, text.size() / 2);
+  try {
+    cards::card_from_json(truncated);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("malformed JSON"), std::string::npos) << what;
+    EXPECT_NE(what.find("offset"), std::string::npos)
+        << "should carry json_parse's byte offset: " << what;
+  }
+}
+
+TEST(CardIo, WrongTypedFieldsAreNamed) {
+  const auto expect_throw_mentioning = [](const std::string& text,
+                                          const std::string& needle) {
+    try {
+      cards::card_from_json(text);
+      FAIL() << "expected std::invalid_argument for " << needle;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+  const std::string prefix =
+      std::string("{\"schema\": \"") + cards::kCardSchemaTag + "\", ";
+  // id as number
+  expect_throw_mentioning(prefix + "\"id\": 7}", "card.id");
+  // nodes as object instead of array
+  expect_throw_mentioning(
+      prefix +
+          "\"id\": \"x\", \"env\": {\"backend\": \"bulk_mosfet\", "
+          "\"temperature\": 300, \"nw_radius_nm\": 4}, "
+          "\"subvth_ioff_pa_um\": 100, \"use_recipe\": false, "
+          "\"nodes\": {}}",
+      "card.nodes");
+  // a node's lpoly_nm as string
+  expect_throw_mentioning(
+      prefix +
+          "\"id\": \"x\", \"env\": {\"backend\": \"bulk_mosfet\", "
+          "\"temperature\": 300, \"nw_radius_nm\": 4}, "
+          "\"subvth_ioff_pa_um\": 100, \"use_recipe\": false, "
+          "\"nodes\": [{\"name\": \"90nm\", \"generation\": 0, "
+          "\"lpoly_nm\": \"sixty-five\", \"tox_nm\": 2.1, \"vdd\": 1.2, "
+          "\"feature_shrink\": 1, \"ileak_max_pa_um\": 100}]}",
+      "card.nodes[0].lpoly_nm");
+  // unknown backend name
+  expect_throw_mentioning(
+      prefix +
+          "\"id\": \"x\", \"env\": {\"backend\": \"finfet\", "
+          "\"temperature\": 300, \"nw_radius_nm\": 4}}",
+      "unknown backend");
+  // wrong schema tag
+  expect_throw_mentioning("{\"schema\": \"subscale.card.v999\"}",
+                          "unsupported schema");
+}
+
+TEST(CardIo, DuplicateNodeNamesRejected) {
+  cards::TechnologyCard card = cards::paper_bulk_lstp();
+  card.nodes[2].name = card.nodes[0].name;  // duplicate "90nm"
+  const std::string text = cards::card_to_json(card);
+  try {
+    cards::card_from_json(text);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate node name"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// ---- validation -------------------------------------------------------------
+
+TEST(Cards, ValidationCatchesNonsense) {
+  cards::TechnologyCard card = cards::paper_bulk_lstp();
+  card.id.clear();
+  EXPECT_THROW(card.validate(), std::invalid_argument);
+
+  card = cards::paper_bulk_lstp();
+  card.subvth_ioff_pa_um = 0.0;
+  EXPECT_THROW(card.validate(), std::invalid_argument);
+
+  card = cards::paper_bulk_lstp();
+  card.nodes.clear();
+  EXPECT_THROW(card.validate(), std::invalid_argument);
+
+  card = cards::paper_bulk_lstp();
+  card.nodes[1].vdd = -1.0;
+  EXPECT_THROW(card.validate(), std::invalid_argument);
+
+  card = cards::paper_bulk_lstp();
+  card.env.temperature = 0.0;
+  EXPECT_THROW(card.validate(), std::invalid_argument);
+}
+
+TEST(Cards, NodeByNameErrorListsKnownNodes) {
+  try {
+    ss::node_by_name("7nm");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("'7nm'"), std::string::npos) << what;
+    for (const auto& node : ss::paper_nodes()) {
+      EXPECT_NE(what.find(node.name), std::string::npos)
+          << "error should list node '" << node.name << "': " << what;
+    }
+  }
+}

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "compact/calibration.h"
+#include "compact/device_model.h"
 #include "compact/device_spec.h"
 #include "compact/mosfet.h"
 #include "compact/ss_model.h"
@@ -324,6 +325,133 @@ TEST(CompactMosfet, IntrinsicDelayPositiveAndPicoseconds) {
   const double tau_ps = su::to_ps(fet.intrinsic_delay());
   EXPECT_GT(tau_ps, 0.1);
   EXPECT_LT(tau_ps, 100.0);
+}
+
+// ---- DeviceModel factory & nanowire backend -----------------------------------
+
+namespace {
+
+/// A paper node reinterpreted by the GAA backend (what nanowire_gaa
+/// cards instantiate): same L_poly/T_ox/V_dd, cylindrical physics.
+sc::DeviceSpec nanowire_device(int node_index) {
+  sc::DeviceSpec spec = sub_vth_device(node_index);
+  sc::DeviceEnv env;
+  env.backend = sc::BackendKind::kNanowireGaa;
+  spec.apply_env(env);
+  return spec;
+}
+
+}  // namespace
+
+TEST(DeviceModel, FactoryDispatchesOnBackendKind) {
+  const auto bulk = sc::make_device_model(super_vth_device(0));
+  EXPECT_EQ(bulk->backend(), sc::BackendKind::kBulkMosfet);
+  EXPECT_STREQ(bulk->backend_name(), "bulk_mosfet");
+  const auto nw = sc::make_device_model(nanowire_device(0));
+  EXPECT_EQ(nw->backend(), sc::BackendKind::kNanowireGaa);
+  EXPECT_STREQ(nw->backend_name(), "nanowire_gaa");
+}
+
+TEST(DeviceModel, FactoryMatchesConcreteMosfetBitwise) {
+  // Backend #1 through the factory IS the old CompactMosfet: the
+  // refactor may not move a single bit of the paper's device.
+  const sc::DeviceSpec spec = super_vth_device(0);
+  const sc::CompactMosfet direct(spec);
+  const auto via = sc::make_device_model(spec);
+  EXPECT_EQ(direct.subthreshold_swing(), via->subthreshold_swing());
+  EXPECT_EQ(direct.slope_factor(), via->slope_factor());
+  EXPECT_EQ(direct.ioff(), via->ioff());
+  EXPECT_EQ(direct.gate_capacitance(), via->gate_capacitance());
+  EXPECT_EQ(direct.drain_current(0.3, 0.25), via->drain_current(0.3, 0.25));
+}
+
+TEST(NanowireFet, NearIdealSwingAtRoomTemperature) {
+  for (int i = 0; i < 4; ++i) {
+    const auto fet = sc::make_device_model(nanowire_device(i));
+    const double ss = fet->subthreshold_swing() * 1e3;
+    // Gate-all-around electrostatics: a few % above the 59.6 mV/dec
+    // thermodynamic floor, well below any bulk device.
+    EXPECT_GT(ss, 59.5) << "node " << i;
+    EXPECT_LT(ss, 65.0) << "node " << i;
+  }
+}
+
+TEST(NanowireFet, CurrentIncreasesWithGateBias) {
+  const auto fet = sc::make_device_model(nanowire_device(0));
+  double prev = 0.0;
+  for (double vgs = 0.0; vgs <= 1.0; vgs += 0.1) {
+    const double id = fet->drain_current(vgs, 0.25);
+    EXPECT_GT(id, prev) << "vgs " << vgs;
+    prev = id;
+  }
+}
+
+TEST(NanowireFet, MeasuredSlopeMatchesAnalyticalSwing) {
+  const auto fet = sc::make_device_model(nanowire_device(0));
+  const double v1 = 0.02, v2 = 0.10;
+  const double i1 = fet->drain_current(v1, 0.25);
+  const double i2 = fet->drain_current(v2, 0.25);
+  const double measured_ss = (v2 - v1) / std::log10(i2 / i1);
+  EXPECT_NEAR(measured_ss / fet->subthreshold_swing(), 1.0, 0.03);
+}
+
+TEST(NanowireFet, WithCalibrationPreservesBackend) {
+  const auto fet = sc::make_device_model(nanowire_device(0));
+  sc::Calibration shifted = fet->calibration();
+  shifted.delta_vth += 0.05;
+  const auto moved = fet->with_calibration(shifted);
+  EXPECT_EQ(moved->backend(), sc::BackendKind::kNanowireGaa);
+  // A higher threshold strictly cuts the subthreshold current.
+  EXPECT_LT(moved->drain_current(0.1, 0.25), fet->drain_current(0.1, 0.25));
+}
+
+// ---- temperature as a first-class axis -------------------------------------------
+
+TEST(DeviceEnvTemperature, SwingTracksLatticeTemperatureBothBackends) {
+  // Satellite check: S_S = n * (kT/q) ln 10, so cooling to 250 K and
+  // heating to 350 K must scale the swing by ~T/300 on BOTH backends
+  // (n drifts slightly with T for bulk via the depletion term).
+  for (const sc::BackendKind backend :
+       {sc::BackendKind::kBulkMosfet, sc::BackendKind::kNanowireGaa}) {
+    const auto at = [&](double t_kelvin) {
+      sc::DeviceSpec spec = super_vth_device(0);
+      sc::DeviceEnv env;
+      env.backend = backend;
+      env.temperature = t_kelvin;
+      spec.apply_env(env);
+      return sc::make_device_model(spec);
+    };
+    const auto cold = at(250.0);
+    const auto room = at(300.0);
+    const auto hot = at(350.0);
+    EXPECT_LT(cold->subthreshold_swing(), room->subthreshold_swing());
+    EXPECT_GT(hot->subthreshold_swing(), room->subthreshold_swing());
+    EXPECT_NEAR(cold->subthreshold_swing() / room->subthreshold_swing(),
+                250.0 / 300.0, 0.05)
+        << sc::backend_kind_name(backend);
+    EXPECT_NEAR(hot->subthreshold_swing() / room->subthreshold_swing(),
+                350.0 / 300.0, 0.05)
+        << sc::backend_kind_name(backend);
+    // The n·kT/q·ln10 identity itself, at the off-nominal temperatures.
+    for (const auto* fet : {&cold, &hot}) {
+      const double vt = subscale::physics::thermal_voltage(
+          (*fet)->spec().temperature);
+      EXPECT_NEAR((*fet)->slope_factor() * vt * std::log(10.0),
+                  (*fet)->subthreshold_swing(), 1e-12);
+    }
+  }
+}
+
+TEST(DeviceEnvTemperature, ApplyEnvCopiesEveryKnob) {
+  sc::DeviceSpec spec = super_vth_device(0);
+  sc::DeviceEnv env;
+  env.backend = sc::BackendKind::kNanowireGaa;
+  env.temperature = 250.0;
+  env.nw_radius_nm = 6.0;
+  spec.apply_env(env);
+  EXPECT_EQ(spec.backend, sc::BackendKind::kNanowireGaa);
+  EXPECT_EQ(spec.temperature, 250.0);
+  EXPECT_NEAR(su::to_nm(spec.nw_radius), 6.0, 1e-12);
 }
 
 // ---- paper-level property: S_S trends across strategies --------------------------

@@ -19,8 +19,11 @@
 #include <vector>
 
 #include "cache/solve_cache.h"
+#include "cards/technology_card.h"
+#include "compact/device_model.h"
 #include "compact/mosfet.h"
 #include "core/scaling_study.h"
+#include "physics/units.h"
 #include "scaling/subvth_strategy.h"
 #include "scaling/technology.h"
 
@@ -157,6 +160,32 @@ TEST(Golden, Fig09LpolyAndSs) {
     const std::string n = d.device.node.name + ".";
     expect_matches(golden, n + "lpoly_opt_nm", d.lpoly_opt_nm);
     expect_matches(golden, n + "ss_mv_dec", d.device.ss_mv_dec);
+  }
+}
+
+TEST(Golden, NanowireIdVgAndSwing) {
+  // The same fixed GAA device golden_gen pins: compact backend #2 may
+  // only move when the fixture is regenerated deliberately.
+  namespace u = subscale::units;
+  const auto golden = load_fixture("nanowire_idvg");
+  ASSERT_FALSE(golden.empty());
+  const auto& card = subscale::cards::nanowire_gaa();
+  const auto& node = ss::paper_nodes()[0];
+  subscale::doping::MosfetDopingLevels levels;
+  levels.nsub = u::per_cm3(1e18);
+  levels.np_halo = 0.0;
+  const auto spec = ss::make_node_spec(node, node.lpoly_nm, levels,
+                                       node.vdd, card.env);
+  const auto fet =
+      subscale::compact::make_device_model(spec, study().calibration());
+  expect_matches(golden, "ss_mv_dec", fet->subthreshold_swing() * 1e3);
+  expect_matches(golden, "vth_sat_mv", fet->vth_sat_extracted() * 1e3);
+  expect_matches(golden, "ioff_pa_um",
+                 u::to_pA_per_um(fet->ioff() / spec.width));
+  for (int i = 0; i < 10; ++i) {
+    const double vg = 0.05 * i;
+    expect_matches(golden, "log10_id." + std::to_string(i),
+                   std::log10(fet->drain_current(vg, 0.25)));
   }
 }
 

@@ -113,6 +113,39 @@ TEST(Manifest, KeyMovesWhenAnyInputChanges) {
   EXPECT_NE(base.units[0].result_key, remeshed.units[0].result_key);
 }
 
+TEST(Manifest, CardIsCarriedHashedAndResolved) {
+  // A non-default technology card must flow spec -> study options ->
+  // unit keys -> manifest JSON: same grid, disjoint key space.
+  const so::Manifest base = so::build_manifest(small_spec());
+  so::StudySpec hot = small_spec();
+  hot.card = "paper_bulk_hot350";
+  const so::Manifest hot_m = so::build_manifest(hot);
+  ASSERT_EQ(base.units.size(), hot_m.units.size());
+  for (std::size_t i = 0; i < base.units.size(); ++i) {
+    EXPECT_NE(base.units[i].result_key, hot_m.units[i].result_key);
+  }
+
+  // The resolved card reaches the study options, temperature included.
+  const auto options = so::study_options_for(hot);
+  EXPECT_EQ(options.card.id, "paper_bulk_hot350");
+  EXPECT_EQ(options.card.env.temperature, 350.0);
+
+  // And survives the manifest JSON round-trip byte-exactly.
+  TempDir dir;
+  const std::string path = dir.str() + "/m.json";
+  ASSERT_TRUE(so::save_manifest(path, hot_m));
+  so::Manifest back;
+  std::string error;
+  ASSERT_TRUE(so::load_manifest(path, back, &error)) << error;
+  EXPECT_EQ(back.spec.card, "paper_bulk_hot350");
+  EXPECT_EQ(so::manifest_to_json(back), so::manifest_to_json(hot_m));
+
+  // Unknown cards are rejected before any unit is enqueued.
+  so::StudySpec bogus = small_spec();
+  bogus.card = "no_such_deck";
+  EXPECT_THROW(so::build_manifest(bogus), std::invalid_argument);
+}
+
 TEST(Manifest, JsonRoundTripIsExact) {
   TempDir dir;
   so::StudySpec spec = small_spec();

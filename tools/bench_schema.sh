@@ -46,6 +46,8 @@ core.study.node_errors
 core.study.sweep_point_failures
 core.study.node_ms.count
 core.study.node_ms.sum
+cards.loads
+cards.backend_dispatches
 cache.hit
 cache.miss
 cache.store

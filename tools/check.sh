@@ -93,6 +93,21 @@ if [[ -z "$sanitize" ]]; then
   echo "bench_ext_cache: cache round-trip smoke passed"
   rm -rf "$cache_tmp"
 
+  # Card round-trip smoke: bench_ext_cards gates itself (one-node card
+  # save -> load -> re-serialize byte-identical, and the reloaded card's
+  # 1-node design study bitwise-equal to the builtin's) and exits
+  # non-zero on any violation. Its record must also carry the card id
+  # and satisfy the telemetry schema.
+  cards_tmp="$(mktemp -d)"
+  (cd "$cards_tmp" && "$build_dir/bench/bench_ext_cards" > /dev/null)
+  "$repo_root/tools/bench_schema.sh" "$cards_tmp"/BENCH_*.json
+  if ! grep -q '"card": "' "$cards_tmp"/BENCH_*.json; then
+    echo "check.sh: bench record does not name its technology card" >&2
+    exit 1
+  fi
+  echo "bench_ext_cards: card round-trip smoke passed"
+  rm -rf "$cards_tmp"
+
   # Orchestrator resume smoke: a forked-worker study, then a rerun
   # against the same dirs. The rerun must be a pure resume (claimed=0 —
   # every unit found in the content-addressed store, nothing re-solved)

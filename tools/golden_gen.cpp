@@ -21,9 +21,12 @@
 #include <utility>
 #include <vector>
 
+#include "cards/technology_card.h"
+#include "compact/device_model.h"
 #include "compact/mosfet.h"
 #include "core/scaling_study.h"
 #include "io/writer.h"
+#include "physics/units.h"
 
 namespace {
 
@@ -106,9 +109,35 @@ int main(int argc, char** argv) {
     fig09.emplace_back(n + "ss_mv_dec", d.device.ss_mv_dec);
   }
 
+  // Nanowire backend fixture: Id–Vg + swing of one directly-constructed
+  // GAA device (fixed node geometry and doping — no design loop in the
+  // way), pinning compact backend #2 the same way table2 pins #1.
+  std::vector<std::pair<std::string, double>> nanowire;
+  {
+    namespace u = subscale::units;
+    const auto& card = subscale::cards::nanowire_gaa();
+    const auto& node = subscale::scaling::paper_nodes()[0];
+    subscale::doping::MosfetDopingLevels levels;
+    levels.nsub = u::per_cm3(1e18);
+    levels.np_halo = 0.0;
+    const auto spec = subscale::scaling::make_node_spec(
+        node, node.lpoly_nm, levels, node.vdd, card.env);
+    const auto fet = subscale::compact::make_device_model(spec, calib);
+    nanowire.emplace_back("ss_mv_dec", fet->subthreshold_swing() * 1e3);
+    nanowire.emplace_back("vth_sat_mv", fet->vth_sat_extracted() * 1e3);
+    nanowire.emplace_back("ioff_pa_um",
+                          u::to_pA_per_um(fet->ioff() / spec.width));
+    for (int i = 0; i < 10; ++i) {
+      const double vg = 0.05 * i;  // 0 .. 0.45 V
+      nanowire.emplace_back("log10_id." + std::to_string(i),
+                            std::log10(fet->drain_current(vg, 0.25)));
+    }
+  }
+
   write_fixture(dir, "table2_supervth", table2);
   write_fixture(dir, "table3_subvth", table3);
   write_fixture(dir, "fig02_ss_ionioff", fig02);
   write_fixture(dir, "fig09_lpoly_ss", fig09);
+  write_fixture(dir, "nanowire_idvg", nanowire);
   return 0;
 }

@@ -5,7 +5,8 @@
 // units are counted as completed and only the remainder is solved.
 //
 //   subscale_orch --study-dir DIR --cache-dir DIR [--workers N]
-//                 [--out result.json] [--nodes 0,1,2,3] [--vd 0.25]
+//                 [--out result.json] [--card ID_OR_FILE]
+//                 [--nodes 0,1,2,3] [--vd 0.25]
 //                 [--points N] [--strategies supervth,subvth]
 //                 [--coarse-mesh] [--retry-budget N]
 //                 [--lease-timeout S] [--deadline S]
@@ -62,8 +63,9 @@ std::string sibling_worker(const char* argv0) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --study-dir DIR --cache-dir DIR [--workers N]\n"
-               "          [--out FILE] [--nodes i,j,...] [--vd V]"
-               " [--points N]\n"
+               "          [--out FILE] [--card ID_OR_FILE]"
+               " [--nodes i,j,...] [--vd V]\n"
+               "          [--points N]\n"
                "          [--strategies supervth,subvth] [--coarse-mesh]\n"
                "          [--retry-budget N] [--lease-timeout S]"
                " [--deadline S]\n"
@@ -94,6 +96,8 @@ int main(int argc, char** argv) {
       options.workers = static_cast<std::size_t>(std::atol(v));
     } else if (arg == "--out" && (v = next())) {
       out_path = v;
+    } else if (arg == "--card" && (v = next())) {
+      spec.card = v;
     } else if (arg == "--nodes" && (v = next())) {
       for (const std::string& tok : split_commas(v)) {
         spec.nodes.push_back(static_cast<std::size_t>(std::atol(tok.c_str())));
