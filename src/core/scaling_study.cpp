@@ -8,6 +8,22 @@
 
 namespace subscale::core {
 
+const char* strategy_name(Strategy strategy) {
+  return strategy == Strategy::kSubVth ? "subvth" : "supervth";
+}
+
+bool parse_strategy(const std::string& name, Strategy& out) {
+  if (name == "supervth") {
+    out = Strategy::kSuperVth;
+    return true;
+  }
+  if (name == "subvth") {
+    out = Strategy::kSubVth;
+    return true;
+  }
+  return false;
+}
+
 ScalingStudy::ScalingStudy(const compact::Calibration& calib,
                            const StudyOptions& options)
     : calib_(calib), options_(options) {

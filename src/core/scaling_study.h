@@ -42,6 +42,12 @@ struct StudyOptions {
 /// Which of the paper's two scaling strategies to pull devices from.
 enum class Strategy { kSuperVth, kSubVth };
 
+/// Canonical lowercase strategy names ("supervth"/"subvth") — the one
+/// spelling shared by the orch manifest JSON and the serve wire schema.
+const char* strategy_name(Strategy strategy);
+/// Parse a strategy name; false (out untouched) on an unknown one.
+bool parse_strategy(const std::string& name, Strategy& out);
+
 struct TcadValidationOptions {
   Strategy strategy = Strategy::kSuperVth;
   std::vector<std::size_t> nodes;  ///< node indices to run (empty = all)

@@ -98,6 +98,20 @@ inline constexpr const char* kCardsLoads = "cards.loads";
 inline constexpr const char* kCardsBackendDispatches =
     "cards.backend_dispatches";
 
+// serve layer — the design-query daemon (src/serve). Request/error/
+// throttle traffic depends on what clients send and when — wall-clock
+// artifacts like cache.* and orch.* — so every serve.* key is excluded
+// from the obs_diff regression gate.
+inline constexpr const char* kServeRequests = "serve.requests";
+inline constexpr const char* kServeExecuted = "serve.executed";
+inline constexpr const char* kServeCoalesced = "serve.coalesced";
+inline constexpr const char* kServeErrors = "serve.errors";
+inline constexpr const char* kServeThrottled = "serve.throttled";
+inline constexpr const char* kServeRejected = "serve.rejected";
+inline constexpr const char* kServeClients = "serve.clients";
+inline constexpr const char* kServeQueueDepthMax = "serve.queue_depth_max";
+inline constexpr const char* kServeRequestMs = "serve.request_ms";
+
 // obs layer — span-profiler export tallies (bumped once at export time
 // so every BENCH record says how many spans its trace carries; zero
 // when profiling is off)
@@ -120,16 +134,17 @@ inline void preregister_standard(MetricsRegistry& registry) {
         kCacheStore, kCacheEvict, kCacheWarmstart, kCacheCorrupt,
         kOrchUnitsTotal, kOrchClaimed, kOrchCompleted, kOrchReassigned,
         kOrchPoisoned, kOrchWorkerRestarts, kCardsLoads,
-        kCardsBackendDispatches, kProfilerSpans,
-        kProfilerSpansDropped}) {
+        kCardsBackendDispatches, kServeRequests, kServeExecuted,
+        kServeCoalesced, kServeErrors, kServeThrottled, kServeRejected,
+        kServeClients, kProfilerSpans, kProfilerSpansDropped}) {
     registry.counter(name);
   }
-  for (const char* name :
-       {kPoolQueueDepthMax, kPoolUtilizationPct, kGummelLastResidual}) {
+  for (const char* name : {kPoolQueueDepthMax, kPoolUtilizationPct,
+                           kGummelLastResidual, kServeQueueDepthMax}) {
     registry.gauge(name);
   }
   registry.histogram(kGummelIterationsPerSolve, buckets::kIterations);
-  for (const char* name : {kSweepPointMs, kStudyNodeMs}) {
+  for (const char* name : {kSweepPointMs, kStudyNodeMs, kServeRequestMs}) {
     registry.histogram(name, buckets::kLatencyMs);
   }
 }

@@ -15,22 +15,6 @@ namespace subscale::orch {
 
 namespace fs = std::filesystem;
 
-const char* strategy_name(core::Strategy strategy) {
-  return strategy == core::Strategy::kSubVth ? "subvth" : "supervth";
-}
-
-bool parse_strategy(const std::string& name, core::Strategy& out) {
-  if (name == "supervth") {
-    out = core::Strategy::kSuperVth;
-    return true;
-  }
-  if (name == "subvth") {
-    out = core::Strategy::kSubVth;
-    return true;
-  }
-  return false;
-}
-
 void StudySpec::validate() const {
   const auto fail = [](const char* msg) {
     throw std::invalid_argument(std::string("StudySpec: ") + msg);

@@ -44,8 +44,11 @@ inline constexpr std::uint64_t kManifestVersion = 2;
 /// v2: the card id joins the provenance fields.
 inline constexpr std::uint64_t kOrchKeySchema = 2;
 
-const char* strategy_name(core::Strategy strategy);
-bool parse_strategy(const std::string& name, core::Strategy& out);
+/// Canonical strategy names now live in core (shared with the serve
+/// wire schema); these using-declarations keep the orch-layer spelling
+/// working for existing callers.
+using core::parse_strategy;
+using core::strategy_name;
 
 /// The study grid a manifest shards: which devices, which sweeps.
 /// Mesh/solver options ride along so every process solves the same

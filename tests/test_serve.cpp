@@ -1,0 +1,668 @@
+// Tests for the design-query service (src/serve): wire schema
+// round-trips, frame codec, admission control, the Dispatcher's
+// error-mapping and coalescing contracts, and socket end-to-end runs
+// against an in-process Server (Unix and TCP transports).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cache/serve_keys.h"
+#include "cache/solve_cache.h"
+#include "obs/names.h"
+#include "serve/admission.h"
+#include "serve/client.h"
+#include "serve/dispatcher.h"
+#include "serve/protocol.h"
+#include "serve/query.h"
+#include "serve/server.h"
+
+namespace fs = std::filesystem;
+namespace sv = subscale::serve;
+using subscale::cache::query_key;
+using subscale::core::Strategy;
+
+namespace {
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    static int seq = 0;
+    path = fs::temp_directory_path() /
+           ("subscale-test-serve-" + std::to_string(::getpid()) + "-" +
+            std::to_string(seq++));
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  std::string str() const { return path.string(); }
+};
+
+sv::Query design_query(std::size_t node = 0,
+                       Strategy strategy = Strategy::kSuperVth) {
+  sv::Query q;
+  q.kind = sv::QueryKind::kDesign;
+  q.node = node;
+  q.strategy = strategy;
+  return q;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- query
+
+TEST(ServeQuery, QueryJsonRoundTripPreservesEveryField) {
+  sv::Query q;
+  q.kind = sv::QueryKind::kSweep;
+  q.id = "req-42";
+  q.card = "paper_bulk_hot350";
+  q.strategy = Strategy::kSubVth;
+  q.node = 2;
+  q.vd = 0.05;
+  q.vg_start = 0.1;
+  q.vg_stop = 0.4;
+  q.points = 7;
+  q.coarse_mesh = true;
+
+  sv::Query back;
+  sv::Error error;
+  ASSERT_TRUE(sv::parse_query(sv::query_to_json(q), back, error))
+      << error.message;
+  EXPECT_EQ(back.kind, sv::QueryKind::kSweep);
+  EXPECT_EQ(back.id, "req-42");
+  EXPECT_EQ(back.card, "paper_bulk_hot350");
+  EXPECT_EQ(back.strategy, Strategy::kSubVth);
+  EXPECT_EQ(back.node, 2u);
+  EXPECT_DOUBLE_EQ(back.vd, 0.05);
+  EXPECT_DOUBLE_EQ(back.vg_start, 0.1);
+  EXPECT_DOUBLE_EQ(back.vg_stop, 0.4);
+  EXPECT_EQ(back.points, 7u);
+  EXPECT_TRUE(back.coarse_mesh);
+  // Round-trip is canonical: render(parse(render(q))) == render(q).
+  EXPECT_EQ(sv::query_to_json(back), sv::query_to_json(q));
+}
+
+TEST(ServeQuery, ParseQueryRejectsMalformedInput) {
+  sv::Query q;
+  sv::Error error;
+  EXPECT_FALSE(sv::parse_query("not json at all", q, error));
+  EXPECT_EQ(error.code, sv::codes::kBadRequest);
+
+  EXPECT_FALSE(sv::parse_query(
+      R"({"proto": "subscale.query.v999", "kind": "design"})", q, error));
+  EXPECT_EQ(error.code, sv::codes::kBadRequest);
+  EXPECT_NE(error.message.find("proto"), std::string::npos);
+
+  EXPECT_FALSE(sv::parse_query(
+      R"({"proto": "subscale.query.v1", "kind": "frobnicate"})", q, error));
+  EXPECT_EQ(error.code, sv::codes::kBadRequest);
+
+  EXPECT_FALSE(sv::parse_query(
+      R"({"proto": "subscale.query.v1", "kind": "figure",
+          "figure": "bogus"})",
+      q, error));
+  EXPECT_EQ(error.code, sv::codes::kBadRequest);
+
+  EXPECT_FALSE(sv::parse_query(
+      R"({"proto": "subscale.query.v1", "kind": "sweep", "points": 1})", q,
+      error));
+  EXPECT_EQ(error.code, sv::codes::kBadRequest);
+}
+
+TEST(ServeQuery, ResultJsonRoundTrip) {
+  sv::Result r;
+  r.id = "x";
+  r.kind = sv::QueryKind::kDesign;
+  r.ok = true;
+  r.card = "paper_bulk_lstp";
+  r.strategy = "subvth";
+  r.node = 1;
+  r.design.node_name = "65nm";
+  r.design.lpoly_nm = 70.5;
+  r.design.subvth = true;
+  r.design.lpoly_opt_nm = 70.5;
+
+  sv::Result back;
+  std::string error;
+  ASSERT_TRUE(sv::parse_result(sv::result_to_json(r), back, &error)) << error;
+  EXPECT_TRUE(back.ok);
+  EXPECT_EQ(back.id, "x");
+  EXPECT_EQ(back.kind, sv::QueryKind::kDesign);
+  EXPECT_EQ(back.design.node_name, "65nm");
+  EXPECT_DOUBLE_EQ(back.design.lpoly_opt_nm, 70.5);
+
+  const sv::Result err = sv::error_result(design_query(), sv::codes::kBadCard,
+                                          "nope", "the detail");
+  ASSERT_TRUE(sv::parse_result(sv::result_to_json(err), back, &error));
+  EXPECT_FALSE(back.ok);
+  EXPECT_EQ(back.error.code, sv::codes::kBadCard);
+  EXPECT_EQ(back.error.message, "nope");
+  EXPECT_EQ(back.error.detail, "the detail");
+}
+
+TEST(ServeQuery, ContentKeyIgnoresIdAndSeesEveryProblemField) {
+  sv::Query a = design_query();
+  sv::Query b = a;
+  b.id = "different-correlation-tag";
+  EXPECT_EQ(query_key(a), query_key(b));  // id never changes the problem
+
+  b = a;
+  b.node = 1;
+  EXPECT_NE(query_key(a), query_key(b));
+  b = a;
+  b.strategy = Strategy::kSubVth;
+  EXPECT_NE(query_key(a), query_key(b));
+  b = a;
+  b.card = "paper_bulk_hot350";
+  EXPECT_NE(query_key(a), query_key(b));
+  b = a;
+  b.vd = 0.1;
+  EXPECT_NE(query_key(a), query_key(b));
+  b = a;
+  b.coarse_mesh = true;
+  EXPECT_NE(query_key(a), query_key(b));
+}
+
+// ------------------------------------------------------------- protocol
+
+TEST(ServeProtocol, HeaderCodecRoundTrips) {
+  unsigned char header[sv::kFrameHeaderBytes];
+  for (std::uint32_t size : {0u, 1u, 255u, 65536u, sv::kMaxFrameBytes}) {
+    sv::encode_frame_header(size, header);
+    EXPECT_EQ(sv::decode_frame_header(header), size);
+  }
+  sv::encode_frame_header(0x01020304u, header);
+  EXPECT_EQ(header[0], 0x01);  // big-endian on the wire
+  EXPECT_EQ(header[3], 0x04);
+}
+
+TEST(ServeProtocol, FrameRoundTripOverSocketpair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload = R"({"hello": "world"})";
+  std::string error;
+  ASSERT_TRUE(sv::write_frame(fds[0], payload, &error)) << error;
+  std::string back;
+  ASSERT_EQ(sv::read_frame(fds[1], back, &error), sv::ReadStatus::kOk)
+      << error;
+  EXPECT_EQ(back, payload);
+
+  ::close(fds[0]);  // orderly close -> clean EOF, not an error
+  EXPECT_EQ(sv::read_frame(fds[1], back, &error), sv::ReadStatus::kEof);
+  ::close(fds[1]);
+}
+
+TEST(ServeProtocol, DecoderReassemblesFragmentsAndPipelinedFrames) {
+  const std::string a = "first frame";
+  const std::string b = "second";
+  std::string wire;
+  unsigned char header[sv::kFrameHeaderBytes];
+  sv::encode_frame_header(static_cast<std::uint32_t>(a.size()), header);
+  wire.append(reinterpret_cast<char*>(header), sv::kFrameHeaderBytes);
+  wire += a;
+  sv::encode_frame_header(static_cast<std::uint32_t>(b.size()), header);
+  wire.append(reinterpret_cast<char*>(header), sv::kFrameHeaderBytes);
+  wire += b;
+
+  // Feed one byte at a time: frames pop exactly when complete.
+  sv::FrameDecoder decoder;
+  std::vector<std::string> frames;
+  std::string frame;
+  for (char c : wire) {
+    decoder.feed(&c, 1);
+    while (decoder.next(frame)) frames.push_back(frame);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], a);
+  EXPECT_EQ(frames[1], b);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(ServeProtocol, OversizeFrameLatchesDecoder) {
+  unsigned char header[sv::kFrameHeaderBytes];
+  sv::encode_frame_header(sv::kMaxFrameBytes + 1, header);
+  sv::FrameDecoder decoder;
+  decoder.feed(reinterpret_cast<char*>(header), sv::kFrameHeaderBytes);
+  std::string frame;
+  EXPECT_FALSE(decoder.next(frame));
+  EXPECT_TRUE(decoder.oversize());
+  // Latched: further bytes never produce frames.
+  decoder.feed("xxxx", 4);
+  EXPECT_FALSE(decoder.next(frame));
+}
+
+// ------------------------------------------------------------ admission
+
+TEST(ServeAdmission, PerClientCapThrottlesFloodingClientOnly) {
+  sv::AdmissionOptions opt;
+  opt.queue_capacity = 16;
+  opt.per_client_inflight = 2;
+  sv::AdmissionController ctl(opt);
+
+  EXPECT_EQ(ctl.on_arrival("flood"), sv::Admission::kAdmit);
+  EXPECT_EQ(ctl.on_arrival("flood"), sv::Admission::kAdmit);
+  EXPECT_EQ(ctl.on_arrival("flood"), sv::Admission::kThrottled);
+  EXPECT_EQ(ctl.on_arrival("flood"), sv::Admission::kThrottled);
+  // A different client is untouched by the flooder's cap.
+  EXPECT_EQ(ctl.on_arrival("other"), sv::Admission::kAdmit);
+  EXPECT_EQ(ctl.client_inflight("flood"), 2u);
+  EXPECT_EQ(ctl.client_inflight("other"), 1u);
+  EXPECT_EQ(ctl.inflight(), 3u);
+
+  ctl.on_complete("flood", 1.0);
+  EXPECT_EQ(ctl.on_arrival("flood"), sv::Admission::kAdmit);  // slot back
+}
+
+TEST(ServeAdmission, GlobalCapacitySheds) {
+  sv::AdmissionOptions opt;
+  opt.queue_capacity = 3;
+  opt.per_client_inflight = 8;
+  sv::AdmissionController ctl(opt);
+  EXPECT_EQ(ctl.on_arrival("a"), sv::Admission::kAdmit);
+  EXPECT_EQ(ctl.on_arrival("b"), sv::Admission::kAdmit);
+  EXPECT_EQ(ctl.on_arrival("c"), sv::Admission::kAdmit);
+  EXPECT_EQ(ctl.on_arrival("d"), sv::Admission::kOverloaded);
+  ctl.on_complete("b", 1.0);
+  EXPECT_EQ(ctl.on_arrival("d"), sv::Admission::kAdmit);
+}
+
+TEST(ServeAdmission, LatencyGovernorSqueezesAndRecovers) {
+  sv::AdmissionOptions opt;
+  opt.queue_capacity = 10;
+  opt.per_client_inflight = 10;
+  opt.latency_target_ms = 10.0;
+  opt.smoothing = 1.0;  // EWMA == last sample, for determinism
+  sv::AdmissionController ctl(opt);
+  EXPECT_EQ(ctl.effective_capacity(), 10u);
+
+  // 2x over target halves the effective queue.
+  EXPECT_EQ(ctl.on_arrival("a"), sv::Admission::kAdmit);
+  ctl.on_complete("a", 20.0);
+  EXPECT_EQ(ctl.effective_capacity(), 5u);
+
+  // 100x over target floors at 1, never 0 (the daemon must always make
+  // progress to drain the latency back down).
+  EXPECT_EQ(ctl.on_arrival("a"), sv::Admission::kAdmit);
+  ctl.on_complete("a", 1000.0);
+  EXPECT_EQ(ctl.effective_capacity(), 1u);
+  EXPECT_EQ(ctl.on_arrival("a"), sv::Admission::kAdmit);
+  EXPECT_EQ(ctl.on_arrival("b"), sv::Admission::kOverloaded);
+
+  // Latency back under target -> full capacity restored.
+  ctl.on_complete("a", 1.0);
+  EXPECT_EQ(ctl.effective_capacity(), 10u);
+}
+
+TEST(ServeAdmission, OptionsValidate) {
+  sv::AdmissionOptions opt;
+  opt.queue_capacity = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = {};
+  opt.per_client_inflight = 0;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+  opt = {};
+  opt.smoothing = 1.5;
+  EXPECT_THROW(opt.validate(), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- dispatcher
+
+TEST(ServeDispatcher, DesignQueryReturnsReportRow) {
+  sv::Dispatcher dispatcher;
+  const sv::Result r = dispatcher.dispatch(design_query(1, Strategy::kSubVth));
+  ASSERT_TRUE(r.ok) << r.error.message;
+  EXPECT_EQ(r.kind, sv::QueryKind::kDesign);
+  EXPECT_EQ(r.strategy, "subvth");
+  EXPECT_EQ(r.design.node_name, "65nm");
+  EXPECT_TRUE(r.design.subvth);
+  EXPECT_GT(r.design.lpoly_opt_nm, 0.0);
+  EXPECT_GT(r.design.vth_sat_mv, 0.0);
+}
+
+TEST(ServeDispatcher, FigureQueryChartsEveryNode) {
+  sv::Dispatcher dispatcher;
+  sv::Query q;
+  q.kind = sv::QueryKind::kFigure;
+  q.figure = "ss";
+  q.strategy = Strategy::kSubVth;
+  const sv::Result r = dispatcher.dispatch(q);
+  ASSERT_TRUE(r.ok) << r.error.message;
+  EXPECT_EQ(r.figure.x_label, "node_nm");
+  EXPECT_EQ(r.figure.y_label, "ss_mv_dec");
+  ASSERT_EQ(r.figure.x.size(), r.figure.y.size());
+  EXPECT_GE(r.figure.x.size(), 4u);  // the paper card's four nodes
+  for (double y : r.figure.y) EXPECT_GT(y, 0.0);
+}
+
+TEST(ServeDispatcher, ErrorsMapToStructuredCodesNotExceptions) {
+  sv::Dispatcher dispatcher;
+
+  // Unresolvable card -> bad_card.
+  sv::Query q = design_query();
+  q.card = "no_such_card_anywhere";
+  sv::Result r = dispatcher.dispatch(q);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, sv::codes::kBadCard);
+  EXPECT_FALSE(r.error.detail.empty());
+
+  // Node out of range -> bad_request, names the valid range.
+  q = design_query(99);
+  r = dispatcher.dispatch(q);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, sv::codes::kBadRequest);
+
+  // TCAD sweep on a nanowire deck -> unsupported (the factory's
+  // rejection, classified instead of propagated).
+  q = sv::Query{};
+  q.kind = sv::QueryKind::kSweep;
+  q.card = "nanowire_gaa";
+  r = dispatcher.dispatch(q);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, sv::codes::kUnsupported);
+
+  // Invalid sweep shape -> bad_request from Query::validate.
+  q = sv::Query{};
+  q.kind = sv::QueryKind::kSweep;
+  q.vg_stop = q.vg_start;
+  r = dispatcher.dispatch(q);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error.code, sv::codes::kBadRequest);
+
+  // The dispatcher is still healthy after every failure.
+  r = dispatcher.dispatch(design_query());
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(ServeDispatcher, ServerInfoCarriesProtoUptimeAndMetrics) {
+  subscale::obs::MetricsRegistry registry;
+  subscale::obs::names::preregister_standard(registry);
+  sv::DispatcherOptions options;
+  options.run.metrics = &registry;
+  sv::Dispatcher dispatcher(options);
+  dispatcher.dispatch(design_query());
+
+  sv::Query q;
+  q.kind = sv::QueryKind::kServerInfo;
+  const sv::Result r = dispatcher.dispatch(q);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.info.proto, sv::kProtocolVersion);
+  EXPECT_EQ(r.info.card, "paper_bulk_lstp");
+  EXPECT_GE(r.info.uptime_s, 0.0);
+  double executed = -1.0;
+  for (const auto& [name, value] : r.info.metrics) {
+    if (name == subscale::obs::names::kServeExecuted) executed = value;
+  }
+  // design + this info query, both through the executed counter.
+  EXPECT_DOUBLE_EQ(executed, 2.0);
+}
+
+TEST(ServeDispatcher, IdenticalInflightQueriesSolveExactlyOnce) {
+  constexpr int kClients = 6;
+  std::promise<void> release;
+  std::shared_future<void> release_fut = release.get_future().share();
+  std::atomic<int> entered{0};
+
+  sv::DispatcherOptions options;
+  options.compute_hook = [&](const sv::Query&) {
+    entered.fetch_add(1);
+    release_fut.wait();  // hold the leader until every follower arrived
+  };
+  sv::Dispatcher dispatcher(options);
+
+  sv::Query q = design_query(0, Strategy::kSubVth);
+  std::vector<std::thread> threads;
+  std::vector<sv::Result> results(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      sv::Query mine = q;
+      mine.id = "client-" + std::to_string(i);
+      results[i] = dispatcher.dispatch(mine);
+    });
+  }
+  // Wait until the leader is inside the hook, then until every follower
+  // is parked on its shared future (coalesced() counts them on entry).
+  while (entered.load() == 0) std::this_thread::yield();
+  while (dispatcher.coalesced() < kClients - 1) std::this_thread::yield();
+  release.set_value();
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(dispatcher.executed(), 1u);  // exactly one solve
+  EXPECT_EQ(dispatcher.coalesced(), static_cast<std::uint64_t>(kClients - 1));
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(results[i].ok) << results[i].error.message;
+    EXPECT_EQ(results[i].id, "client-" + std::to_string(i));  // own tag back
+    // Same answer for everyone: identical bytes once the echoed id is
+    // normalized away.
+    sv::Result normalized = results[i];
+    normalized.id.clear();
+    sv::Result first = results[0];
+    first.id.clear();
+    EXPECT_EQ(sv::result_to_json(normalized), sv::result_to_json(first));
+  }
+}
+
+TEST(ServeDispatcher, DistinctQueriesDoNotCoalesce) {
+  sv::Dispatcher dispatcher;
+  dispatcher.dispatch(design_query(0));
+  dispatcher.dispatch(design_query(1));
+  dispatcher.dispatch(design_query(0, Strategy::kSubVth));
+  EXPECT_EQ(dispatcher.executed(), 3u);
+  EXPECT_EQ(dispatcher.coalesced(), 0u);
+}
+
+// --------------------------------------------------------------- server
+
+namespace {
+
+sv::ServerOptions unix_server_options(const std::string& socket_path) {
+  sv::ServerOptions options;
+  options.socket_path = socket_path;
+  options.workers = 2;
+  return options;
+}
+
+}  // namespace
+
+TEST(ServeServer, UnixSocketEndToEnd) {
+  TempDir dir;
+  sv::Server server(unix_server_options(dir.str() + "/sock"));
+  server.start();
+
+  sv::Client client;
+  ASSERT_TRUE(client.connect_unix(server.socket_path())) << client.error();
+  sv::Result r;
+  ASSERT_TRUE(client.roundtrip(design_query(1), r)) << client.error();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.design.node_name, "65nm");
+
+  // The response bytes equal the transport-free dispatch rendering: the
+  // daemon adds nothing and loses nothing.
+  sv::Dispatcher local;
+  EXPECT_EQ(client.last_response_text(),
+            sv::result_to_json(local.dispatch(design_query(1))));
+  server.stop();
+}
+
+TEST(ServeServer, TcpLoopbackEndToEnd) {
+  sv::ServerOptions options;
+  options.port = 0;  // ephemeral
+  sv::Server server(options);
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  sv::Client client;
+  ASSERT_TRUE(client.connect_tcp("127.0.0.1", server.port()))
+      << client.error();
+  sv::Query q;
+  q.kind = sv::QueryKind::kServerInfo;
+  sv::Result r;
+  ASSERT_TRUE(client.roundtrip(q, r)) << client.error();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.info.proto, sv::kProtocolVersion);
+  server.stop();
+}
+
+TEST(ServeServer, MalformedFrameGetsErrorResponseAndDaemonSurvives) {
+  TempDir dir;
+  sv::Server server(unix_server_options(dir.str() + "/sock"));
+  server.start();
+
+  sv::Client client;
+  ASSERT_TRUE(client.connect_unix(server.socket_path()));
+  sv::Result r;
+  {
+    // A well-framed but unparseable payload -> structured bad_request.
+    // Client::send_query only sends valid queries, so frame by hand on
+    // a raw socket.
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  server.socket_path().c_str());
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+    ASSERT_TRUE(sv::write_frame(fd, "this is not json"));
+    std::string payload;
+    ASSERT_EQ(sv::read_frame(fd, payload), sv::ReadStatus::kOk);
+    sv::Result bad;
+    std::string parse_error;
+    ASSERT_TRUE(sv::parse_result(payload, bad, &parse_error)) << parse_error;
+    EXPECT_FALSE(bad.ok);
+    EXPECT_EQ(bad.error.code, sv::codes::kBadRequest);
+    ::close(fd);
+  }
+  // The daemon is still serving real queries afterwards.
+  ASSERT_TRUE(client.roundtrip(design_query(), r)) << client.error();
+  EXPECT_TRUE(r.ok);
+  server.stop();
+}
+
+TEST(ServeServer, FloodingClientIsThrottledWhileSecondClientIsServed) {
+  TempDir dir;
+  sv::ServerOptions options = unix_server_options(dir.str() + "/sock");
+  options.workers = 1;
+  options.admission.per_client_inflight = 2;
+  options.admission.queue_capacity = 16;
+
+  // Hold every admitted solve until the rejection pattern is collected,
+  // so the flooder's slots stay occupied deterministically.
+  std::promise<void> release;
+  std::shared_future<void> release_fut = release.get_future().share();
+  options.dispatcher.compute_hook = [release_fut](const sv::Query&) {
+    release_fut.wait();
+  };
+
+  sv::Server server(options);
+  server.start();
+
+  sv::Client flood;
+  ASSERT_TRUE(flood.connect_unix(server.socket_path()));
+  // Pipeline 6 DISTINCT queries (distinct nodes/strategies so none
+  // coalesce): 2 admitted (cap), 4 throttled immediately.
+  for (int i = 0; i < 6; ++i) {
+    sv::Query q = design_query(static_cast<std::size_t>(i % 3),
+                               i < 3 ? Strategy::kSuperVth
+                                     : Strategy::kSubVth);
+    q.id = "flood-" + std::to_string(i);
+    ASSERT_TRUE(flood.send_query(q)) << flood.error();
+  }
+  int throttled = 0;
+  std::vector<sv::Result> immediate(4);
+  for (int i = 0; i < 4; ++i) {
+    // The four rejections come back first (the two admitted are held).
+    ASSERT_TRUE(flood.recv_result(immediate[i])) << flood.error();
+    EXPECT_FALSE(immediate[i].ok);
+    EXPECT_EQ(immediate[i].error.code, sv::codes::kThrottled);
+    ++throttled;
+  }
+  EXPECT_EQ(throttled, 4);
+
+  // A second client lands in the queue untouched by the flooder.
+  sv::Client second;
+  ASSERT_TRUE(second.connect_unix(server.socket_path()));
+  sv::Query q = design_query(3);
+  q.id = "second";
+  ASSERT_TRUE(second.send_query(q));
+
+  release.set_value();  // let the held solves drain
+  sv::Result r;
+  ASSERT_TRUE(second.recv_result(r)) << second.error();
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.id, "second");
+  // And the flooder's two admitted queries complete too.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(flood.recv_result(r)) << flood.error();
+    EXPECT_TRUE(r.ok);
+  }
+  server.stop();
+}
+
+TEST(ServeServer, RestartOnWarmCacheRepliesBitwiseIdentical) {
+  TempDir dir;
+  const std::string cache_dir = dir.str() + "/cache";
+  const auto make_options = [&](const std::string& sock) {
+    sv::ServerOptions options = unix_server_options(dir.str() + "/" + sock);
+    return options;
+  };
+
+  sv::Query q;
+  q.kind = sv::QueryKind::kSweep;
+  q.node = 0;
+  q.points = 3;
+  q.coarse_mesh = true;
+
+  std::string cold_bytes;
+  {
+    subscale::cache::SolveCache cache(
+        [&] {
+          subscale::cache::CacheOptions c;
+          c.dir = cache_dir;
+          return c;
+        }());
+    sv::ServerOptions options = make_options("sock1");
+    options.dispatcher.run.cache = &cache;
+    sv::Server server(options);
+    server.start();
+    sv::Client client;
+    ASSERT_TRUE(client.connect_unix(server.socket_path()));
+    sv::Result r;
+    ASSERT_TRUE(client.roundtrip(q, r)) << client.error();
+    ASSERT_TRUE(r.ok) << r.error.message;
+    cold_bytes = client.last_response_text();
+    server.stop();
+  }
+  // A fresh server on the same cache dir answers from the persistent
+  // cache -- byte-identical to the cold solve.
+  {
+    subscale::cache::SolveCache cache(
+        [&] {
+          subscale::cache::CacheOptions c;
+          c.dir = cache_dir;
+          return c;
+        }());
+    sv::ServerOptions options = make_options("sock2");
+    options.dispatcher.run.cache = &cache;
+    sv::Server server(options);
+    server.start();
+    sv::Client client;
+    ASSERT_TRUE(client.connect_unix(server.socket_path()));
+    sv::Result r;
+    ASSERT_TRUE(client.roundtrip(q, r)) << client.error();
+    ASSERT_TRUE(r.ok) << r.error.message;
+    EXPECT_EQ(client.last_response_text(), cold_bytes);
+    EXPECT_GT(cache.stats().hits, 0u);
+    server.stop();
+  }
+}

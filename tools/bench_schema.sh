@@ -60,6 +60,16 @@ orch.completed
 orch.reassigned
 orch.poisoned
 orch.worker_restarts
+serve.requests
+serve.executed
+serve.coalesced
+serve.errors
+serve.throttled
+serve.rejected
+serve.clients
+serve.queue_depth_max
+serve.request_ms.count
+serve.request_ms.sum
 obs.profiler.spans
 obs.profiler.spans_dropped
 "

@@ -131,4 +131,61 @@ if [[ -z "$sanitize" ]]; then
   }
   echo "subscale_orch: resume smoke passed ($resume_summary)"
   rm -rf "$orch_tmp"
+
+  # Serve chaos smoke: bring up the design-query daemon on a warm-able
+  # cache dir, answer one query, SIGKILL the daemon (no graceful
+  # shutdown), restart it in place, and demand (a) the repeated query is
+  # answered from the persistent cache and (b) the daemon's response
+  # bytes match the one-shot subscale_query CLI exactly — transport adds
+  # nothing, a crash loses nothing.
+  serve_tmp="$(mktemp -d)"
+  serve_query=(--kind sweep --node 0 --points 3 --coarse-mesh)
+  # serve_roundtrip VAR: query the daemon, retrying while it comes up
+  # (a SIGKILLed daemon leaves a stale socket file behind, so waiting on
+  # the path alone is not enough — wait for an actual answer).
+  serve_roundtrip() {
+    local -n out=$1
+    for _ in $(seq 100); do
+      if out="$("$build_dir/tools/subscale_query" "${serve_query[@]}" \
+          --socket "$serve_tmp/sock" 2>/dev/null)"; then
+        return 0
+      fi
+      sleep 0.1
+    done
+    echo "check.sh: serve daemon never answered" >&2
+    return 1
+  }
+  "$build_dir/tools/subscale_serve" --socket "$serve_tmp/sock" \
+      --cache-dir "$serve_tmp/cache" > "$serve_tmp/daemon1.log" &
+  serve_pid=$!
+  serve_roundtrip first
+  kill -KILL "$serve_pid"
+  wait "$serve_pid" 2>/dev/null || true
+  "$build_dir/tools/subscale_serve" --socket "$serve_tmp/sock" \
+      --cache-dir "$serve_tmp/cache" > "$serve_tmp/daemon2.log" &
+  serve_pid=$!
+  serve_roundtrip second
+  info="$("$build_dir/tools/subscale_query" --kind server_info \
+      --socket "$serve_tmp/sock")"
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" 2>/dev/null || true
+  if [[ "$first" != "$second" ]]; then
+    echo "check.sh: serve restart answer differs from pre-kill answer" >&2
+    exit 1
+  fi
+  if ! grep -Eq '"cache.hit": [1-9]' <<< "$info"; then
+    echo "check.sh: restarted daemon did not answer from the cache" >&2
+    exit 1
+  fi
+  # The daemon's bytes must equal the transport-free CLI dispatch on the
+  # same warm cache (command substitution strips the trailing newline on
+  # both sides, so this is a byte comparison of the JSON documents).
+  oneshot="$("$build_dir/tools/subscale_query" "${serve_query[@]}" \
+      --cache-dir "$serve_tmp/cache")"
+  if [[ "$second" != "$oneshot" ]]; then
+    echo "check.sh: daemon response differs from one-shot CLI dispatch" >&2
+    exit 1
+  fi
+  echo "subscale_serve: kill/restart chaos smoke passed (warm, bitwise)"
+  rm -rf "$serve_tmp"
 fi

@@ -16,6 +16,8 @@
 ///   * orch.*               — claim/reassign/poison traffic depends on
 ///                            scheduling, lease timeouts and chaos
 ///                            policy, not solver effort,
+///   * serve.*              — request/throttle/coalesce traffic depends
+///                            on client arrival timing, not effort,
 ///   * *_ms.sum             — wall-clock (opt back in: --include-timing),
 ///   * *.last_residual      — a gauge of the final solve, not effort.
 /// A key present in OLD but missing in NEW also fails (schema drift).
@@ -133,6 +135,7 @@ int main(int argc, char** argv) {
     if (has_prefix(key, "exec.pool.")) continue;
     if (has_prefix(key, "cache.")) continue;
     if (has_prefix(key, "orch.")) continue;
+    if (has_prefix(key, "serve.")) continue;
     if (!include_timing && has_suffix(key, "_ms.sum")) continue;
     if (has_suffix(key, ".last_residual")) continue;
 
