@@ -5,7 +5,10 @@
 /// measured values, states the shape criterion it targets, and emits a
 /// machine-readable BENCH_<name>.json timing record through bench::run
 /// so cross-run trajectories (wall time, headline metrics, shape
-/// verdict) can be tracked without scraping stdout.
+/// verdict) can be tracked without scraping stdout. When
+/// SUBSCALE_PERFDB_DIR is set, every record is ALSO appended to the
+/// perf-history store there (src/perfdb; SUBSCALE_GIT_REV stamps the
+/// revision), which is what tools/obs_trend gates trends over.
 ///
 /// Telemetry: bench::run installs a process-wide MetricsRegistry (via
 /// obs::set_default_registry) before the body runs, preregisters the
@@ -28,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <functional>
 #include <string>
 #include <utility>
@@ -44,6 +48,8 @@
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/profiler.h"
+#include "perfdb/record.h"
+#include "perfdb/store.h"
 
 namespace bench {
 
@@ -211,6 +217,48 @@ inline void write_record(const std::string& name, bool ok, double wall_ms,
   const std::string text = w.str();
   std::fwrite(text.data(), 1, text.size(), f);
   std::fclose(f);
+
+  // SUBSCALE_PERFDB_DIR: additionally append this run to the perf
+  // history (src/perfdb), the longitudinal form tools/obs_trend gates.
+  // Interrupted records append too — stamped, so loaders exclude them
+  // from baselines by default but forensics can still see them.
+  if (const char* db_dir = std::getenv("SUBSCALE_PERFDB_DIR");
+      db_dir != nullptr && db_dir[0] != '\0') {
+    subscale::perfdb::PerfRecord pr;
+    pr.bench = name;
+    pr.card = card().id;
+    if (const char* rev = std::getenv("SUBSCALE_GIT_REV");
+        rev != nullptr) {
+      pr.rev = rev;
+    }
+    pr.ts = static_cast<std::uint64_t>(std::time(nullptr));
+    pr.shape_ok = ok;
+    pr.interrupted = interrupted;
+    pr.wall_ms = wall_ms;
+    pr.threads = static_cast<std::uint64_t>(
+        subscale::exec::global_policy().resolved_threads());
+    pr.metrics = record.metrics();
+    if (subscale::obs::MetricsRegistry* reg = bench_registry();
+        reg != nullptr) {
+      const obs::MetricsSnapshot snap = reg->snapshot();
+      for (const auto& [key, value] : snap.counters) {
+        pr.obs.emplace_back(key, static_cast<double>(value));
+      }
+      for (const auto& [key, value] : snap.gauges) {
+        pr.obs.emplace_back(key, value);
+      }
+      for (const auto& h : snap.histograms) {
+        pr.obs.emplace_back(h.name + ".count",
+                            static_cast<double>(h.count));
+        pr.obs.emplace_back(h.name + ".sum", h.sum);
+      }
+    }
+    subscale::perfdb::PerfDb db(db_dir);
+    if (!db.append(pr)) {
+      std::fprintf(stderr, "bench: perfdb append to %s failed\n",
+                   db.path_for(pr.bench).c_str());
+    }
+  }
 }
 
 /// State the interrupt handler needs to flush a partial record. A bench

@@ -1,5 +1,6 @@
 #include "obs/metrics.h"
 
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -138,6 +139,33 @@ double MetricsSnapshot::gauge(std::string_view name) const {
     if (n == name) return v;
   }
   return 0.0;
+}
+
+double MetricsSnapshot::HistogramValue::percentile(double p) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 100.0) p = 100.0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  double lower = 0.0;  // the first bucket's lower edge
+  for (const auto& [upper, tally] : buckets) {
+    if (tally > 0) {
+      const double cum = static_cast<double>(seen + tally);
+      if (cum >= target) {
+        if (std::isinf(upper)) {
+          // Overflow bucket: no finite upper edge; clamp to the highest
+          // finite bound (== this bucket's lower edge).
+          return lower;
+        }
+        const double fraction =
+            (target - static_cast<double>(seen)) / static_cast<double>(tally);
+        return lower + (upper - lower) * (fraction < 0.0 ? 0.0 : fraction);
+      }
+      seen += tally;
+    }
+    if (!std::isinf(upper)) lower = upper;
+  }
+  return lower;  // ranks beyond the last tally clamp to the top edge
 }
 
 void set_default_registry(MetricsRegistry* registry) {

@@ -121,6 +121,15 @@ struct MetricsSnapshot {
     /// (upper bound, tally) per bucket; the overflow bucket reports
     /// an infinite bound.
     std::vector<std::pair<double, std::uint64_t>> buckets;
+
+    /// Percentile estimate (p in [0, 100]) by linear interpolation
+    /// inside the bucket holding the rank — the Prometheus
+    /// histogram_quantile convention: the first bucket's lower edge is
+    /// 0, and a rank landing in the overflow bucket clamps to the
+    /// highest finite bound (there is no upper edge to interpolate
+    /// toward). Returns 0.0 for an empty histogram; p is clamped to
+    /// [0, 100].
+    double percentile(double p) const;
   };
   std::vector<std::pair<std::string, std::uint64_t>> counters;
   std::vector<std::pair<std::string, double>> gauges;

@@ -1,152 +1,223 @@
 #pragma once
 
 /// \file names.h
-/// The canonical metric schema. Every instrumented layer names its
-/// instruments through these constants, and bench::run preregisters all
-/// of them so each BENCH_<name>.json carries the full key set (zeros
-/// included) — that is what keeps the bench trajectory comparable
-/// across PRs. tools/bench_schema.sh holds the same list as a
-/// whitelist and fails the build check on unknown or renamed keys, so
-/// adding a metric means touching BOTH files deliberately.
+/// The canonical metric schema, declared ONCE as the X-macro table
+/// SUBSCALE_OBS_SCHEMA below. Every consumer derives from that table:
+///   * the `names::k*` constants every instrumented layer spells its
+///     instruments through,
+///   * `preregister_standard()`, which touches every instrument so each
+///     BENCH_<name>.json carries the full key set (zeros included) —
+///     that is what keeps the bench trajectory comparable across PRs,
+///   * `kStandardSchema` + `regression_gated()`, the single gating
+///     policy tools/obs_diff (pairwise) and tools/obs_trend (rolling
+///     baseline) apply to flat record keys,
+///   * tools/bench_schema.sh, which awk-extracts the rows textually to
+///     build its whitelist — keep each X(...) row on one line.
+/// Adding or renaming a metric therefore means editing exactly one row.
+
+#include <string_view>
 
 #include "obs/metrics.h"
 
 namespace subscale::obs::names {
 
-// exec layer (thread-count dependent by nature; excluded from the
-// bitwise determinism contract, see DESIGN.md §10.3)
-inline constexpr const char* kPoolPools = "exec.pool.pools";
-inline constexpr const char* kPoolTasksRun = "exec.pool.tasks_run";
-inline constexpr const char* kPoolQueueDepthMax = "exec.pool.queue_depth_max";
-inline constexpr const char* kPoolUtilizationPct = "exec.pool.utilization_pct";
+/// What instrument a schema row registers (and how its flat record keys
+/// gate): histograms flatten to "<name>.count"/"<name>.sum" in BENCH
+/// and perfdb records, and a latency histogram's .sum is wall clock —
+/// excluded from the regression gates unless timing is opted in.
+enum class MetricKind {
+  kCounter,
+  kGauge,
+  kLatencyHistogram,    ///< buckets::kLatencyMs; .sum is timing
+  kIterationHistogram,  ///< buckets::kIterations; .sum is effort
+};
 
-// linalg layer
-inline constexpr const char* kBicgstabSolves = "linalg.bicgstab.solves";
-inline constexpr const char* kBicgstabIterations =
-    "linalg.bicgstab.iterations";
-inline constexpr const char* kBicgstabBreakdowns =
-    "linalg.bicgstab.breakdowns";
-inline constexpr const char* kBicgstabFailures = "linalg.bicgstab.failures";
+/// Whether the regression gates compare the metric at all. Exempt rows
+/// are environment- or scheduling-dependent (thread counts, what past
+/// runs left in a cache dir, client arrival timing) — comparing them
+/// would gate noise, not solver effort. See DESIGN.md §16.2.
+enum class GatePolicy { kGated, kExempt };
 
-// tcad layer — Gummel outer loop and its stages
-inline constexpr const char* kGummelSolves = "tcad.gummel.solves";
-inline constexpr const char* kGummelOuterIterations =
-    "tcad.gummel.outer_iterations";
-inline constexpr const char* kGummelContinuationSteps =
-    "tcad.gummel.continuation_steps";
-inline constexpr const char* kGummelRetries = "tcad.gummel.retries";
-inline constexpr const char* kGummelStepHalvings =
-    "tcad.gummel.step_halvings";
-inline constexpr const char* kGummelDampingTightenings =
-    "tcad.gummel.damping_tightenings";
-inline constexpr const char* kGummelRollbacks = "tcad.gummel.rollbacks";
-inline constexpr const char* kGummelFaultsInjected =
-    "tcad.gummel.faults_injected";
-inline constexpr const char* kGummelFailedSolves =
-    "tcad.gummel.failed_solves";
-inline constexpr const char* kGummelLastResidual =
-    "tcad.gummel.last_residual";
-inline constexpr const char* kGummelIterationsPerSolve =
-    "tcad.gummel.iterations_per_solve";
-inline constexpr const char* kPoissonNewtonIterations =
-    "tcad.poisson.newton_iterations";
-inline constexpr const char* kContinuitySolves = "tcad.continuity.solves";
+// clang-format off
+/// One row per instrument: X(<constant>, "<wire name>", <kind>, <gate>).
+/// Rationale for the Exempt rows:
+///   * exec.pool.*  — thread-count-dependent by nature (DESIGN.md §10.3),
+///   * *.last_residual — a gauge of the final solve, not effort,
+///   * cache.*      — hit/miss/store totals depend on what past runs
+///                    left in SUBSCALE_CACHE_DIR, not the change under
+///                    test,
+///   * orch.*       — claim/reassign/poison traffic depends on
+///                    scheduling, lease timeouts and chaos policy,
+///   * serve.*      — request/throttle/coalesce traffic depends on
+///                    client arrival timing.
+#define SUBSCALE_OBS_SCHEMA(X)                                                \
+  /* exec layer */                                                            \
+  X(kPoolPools, "exec.pool.pools", kCounter, kExempt)                         \
+  X(kPoolTasksRun, "exec.pool.tasks_run", kCounter, kExempt)                  \
+  X(kPoolQueueDepthMax, "exec.pool.queue_depth_max", kGauge, kExempt)         \
+  X(kPoolUtilizationPct, "exec.pool.utilization_pct", kGauge, kExempt)        \
+  /* linalg layer */                                                          \
+  X(kBicgstabSolves, "linalg.bicgstab.solves", kCounter, kGated)              \
+  X(kBicgstabIterations, "linalg.bicgstab.iterations", kCounter, kGated)      \
+  X(kBicgstabBreakdowns, "linalg.bicgstab.breakdowns", kCounter, kGated)      \
+  X(kBicgstabFailures, "linalg.bicgstab.failures", kCounter, kGated)          \
+  /* tcad layer — Gummel outer loop and its stages */                         \
+  X(kGummelSolves, "tcad.gummel.solves", kCounter, kGated)                    \
+  X(kGummelOuterIterations, "tcad.gummel.outer_iterations", kCounter, kGated) \
+  X(kGummelContinuationSteps, "tcad.gummel.continuation_steps", kCounter, kGated) \
+  X(kGummelRetries, "tcad.gummel.retries", kCounter, kGated)                  \
+  X(kGummelStepHalvings, "tcad.gummel.step_halvings", kCounter, kGated)       \
+  X(kGummelDampingTightenings, "tcad.gummel.damping_tightenings", kCounter, kGated) \
+  X(kGummelRollbacks, "tcad.gummel.rollbacks", kCounter, kGated)              \
+  X(kGummelFaultsInjected, "tcad.gummel.faults_injected", kCounter, kGated)   \
+  X(kGummelFailedSolves, "tcad.gummel.failed_solves", kCounter, kGated)       \
+  X(kGummelLastResidual, "tcad.gummel.last_residual", kGauge, kExempt)        \
+  X(kGummelIterationsPerSolve, "tcad.gummel.iterations_per_solve", kIterationHistogram, kGated) \
+  X(kPoissonNewtonIterations, "tcad.poisson.newton_iterations", kCounter, kGated) \
+  X(kContinuitySolves, "tcad.continuity.solves", kCounter, kGated)            \
+  /* tcad layer — bias sweeps */                                              \
+  X(kSweepPointsAttempted, "tcad.sweep.points_attempted", kCounter, kGated)   \
+  X(kSweepPointsConverged, "tcad.sweep.points_converged", kCounter, kGated)   \
+  X(kSweepPointsFailed, "tcad.sweep.points_failed", kCounter, kGated)         \
+  X(kSweepPointMs, "tcad.sweep.point_ms", kLatencyHistogram, kGated)          \
+  /* core layer — study-level fan-out */                                      \
+  X(kStudyNodesValidated, "core.study.nodes_validated", kCounter, kGated)     \
+  X(kStudyNodeErrors, "core.study.node_errors", kCounter, kGated)             \
+  X(kStudySweepPointFailures, "core.study.sweep_point_failures", kCounter, kGated) \
+  X(kStudyNodeMs, "core.study.node_ms", kLatencyHistogram, kGated)            \
+  /* cache layer — persistent solve-cache traffic */                          \
+  X(kCacheHit, "cache.hit", kCounter, kExempt)                                \
+  X(kCacheMiss, "cache.miss", kCounter, kExempt)                              \
+  X(kCacheStore, "cache.store", kCounter, kExempt)                            \
+  X(kCacheEvict, "cache.evict", kCounter, kExempt)                            \
+  X(kCacheWarmstart, "cache.warmstart", kCounter, kExempt)                    \
+  X(kCacheCorrupt, "cache.corrupt", kCounter, kExempt)                        \
+  /* orch layer — multi-process study orchestration (src/orch) */             \
+  X(kOrchUnitsTotal, "orch.units_total", kCounter, kExempt)                   \
+  X(kOrchClaimed, "orch.claimed", kCounter, kExempt)                          \
+  X(kOrchCompleted, "orch.completed", kCounter, kExempt)                      \
+  X(kOrchReassigned, "orch.reassigned", kCounter, kExempt)                    \
+  X(kOrchPoisoned, "orch.poisoned", kCounter, kExempt)                        \
+  X(kOrchWorkerRestarts, "orch.worker_restarts", kCounter, kExempt)           \
+  /* cards layer — technology-deck traffic */                                 \
+  X(kCardsLoads, "cards.loads", kCounter, kGated)                             \
+  X(kCardsBackendDispatches, "cards.backend_dispatches", kCounter, kGated)    \
+  /* serve layer — the design-query daemon (src/serve) */                     \
+  X(kServeRequests, "serve.requests", kCounter, kExempt)                      \
+  X(kServeExecuted, "serve.executed", kCounter, kExempt)                      \
+  X(kServeCoalesced, "serve.coalesced", kCounter, kExempt)                    \
+  X(kServeErrors, "serve.errors", kCounter, kExempt)                          \
+  X(kServeThrottled, "serve.throttled", kCounter, kExempt)                    \
+  X(kServeRejected, "serve.rejected", kCounter, kExempt)                      \
+  X(kServeClients, "serve.clients", kCounter, kExempt)                        \
+  X(kServeQueueDepthMax, "serve.queue_depth_max", kGauge, kExempt)            \
+  X(kServeRequestMs, "serve.request_ms", kLatencyHistogram, kExempt)          \
+  /* obs layer — span-profiler export tallies */                              \
+  X(kProfilerSpans, "obs.profiler.spans", kCounter, kGated)                   \
+  X(kProfilerSpansDropped, "obs.profiler.spans_dropped", kCounter, kGated)
+// clang-format on
 
-// tcad layer — bias sweeps
-inline constexpr const char* kSweepPointsAttempted =
-    "tcad.sweep.points_attempted";
-inline constexpr const char* kSweepPointsConverged =
-    "tcad.sweep.points_converged";
-inline constexpr const char* kSweepPointsFailed =
-    "tcad.sweep.points_failed";
-inline constexpr const char* kSweepPointMs = "tcad.sweep.point_ms";
+// The named constants every call site uses, generated from the table.
+#define SUBSCALE_OBS_DECLARE_NAME(ident, name, kind, gate) \
+  inline constexpr const char* ident = name;
+SUBSCALE_OBS_SCHEMA(SUBSCALE_OBS_DECLARE_NAME)
+#undef SUBSCALE_OBS_DECLARE_NAME
 
-// core layer — study-level fan-out
-inline constexpr const char* kStudyNodesValidated =
-    "core.study.nodes_validated";
-inline constexpr const char* kStudyNodeErrors = "core.study.node_errors";
-inline constexpr const char* kStudySweepPointFailures =
-    "core.study.sweep_point_failures";
-inline constexpr const char* kStudyNodeMs = "core.study.node_ms";
+/// One schema row, queryable at runtime (obs_diff/obs_trend gating,
+/// bench whitelists, the perfdb rollup layer).
+struct MetricDef {
+  const char* name;
+  MetricKind kind;
+  GatePolicy gate;
 
-// cache layer — persistent solve-cache traffic. Hit/miss/store totals
-// depend on what previous runs left on disk, so every cache.* key is
-// excluded from the obs_diff regression gate (tools/obs_diff skip list).
-inline constexpr const char* kCacheHit = "cache.hit";
-inline constexpr const char* kCacheMiss = "cache.miss";
-inline constexpr const char* kCacheStore = "cache.store";
-inline constexpr const char* kCacheEvict = "cache.evict";
-inline constexpr const char* kCacheWarmstart = "cache.warmstart";
-inline constexpr const char* kCacheCorrupt = "cache.corrupt";
+  bool is_histogram() const {
+    return kind == MetricKind::kLatencyHistogram ||
+           kind == MetricKind::kIterationHistogram;
+  }
+};
 
-// orch layer — multi-process study orchestration (src/orch). Claim/
-// reassign/poison traffic depends on scheduling, lease timeouts and
-// chaos policy — wall-clock artifacts, not solver effort — so every
-// orch.* key is excluded from the obs_diff regression gate alongside
-// cache.*.
-inline constexpr const char* kOrchUnitsTotal = "orch.units_total";
-inline constexpr const char* kOrchClaimed = "orch.claimed";
-inline constexpr const char* kOrchCompleted = "orch.completed";
-inline constexpr const char* kOrchReassigned = "orch.reassigned";
-inline constexpr const char* kOrchPoisoned = "orch.poisoned";
-inline constexpr const char* kOrchWorkerRestarts = "orch.worker_restarts";
+inline constexpr MetricDef kStandardSchema[] = {
+#define SUBSCALE_OBS_DEF_ROW(ident, name, kind, gate) \
+  {name, MetricKind::kind, GatePolicy::gate},
+    SUBSCALE_OBS_SCHEMA(SUBSCALE_OBS_DEF_ROW)
+#undef SUBSCALE_OBS_DEF_ROW
+};
 
-// cards layer — technology-deck traffic: card JSON loads and compact
-// device-backend factory dispatches (make_device_model). Both are
-// deterministic for a given study shape at any thread count.
-inline constexpr const char* kCardsLoads = "cards.loads";
-inline constexpr const char* kCardsBackendDispatches =
-    "cards.backend_dispatches";
-
-// serve layer — the design-query daemon (src/serve). Request/error/
-// throttle traffic depends on what clients send and when — wall-clock
-// artifacts like cache.* and orch.* — so every serve.* key is excluded
-// from the obs_diff regression gate.
-inline constexpr const char* kServeRequests = "serve.requests";
-inline constexpr const char* kServeExecuted = "serve.executed";
-inline constexpr const char* kServeCoalesced = "serve.coalesced";
-inline constexpr const char* kServeErrors = "serve.errors";
-inline constexpr const char* kServeThrottled = "serve.throttled";
-inline constexpr const char* kServeRejected = "serve.rejected";
-inline constexpr const char* kServeClients = "serve.clients";
-inline constexpr const char* kServeQueueDepthMax = "serve.queue_depth_max";
-inline constexpr const char* kServeRequestMs = "serve.request_ms";
-
-// obs layer — span-profiler export tallies (bumped once at export time
-// so every BENCH record says how many spans its trace carries; zero
-// when profiling is off)
-inline constexpr const char* kProfilerSpans = "obs.profiler.spans";
-inline constexpr const char* kProfilerSpansDropped =
-    "obs.profiler.spans_dropped";
+inline constexpr std::size_t kStandardSchemaSize =
+    sizeof(kStandardSchema) / sizeof(kStandardSchema[0]);
 
 /// Touch every standard instrument so a snapshot (and the BENCH json
 /// written from it) always carries the complete schema, zeros included.
 inline void preregister_standard(MetricsRegistry& registry) {
-  for (const char* name :
-       {kPoolPools, kPoolTasksRun, kBicgstabSolves, kBicgstabIterations,
-        kBicgstabBreakdowns, kBicgstabFailures, kGummelSolves,
-        kGummelOuterIterations, kGummelContinuationSteps, kGummelRetries,
-        kGummelStepHalvings, kGummelDampingTightenings, kGummelRollbacks,
-        kGummelFaultsInjected, kGummelFailedSolves,
-        kPoissonNewtonIterations, kContinuitySolves, kSweepPointsAttempted,
-        kSweepPointsConverged, kSweepPointsFailed, kStudyNodesValidated,
-        kStudyNodeErrors, kStudySweepPointFailures, kCacheHit, kCacheMiss,
-        kCacheStore, kCacheEvict, kCacheWarmstart, kCacheCorrupt,
-        kOrchUnitsTotal, kOrchClaimed, kOrchCompleted, kOrchReassigned,
-        kOrchPoisoned, kOrchWorkerRestarts, kCardsLoads,
-        kCardsBackendDispatches, kServeRequests, kServeExecuted,
-        kServeCoalesced, kServeErrors, kServeThrottled, kServeRejected,
-        kServeClients, kProfilerSpans, kProfilerSpansDropped}) {
-    registry.counter(name);
+  for (const MetricDef& def : kStandardSchema) {
+    switch (def.kind) {
+      case MetricKind::kCounter:
+        registry.counter(def.name);
+        break;
+      case MetricKind::kGauge:
+        registry.gauge(def.name);
+        break;
+      case MetricKind::kLatencyHistogram:
+        registry.histogram(def.name, buckets::kLatencyMs);
+        break;
+      case MetricKind::kIterationHistogram:
+        registry.histogram(def.name, buckets::kIterations);
+        break;
+    }
   }
-  for (const char* name : {kPoolQueueDepthMax, kPoolUtilizationPct,
-                           kGummelLastResidual, kServeQueueDepthMax}) {
-    registry.gauge(name);
+}
+
+/// Schema row for a FLAT record key — the form keys take in BENCH and
+/// perfdb records, where a histogram appears as "<name>.count" and
+/// "<name>.sum". Null for keys outside the standard schema.
+inline const MetricDef* find_flat(std::string_view key) {
+  const auto strip = [&](std::string_view suffix) -> std::string_view {
+    if (key.size() > suffix.size() &&
+        key.substr(key.size() - suffix.size()) == suffix) {
+      return key.substr(0, key.size() - suffix.size());
+    }
+    return {};
+  };
+  const std::string_view base_count = strip(".count");
+  const std::string_view base_sum = strip(".sum");
+  for (const MetricDef& def : kStandardSchema) {
+    const std::string_view name = def.name;
+    if (name == key && !def.is_histogram()) return &def;
+    if (def.is_histogram() && (name == base_count || name == base_sum)) {
+      return &def;
+    }
   }
-  registry.histogram(kGummelIterationsPerSolve, buckets::kIterations);
-  for (const char* name : {kSweepPointMs, kStudyNodeMs, kServeRequestMs}) {
-    registry.histogram(name, buckets::kLatencyMs);
+  return nullptr;
+}
+
+/// THE gating predicate both regression gates share: does this flat key
+/// participate? Schema rows answer from their GatePolicy/MetricKind;
+/// keys outside the table (a record written by a newer binary) fall
+/// back to the historical prefix/suffix heuristics so the gates degrade
+/// conservatively instead of flagging noise.
+inline bool regression_gated(std::string_view key,
+                             bool include_timing = false) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return key.size() >= suffix.size() &&
+           key.substr(key.size() - suffix.size()) == suffix;
+  };
+  if (const MetricDef* def = find_flat(key); def != nullptr) {
+    if (def->gate == GatePolicy::kExempt) return false;
+    if (def->kind == MetricKind::kLatencyHistogram && ends_with(".sum")) {
+      return include_timing;  // wall clock, not effort
+    }
+    return true;
   }
+  const auto starts_with = [&](std::string_view prefix) {
+    return key.substr(0, prefix.size()) == prefix;
+  };
+  if (starts_with("exec.pool.") || starts_with("cache.") ||
+      starts_with("orch.") || starts_with("serve.")) {
+    return false;
+  }
+  if (ends_with("_ms.sum") && !include_timing) return false;
+  if (ends_with(".last_residual")) return false;
+  return true;
 }
 
 /// Canonical span labels for the hierarchical profiler (obs/profiler.h).

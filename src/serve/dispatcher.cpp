@@ -81,7 +81,12 @@ const core::ScalingStudy& Dispatcher::study_for(const std::string& card) {
 
 Result Dispatcher::dispatch(const Query& query) {
   // server_info is time-varying by definition — never coalesced.
-  if (query.kind == QueryKind::kServerInfo) return compute(query);
+  // metrics is an observation, not work — coalescing it through the
+  // in-flight table would let a follower receive a stale snapshot.
+  if (query.kind == QueryKind::kServerInfo ||
+      query.kind == QueryKind::kMetrics) {
+    return compute(query);
+  }
 
   const cache::HashKey key = cache::query_key(query);
   std::promise<Result> promise;
@@ -116,8 +121,13 @@ Result Dispatcher::dispatch(const Query& query) {
 }
 
 Result Dispatcher::compute(const Query& query) {
-  executed_.fetch_add(1, std::memory_order_relaxed);
-  if (executed_ctr_ != nullptr) executed_ctr_->add();
+  // A metrics query observes the counters, so it must not be one:
+  // bumping serve.executed here would make the export perturb itself
+  // and break daemon-vs-CLI byte identity.
+  if (query.kind != QueryKind::kMetrics) {
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (executed_ctr_ != nullptr) executed_ctr_->add();
+  }
   try {
     query.validate();
     switch (query.kind) {
@@ -129,6 +139,8 @@ Result Dispatcher::compute(const Query& query) {
         return compute_figure(query);
       case QueryKind::kServerInfo:
         return compute_info(query);
+      case QueryKind::kMetrics:
+        return compute_metrics(query);
     }
     fail(codes::kBadRequest, "unknown query kind");
   } catch (const QueryError& e) {
@@ -312,6 +324,62 @@ Result Dispatcher::compute_info(const Query& query) {
       r.info.metrics.emplace_back(h.name + ".sum", h.sum);
     }
     std::sort(r.info.metrics.begin(), r.info.metrics.end());
+  }
+  return r;
+}
+
+Result Dispatcher::compute_metrics(const Query& query) {
+  Result r;
+  r.id = query.id;
+  r.kind = QueryKind::kMetrics;
+  r.ok = true;
+  MetricsPayload& p = r.metrics;
+  if (obs::MetricsRegistry* reg = options_.run.sink(); reg != nullptr) {
+    p.enabled = true;
+    const obs::MetricsSnapshot snap = reg->snapshot();
+    p.counters = snap.counters;
+    p.gauges = snap.gauges;
+    for (const obs::MetricsSnapshot::HistogramValue& h : snap.histograms) {
+      MetricsPayload::Hist hist;
+      hist.name = h.name;
+      hist.count = h.count;
+      hist.sum = h.sum;
+      hist.buckets = h.buckets;
+      hist.p50 = h.percentile(50.0);
+      hist.p90 = h.percentile(90.0);
+      hist.p99 = h.percentile(99.0);
+      p.histograms.push_back(std::move(hist));
+    }
+  }
+  if (options_.admission != nullptr) {
+    const AdmissionController& a = *options_.admission;
+    p.has_admission = true;
+    p.admission.inflight = a.inflight();
+    p.admission.capacity = a.options().queue_capacity;
+    p.admission.effective_capacity = a.effective_capacity();
+    p.admission.smoothed_latency_ms = a.smoothed_latency_ms();
+    p.admission.governor = a.options().latency_target_ms > 0.0;
+    p.admission.latency_target_ms = a.options().latency_target_ms;
+  }
+  if (obs::TraceRing* ring = options_.run.trace; ring != nullptr) {
+    p.has_trace = true;
+    p.trace.recorded = ring->total_recorded();
+    p.trace.dropped = ring->dropped();
+    p.trace.capacity = ring->capacity();
+  }
+  if (obs::SpanProfiler* prof = options_.run.span_sink(); prof != nullptr) {
+    const obs::ProfileSnapshot snap = prof->snapshot();
+    p.has_profiler = true;
+    p.profiler.spans = snap.spans.size();
+    p.profiler.dropped = snap.dropped;
+    for (const obs::ProfileRollupRow& row : snap.rollup()) {
+      MetricsPayload::ProfilerState::RollupRow rr;
+      rr.label = row.label;
+      rr.count = row.count;
+      rr.total_ms = row.total_ms;
+      rr.self_ms = row.self_ms;
+      p.profiler.rollup.push_back(std::move(rr));
+    }
   }
   return r;
 }

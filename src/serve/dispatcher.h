@@ -43,6 +43,7 @@
 #include "cache/hash.h"
 #include "core/scaling_study.h"
 #include "exec/run_context.h"
+#include "serve/admission.h"
 #include "serve/query.h"
 
 namespace subscale::serve {
@@ -66,6 +67,11 @@ struct DispatcherOptions {
   /// leader in place until every follower has arrived. Never set in
   /// production.
   std::function<void(const Query&)> compute_hook;
+  /// The admission controller whose governor state a kMetrics query
+  /// reports (the daemon wires its own in; null — the CLI's local mode
+  /// — omits the admission block). Observed only, never consulted for
+  /// admission decisions: the Dispatcher itself admits everything.
+  const AdmissionController* admission = nullptr;
 
   /// Throws std::invalid_argument naming the offending field.
   void validate() const;
@@ -108,6 +114,11 @@ class Dispatcher {
   Result compute_design(const Query& query);
   Result compute_figure(const Query& query);
   Result compute_info(const Query& query);
+  /// Non-perturbing by contract: snapshots the registry/admission/trace/
+  /// profiler without bumping serve.executed (or any other counter), so
+  /// two back-to-back metrics queries against unchanged state render
+  /// byte-identical documents.
+  Result compute_metrics(const Query& query);
 
   DispatcherOptions options_;
   std::chrono::steady_clock::time_point born_;

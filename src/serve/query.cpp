@@ -1,5 +1,8 @@
 #include "serve/query.h"
 
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "io/json_parse.h"
@@ -17,6 +20,8 @@ const char* query_kind_name(QueryKind kind) {
       return "figure";
     case QueryKind::kServerInfo:
       return "server_info";
+    case QueryKind::kMetrics:
+      return "metrics";
   }
   return "server_info";
 }
@@ -36,6 +41,10 @@ bool parse_query_kind(const std::string& name, QueryKind& out) {
   }
   if (name == "server_info") {
     out = QueryKind::kServerInfo;
+    return true;
+  }
+  if (name == "metrics") {
+    out = QueryKind::kMetrics;
     return true;
   }
   return false;
@@ -82,7 +91,8 @@ std::string query_to_json(const Query& query) {
     w.key("id");
     w.value(query.id);
   }
-  if (query.kind != QueryKind::kServerInfo) {
+  if (query.kind != QueryKind::kServerInfo &&
+      query.kind != QueryKind::kMetrics) {
     w.key("card");
     w.value(query.card);
     w.key("strategy");
@@ -269,6 +279,107 @@ void write_figure(io::Writer& w, const FigurePayload& p) {
   w.end_array();
 }
 
+void write_metrics(io::Writer& w, const MetricsPayload& p) {
+  w.key("enabled");
+  w.value(p.enabled);
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [name, value] : p.counters) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& [name, value] : p.gauges) {
+    w.key(name);
+    w.value(value);
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const MetricsPayload::Hist& h : p.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count);
+    w.key("sum");
+    w.value(h.sum);
+    // Finite upper bounds only; the overflow bucket is implied, so
+    // "bucket" carries one more tally than "le" has bounds.
+    w.key("le");
+    w.begin_array();
+    for (const auto& [bound, tally] : h.buckets) {
+      if (!std::isinf(bound)) w.value(bound);
+    }
+    w.end_array();
+    w.key("bucket");
+    w.begin_array();
+    for (const auto& [bound, tally] : h.buckets) w.value(tally);
+    w.end_array();
+    w.key("p50");
+    w.value(h.p50);
+    w.key("p90");
+    w.value(h.p90);
+    w.key("p99");
+    w.value(h.p99);
+    w.end_object();
+  }
+  w.end_object();
+  if (p.has_admission) {
+    w.key("admission");
+    w.begin_object();
+    w.key("inflight");
+    w.value(p.admission.inflight);
+    w.key("capacity");
+    w.value(p.admission.capacity);
+    w.key("effective_capacity");
+    w.value(p.admission.effective_capacity);
+    w.key("smoothed_latency_ms");
+    w.value(p.admission.smoothed_latency_ms);
+    w.key("governor");
+    w.value(p.admission.governor);
+    w.key("latency_target_ms");
+    w.value(p.admission.latency_target_ms);
+    w.end_object();
+  }
+  if (p.has_trace) {
+    w.key("trace");
+    w.begin_object();
+    w.key("recorded");
+    w.value(p.trace.recorded);
+    w.key("dropped");
+    w.value(p.trace.dropped);
+    w.key("capacity");
+    w.value(p.trace.capacity);
+    w.end_object();
+  }
+  if (p.has_profiler) {
+    w.key("profiler");
+    w.begin_object();
+    w.key("spans");
+    w.value(p.profiler.spans);
+    w.key("dropped");
+    w.value(p.profiler.dropped);
+    w.key("rollup");
+    w.begin_array();
+    for (const auto& row : p.profiler.rollup) {
+      w.begin_object();
+      w.key("label");
+      w.value(row.label);
+      w.key("count");
+      w.value(row.count);
+      w.key("total_ms");
+      w.value(row.total_ms);
+      w.key("self_ms");
+      w.value(row.self_ms);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+}
+
 void write_info(io::Writer& w, const InfoPayload& p) {
   w.key("proto");
   w.value(p.proto);
@@ -303,7 +414,8 @@ std::string result_to_json(const Result& result) {
   }
   w.key("kind");
   w.value(query_kind_name(result.kind));
-  if (result.kind != QueryKind::kServerInfo) {
+  if (result.kind != QueryKind::kServerInfo &&
+      result.kind != QueryKind::kMetrics) {
     w.key("card");
     w.value(result.card);
     w.key("strategy");
@@ -325,6 +437,9 @@ std::string result_to_json(const Result& result) {
       break;
     case QueryKind::kServerInfo:
       write_info(w, result.info);
+      break;
+    case QueryKind::kMetrics:
+      write_metrics(w, result.metrics);
       break;
   }
   w.end_object();
@@ -446,9 +561,187 @@ bool parse_result(const std::string& text, Result& out, std::string* error) {
       }
       break;
     }
+    case QueryKind::kMetrics: {
+      MetricsPayload& p = r.metrics;
+      p.enabled = body->bool_at("enabled", false);
+      if (const io::JsonPtr c = body->get("counters"); c != nullptr) {
+        for (const auto& [name, value] : c->fields()) {
+          p.counters.emplace_back(
+              name, static_cast<std::uint64_t>(value->as_number()));
+        }
+      }
+      if (const io::JsonPtr g = body->get("gauges"); g != nullptr) {
+        for (const auto& [name, value] : g->fields()) {
+          p.gauges.emplace_back(name, value->as_number());
+        }
+      }
+      if (const io::JsonPtr hs = body->get("histograms"); hs != nullptr) {
+        for (const auto& [name, hv] : hs->fields()) {
+          MetricsPayload::Hist h;
+          h.name = name;
+          h.count = static_cast<std::uint64_t>(hv->number_at("count", 0.0));
+          h.sum = hv->number_at("sum", 0.0);
+          const io::JsonPtr le = hv->get("le");
+          const io::JsonPtr bucket = hv->get("bucket");
+          // "bucket" has one more tally than "le" has bounds: the
+          // trailing overflow bucket carries the implied +Inf bound.
+          if (le == nullptr || bucket == nullptr ||
+              bucket->size() != le->size() + 1) {
+            return fail_result(error,
+                               "metrics histogram with mismatched buckets");
+          }
+          for (std::size_t i = 0; i < bucket->size(); ++i) {
+            const double bound =
+                i < le->size() ? le->at(i)->as_number()
+                               : std::numeric_limits<double>::infinity();
+            h.buckets.emplace_back(
+                bound,
+                static_cast<std::uint64_t>(bucket->at(i)->as_number()));
+          }
+          h.p50 = hv->number_at("p50", 0.0);
+          h.p90 = hv->number_at("p90", 0.0);
+          h.p99 = hv->number_at("p99", 0.0);
+          p.histograms.push_back(std::move(h));
+        }
+      }
+      if (const io::JsonPtr a = body->get("admission"); a != nullptr) {
+        p.has_admission = true;
+        p.admission.inflight =
+            static_cast<std::uint64_t>(a->number_at("inflight", 0.0));
+        p.admission.capacity =
+            static_cast<std::uint64_t>(a->number_at("capacity", 0.0));
+        p.admission.effective_capacity = static_cast<std::uint64_t>(
+            a->number_at("effective_capacity", 0.0));
+        p.admission.smoothed_latency_ms =
+            a->number_at("smoothed_latency_ms", 0.0);
+        p.admission.governor = a->bool_at("governor", false);
+        p.admission.latency_target_ms =
+            a->number_at("latency_target_ms", 0.0);
+      }
+      if (const io::JsonPtr t = body->get("trace"); t != nullptr) {
+        p.has_trace = true;
+        p.trace.recorded =
+            static_cast<std::uint64_t>(t->number_at("recorded", 0.0));
+        p.trace.dropped =
+            static_cast<std::uint64_t>(t->number_at("dropped", 0.0));
+        p.trace.capacity =
+            static_cast<std::uint64_t>(t->number_at("capacity", 0.0));
+      }
+      if (const io::JsonPtr pr = body->get("profiler"); pr != nullptr) {
+        p.has_profiler = true;
+        p.profiler.spans =
+            static_cast<std::uint64_t>(pr->number_at("spans", 0.0));
+        p.profiler.dropped =
+            static_cast<std::uint64_t>(pr->number_at("dropped", 0.0));
+        if (const io::JsonPtr rows = pr->get("rollup"); rows != nullptr) {
+          for (const io::JsonPtr& row : rows->items()) {
+            MetricsPayload::ProfilerState::RollupRow rr;
+            rr.label = row->string_at("label");
+            rr.count =
+                static_cast<std::uint64_t>(row->number_at("count", 0.0));
+            rr.total_ms = row->number_at("total_ms", 0.0);
+            rr.self_ms = row->number_at("self_ms", 0.0);
+            p.profiler.rollup.push_back(std::move(rr));
+          }
+        }
+      }
+      break;
+    }
   }
   out = std::move(r);
   return true;
+}
+
+namespace {
+
+/// Prometheus metric name: dots become underscores under a subscale_
+/// prefix ("serve.request_ms" -> "subscale_serve_request_ms").
+std::string prom_name(const std::string& metric) {
+  std::string out = "subscale_";
+  for (const char c : metric) out += c == '.' ? '_' : c;
+  return out;
+}
+
+/// %.17g like io::JsonWriter, so numbers are byte-stable and round-trip.
+std::string prom_value(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Bucket bounds are short layout constants (0.1, 25, 1000); %g keeps
+/// the le labels readable.
+std::string prom_bound(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", v);
+  return buf;
+}
+
+void prom_scalar(std::string& out, const std::string& name,
+                 const char* type, const std::string& value) {
+  out += "# TYPE " + name + " " + type + "\n";
+  out += name + " " + value + "\n";
+}
+
+}  // namespace
+
+std::string metrics_to_prometheus(const MetricsPayload& payload) {
+  std::string out;
+  for (const auto& [name, value] : payload.counters) {
+    prom_scalar(out, prom_name(name), "counter", std::to_string(value));
+  }
+  for (const auto& [name, value] : payload.gauges) {
+    prom_scalar(out, prom_name(name), "gauge", prom_value(value));
+  }
+  for (const MetricsPayload::Hist& h : payload.histograms) {
+    const std::string name = prom_name(h.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [bound, tally] : h.buckets) {
+      cumulative += tally;
+      const std::string le =
+          std::isinf(bound) ? std::string("+Inf") : prom_bound(bound);
+      out += name + "_bucket{le=\"" + le + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + prom_value(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+    // Interpolated percentiles as plain gauges — non-standard next to
+    // the bucket rows, but they let an operator read p99 straight off
+    // the exposition without a query engine.
+    prom_scalar(out, name + "_p50", "gauge", prom_value(h.p50));
+    prom_scalar(out, name + "_p90", "gauge", prom_value(h.p90));
+    prom_scalar(out, name + "_p99", "gauge", prom_value(h.p99));
+  }
+  if (payload.has_admission) {
+    prom_scalar(out, "subscale_admission_inflight", "gauge",
+                std::to_string(payload.admission.inflight));
+    prom_scalar(out, "subscale_admission_capacity", "gauge",
+                std::to_string(payload.admission.capacity));
+    prom_scalar(out, "subscale_admission_effective_capacity", "gauge",
+                std::to_string(payload.admission.effective_capacity));
+    prom_scalar(out, "subscale_admission_smoothed_latency_ms", "gauge",
+                prom_value(payload.admission.smoothed_latency_ms));
+    prom_scalar(out, "subscale_admission_governor", "gauge",
+                payload.admission.governor ? "1" : "0");
+    prom_scalar(out, "subscale_admission_latency_target_ms", "gauge",
+                prom_value(payload.admission.latency_target_ms));
+  }
+  if (payload.has_trace) {
+    prom_scalar(out, "subscale_trace_recorded", "counter",
+                std::to_string(payload.trace.recorded));
+    prom_scalar(out, "subscale_trace_dropped", "counter",
+                std::to_string(payload.trace.dropped));
+    prom_scalar(out, "subscale_trace_capacity", "gauge",
+                std::to_string(payload.trace.capacity));
+  }
+  if (payload.has_profiler) {
+    prom_scalar(out, "subscale_profiler_spans", "counter",
+                std::to_string(payload.profiler.spans));
+    prom_scalar(out, "subscale_profiler_spans_dropped", "counter",
+                std::to_string(payload.profiler.dropped));
+  }
+  return out;
 }
 
 Result error_result(const Query& query, const std::string& code,

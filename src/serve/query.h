@@ -49,10 +49,11 @@ enum class QueryKind {
   kDesign,      ///< (card, strategy, node) -> optimized design row
   kFigure,      ///< one metric across the card's nodes, as a series
   kServerInfo,  ///< protocol/uptime/metrics snapshot of the daemon
+  kMetrics,     ///< full structured telemetry export (non-perturbing)
 };
 
 /// Canonical lowercase kind name ("sweep", "design", "figure",
-/// "server_info").
+/// "server_info", "metrics").
 const char* query_kind_name(QueryKind kind);
 /// Parse a kind name; false (out untouched) on an unknown one.
 bool parse_query_kind(const std::string& name, QueryKind& out);
@@ -160,6 +161,60 @@ struct InfoPayload {
   std::vector<std::pair<std::string, double>> metrics;
 };
 
+/// kMetrics payload: the full structured telemetry export — every
+/// counter, gauge and histogram (buckets AND interpolated percentiles)
+/// of the dispatcher's live registry, plus the admission governor's
+/// state, trace-ring drop accounting and the profiler span rollup when
+/// those are wired. Deliberately clock-free (no uptime field) and
+/// gathered without bumping any serve.* counter, so answering it does
+/// not perturb what it reports — the same query against the daemon
+/// socket and against a local Dispatcher sharing the registry renders
+/// byte-identical documents (tests/test_serve.cpp pins this).
+struct MetricsPayload {
+  bool enabled = false;  ///< false: no registry wired; blocks empty
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  struct Hist {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /// (inclusive upper bound, per-bucket tally); the overflow bucket
+    /// carries an infinite bound, rendered as "+Inf" on the wire.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+  };
+  std::vector<Hist> histograms;
+  bool has_admission = false;
+  struct AdmissionState {
+    std::uint64_t inflight = 0;
+    std::uint64_t capacity = 0;            ///< configured queue_capacity
+    std::uint64_t effective_capacity = 0;  ///< after the governor squeeze
+    double smoothed_latency_ms = 0.0;
+    bool governor = false;  ///< latency_target_ms > 0
+    double latency_target_ms = 0.0;
+  } admission;
+  bool has_trace = false;
+  struct TraceState {
+    std::uint64_t recorded = 0;  ///< total events, incl. overwritten
+    std::uint64_t dropped = 0;   ///< lost to ring overwrite
+    std::uint64_t capacity = 0;
+  } trace;
+  bool has_profiler = false;
+  struct ProfilerState {
+    std::uint64_t spans = 0;
+    std::uint64_t dropped = 0;
+    struct RollupRow {
+      std::string label;
+      std::uint64_t count = 0;
+      double total_ms = 0.0;
+      double self_ms = 0.0;
+    };
+    std::vector<RollupRow> rollup;  ///< largest total first
+  } profiler;
+};
+
 /// One query's outcome. Exactly one payload is meaningful, selected by
 /// `kind`; `ok == false` means `error` is set instead.
 struct Result {
@@ -175,6 +230,7 @@ struct Result {
   DesignPayload design;
   FigurePayload figure;
   InfoPayload info;
+  MetricsPayload metrics;
 };
 
 /// Render a request as one canonical `subscale.query.v1` JSON document.
@@ -197,5 +253,13 @@ bool parse_result(const std::string& text, Result& out,
 Result error_result(const Query& query, const std::string& code,
                     const std::string& message,
                     const std::string& detail = {});
+
+/// Render a metrics payload in the Prometheus text exposition format
+/// (metric dots become underscores, a `subscale_` prefix, cumulative
+/// `_bucket{le="..."}` rows with a closing `+Inf`, `_sum`/`_count`).
+/// Pure function of the payload: the daemon path and the one-shot CLI
+/// (`subscale_query --format prometheus`) render identical text from
+/// identical payloads.
+std::string metrics_to_prometheus(const MetricsPayload& payload);
 
 }  // namespace subscale::serve

@@ -64,6 +64,7 @@ void ServerOptions::validate() const {
 struct Server::Connection {
   int fd = -1;
   std::string client;  ///< stable fairness identity, "c<N>"
+  bool counted = false;  ///< bumped serve.clients (first counted request)
   FrameDecoder decoder;
   std::mutex write_mu;        ///< one frame at a time on the wire
   std::atomic<bool> dead{false};  ///< read side gone; stop writing
@@ -107,8 +108,12 @@ void Server::start() {
   if (running_.load(std::memory_order_acquire)) return;
   stopping_.store(false, std::memory_order_release);
 
-  dispatcher_ = std::make_unique<Dispatcher>(options_.dispatcher);
+  // Admission first: the dispatcher's kMetrics export observes the
+  // governor through DispatcherOptions::admission, so the controller
+  // must exist before the Dispatcher copies its options.
   admission_ = std::make_unique<AdmissionController>(options_.admission);
+  options_.dispatcher.admission = admission_.get();
+  dispatcher_ = std::make_unique<Dispatcher>(options_.dispatcher);
   instruments_ =
       std::make_unique<Instruments>(options_.dispatcher.run.sink());
   pool_ = std::make_unique<exec::TaskPool>(options_.workers,
@@ -217,7 +222,6 @@ void Server::listener_loop() {
                       static_cast<unsigned long long>(next_client_++));
         conn->client = label;
         connections_.push_back(std::move(conn));
-        if (instruments_->clients != nullptr) instruments_->clients->add();
       }
     }
 
@@ -261,6 +265,28 @@ void Server::send_result(const std::shared_ptr<Connection>& conn,
 
 void Server::handle_frame(const std::shared_ptr<Connection>& conn,
                           const std::string& frame) {
+  // Peek for kMetrics before any instrumentation: a telemetry probe is
+  // an observation, not work. It skips the requests counter, admission
+  // and the latency histogram (so reading the metrics never perturbs
+  // them), and it answers inline on the listener thread — a saturated
+  // worker pool must not make the health endpoint unreachable.
+  {
+    Query probe;
+    Error ignored;
+    if (parse_query(frame, probe, ignored) &&
+        probe.kind == QueryKind::kMetrics) {
+      send_result(conn, dispatcher_->dispatch(probe));
+      return;
+    }
+  }
+
+  // serve.clients counts connections that issued at least one counted
+  // request — deferred from accept so a probe-only connection (the
+  // one-shot CLI asking for metrics) leaves the snapshot untouched.
+  if (!conn->counted) {
+    conn->counted = true;
+    if (instruments_->clients != nullptr) instruments_->clients->add();
+  }
   if (instruments_->requests != nullptr) instruments_->requests->add();
 
   Query query;

@@ -97,6 +97,76 @@ TEST(Metrics, HistogramBucketsAndOverflow) {
   EXPECT_EQ(h.bucket(so::buckets::kIterations.count), 1u);  // overflow
 }
 
+TEST(Metrics, PercentileOfEmptyHistogramIsZero) {
+  so::MetricsRegistry reg;
+  reg.histogram("test.empty", so::buckets::kIterations);
+  const so::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].percentile(99.0), 0.0);
+}
+
+TEST(Metrics, PercentileInterpolatesWithinSingleBucket) {
+  so::MetricsRegistry reg;
+  so::Histogram& h = reg.histogram("test.single", so::buckets::kIterations);
+  for (int i = 0; i < 4; ++i) h.record(1.0);  // all in bucket (0, 1]
+  const so::MetricsSnapshot snap = reg.snapshot();
+  const auto& hv = snap.histograms[0];
+  // Linear interpolation from the first bucket's lower edge (0): rank
+  // p of 4 samples lands p% of the way through the (0, 1] bucket.
+  EXPECT_DOUBLE_EQ(hv.percentile(25.0), 0.25);
+  EXPECT_DOUBLE_EQ(hv.percentile(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(hv.percentile(100.0), 1.0);
+  // Out-of-range p clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(hv.percentile(150.0), 1.0);
+  EXPECT_GE(hv.percentile(-10.0), 0.0);
+}
+
+TEST(Metrics, PercentileInterpolatesAcrossBuckets) {
+  so::MetricsRegistry reg;
+  so::Histogram& h = reg.histogram("test.multi", so::buckets::kIterations);
+  h.record(1.0);  // bucket (0, 1]
+  h.record(2.0);  // bucket (1, 2]
+  h.record(3.0);  // bucket (2, 3]
+  h.record(3.0);
+  const so::MetricsSnapshot snap = reg.snapshot();
+  const auto& hv = snap.histograms[0];
+  // target = 2 of 4 lands exactly at the top of the (1, 2] bucket.
+  EXPECT_DOUBLE_EQ(hv.percentile(50.0), 2.0);
+  // target = 3 of 4: halfway through the (2, 3] bucket's two samples.
+  EXPECT_DOUBLE_EQ(hv.percentile(75.0), 2.5);
+}
+
+TEST(Metrics, PercentileOverflowBucketClampsToHighestFiniteBound) {
+  so::MetricsRegistry reg;
+  so::Histogram& h = reg.histogram("test.ovf", so::buckets::kIterations);
+  h.record(5000.0);  // beyond the last finite bound (1000)
+  h.record(9000.0);
+  const so::MetricsSnapshot snap = reg.snapshot();
+  const auto& hv = snap.histograms[0];
+  // No upper edge to interpolate toward: every rank in the overflow
+  // bucket reports the highest finite bound.
+  EXPECT_DOUBLE_EQ(hv.percentile(50.0), 1000.0);
+  EXPECT_DOUBLE_EQ(hv.percentile(99.0), 1000.0);
+}
+
+TEST(Metrics, PercentilesAreMonotone) {
+  so::MetricsRegistry reg;
+  so::Histogram& h = reg.histogram("test.mono", so::buckets::kLatencyMs);
+  for (double v : {0.05, 0.2, 0.4, 0.9, 2.0, 4.0, 9.0, 40.0, 900.0,
+                   20000.0}) {
+    h.record(v);
+  }
+  const so::MetricsSnapshot snap = reg.snapshot();
+  const auto& hv = snap.histograms[0];
+  const double p50 = hv.percentile(50.0);
+  const double p90 = hv.percentile(90.0);
+  const double p99 = hv.percentile(99.0);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+}
+
 TEST(Metrics, HistogramLayoutConflictThrows) {
   so::MetricsRegistry reg;
   reg.histogram("test.h", so::buckets::kIterations);

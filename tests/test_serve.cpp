@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <future>
@@ -665,4 +666,234 @@ TEST(ServeServer, RestartOnWarmCacheRepliesBitwiseIdentical) {
     EXPECT_GT(cache.stats().hits, 0u);
     server.stop();
   }
+}
+
+// ---- metrics query (the live telemetry export) ----------------------------
+
+TEST(ServeMetrics, ByteIdenticalFromDaemonSocketAndLocalDispatcher) {
+  TempDir dir;
+  subscale::obs::MetricsRegistry registry;
+  subscale::obs::names::preregister_standard(registry);
+
+  sv::ServerOptions options = unix_server_options(dir.str() + "/sock");
+  options.dispatcher.run.metrics = &registry;
+  sv::Server server(options);
+  server.start();
+
+  sv::Client client;
+  ASSERT_TRUE(client.connect_unix(server.socket_path())) << client.error();
+
+  // One real query first so the counters/histograms are non-trivial —
+  // byte-identity over all-zeros would prove much less.
+  sv::Result warm;
+  ASSERT_TRUE(client.roundtrip(design_query(0), warm)) << client.error();
+  ASSERT_TRUE(warm.ok) << warm.error.message;
+
+  sv::Query q;
+  q.kind = sv::QueryKind::kMetrics;
+  q.id = "probe";
+  sv::Result remote;
+  ASSERT_TRUE(client.roundtrip(q, remote)) << client.error();
+  ASSERT_TRUE(remote.ok) << remote.error.message;
+  EXPECT_TRUE(remote.metrics.enabled);
+  EXPECT_TRUE(remote.metrics.has_admission);
+
+  // A local Dispatcher sharing the registry and the daemon's admission
+  // controller must render the exact same bytes: the payload is
+  // clock-free and gathering it perturbs nothing.
+  sv::DispatcherOptions local_options;
+  local_options.run.metrics = &registry;
+  local_options.admission = &server.admission();
+  sv::Dispatcher local(local_options);
+  EXPECT_EQ(client.last_response_text(),
+            sv::result_to_json(local.dispatch(q)));
+  server.stop();
+}
+
+TEST(ServeMetrics, ProbeOnlyConnectionsLeaveTheSnapshotUntouched) {
+  TempDir dir;
+  subscale::obs::MetricsRegistry registry;
+  subscale::obs::names::preregister_standard(registry);
+
+  sv::ServerOptions options = unix_server_options(dir.str() + "/sock");
+  options.dispatcher.run.metrics = &registry;
+  sv::Server server(options);
+  server.start();
+
+  sv::Client worker;
+  ASSERT_TRUE(worker.connect_unix(server.socket_path())) << worker.error();
+  sv::Result warm;
+  ASSERT_TRUE(worker.roundtrip(design_query(0), warm)) << worker.error();
+  ASSERT_TRUE(warm.ok) << warm.error.message;
+
+  // The one-shot CLI opens a fresh connection per probe. Two such
+  // probes must render byte-identical documents: serve.clients counts
+  // connections that issued a *counted* request, not raw accepts, so a
+  // probe-only connection never shows up in its own snapshot.
+  sv::Query q;
+  q.kind = sv::QueryKind::kMetrics;
+  std::string first;
+  for (std::string* out : {&first, static_cast<std::string*>(nullptr)}) {
+    sv::Client probe;
+    ASSERT_TRUE(probe.connect_unix(server.socket_path())) << probe.error();
+    sv::Result result;
+    ASSERT_TRUE(probe.roundtrip(q, result)) << probe.error();
+    ASSERT_TRUE(result.ok) << result.error.message;
+    if (out != nullptr) {
+      *out = probe.last_response_text();
+    } else {
+      EXPECT_EQ(first, probe.last_response_text());
+      bool found = false;
+      for (const auto& [key, value] : result.metrics.counters) {
+        if (key == "serve.clients") {
+          EXPECT_EQ(value, 1u);  // only the worker connection counted
+          found = true;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+  server.stop();
+}
+
+TEST(ServeMetrics, QueryDoesNotPerturbWhatItReports) {
+  subscale::obs::MetricsRegistry registry;
+  subscale::obs::names::preregister_standard(registry);
+  sv::DispatcherOptions options;
+  options.run.metrics = &registry;
+  sv::Dispatcher dispatcher(options);
+
+  sv::Query q;
+  q.kind = sv::QueryKind::kMetrics;
+  q.id = "same";
+  const std::string first = sv::result_to_json(dispatcher.dispatch(q));
+  const std::string second = sv::result_to_json(dispatcher.dispatch(q));
+  EXPECT_EQ(first, second);
+  // Unlike every other kind, metrics queries do not count as executed —
+  // observation, not work.
+  EXPECT_EQ(dispatcher.executed(), 0u);
+  EXPECT_EQ(registry.snapshot().counter(
+                subscale::obs::names::kServeExecuted),
+            0u);
+}
+
+TEST(ServeMetrics, PayloadJsonRoundTripsAndRendersPrometheus) {
+  subscale::obs::MetricsRegistry registry;
+  subscale::obs::names::preregister_standard(registry);
+  registry.counter(subscale::obs::names::kGummelSolves).add(7);
+  registry.gauge(subscale::obs::names::kPoolUtilizationPct).set(42.5);
+  auto& h = registry.histogram(subscale::obs::names::kSweepPointMs,
+                               subscale::obs::buckets::kLatencyMs);
+  h.record(0.3);
+  h.record(4.0);
+  h.record(50000.0);  // overflow bucket
+
+  sv::DispatcherOptions options;
+  options.run.metrics = &registry;
+  sv::Dispatcher dispatcher(options);
+  sv::Query q;
+  q.kind = sv::QueryKind::kMetrics;
+  const sv::Result result = dispatcher.dispatch(q);
+  ASSERT_TRUE(result.ok);
+
+  // JSON round-trip is a byte fixed point.
+  const std::string rendered = sv::result_to_json(result);
+  sv::Result parsed;
+  std::string error;
+  ASSERT_TRUE(sv::parse_result(rendered, parsed, &error)) << error;
+  EXPECT_EQ(sv::result_to_json(parsed), rendered);
+  EXPECT_TRUE(parsed.metrics.enabled);
+  bool saw_hist = false;
+  for (const auto& hist : parsed.metrics.histograms) {
+    if (hist.name == subscale::obs::names::kSweepPointMs) {
+      saw_hist = true;
+      EXPECT_EQ(hist.count, 3u);
+      EXPECT_GT(hist.p99, 0.0);
+      ASSERT_FALSE(hist.buckets.empty());
+      // The overflow bucket survives the trip with its infinite bound.
+      EXPECT_TRUE(std::isinf(hist.buckets.back().first));
+      EXPECT_EQ(hist.buckets.back().second, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_hist);
+
+  // The Prometheus text exposition renders from the same payload.
+  const std::string prom = sv::metrics_to_prometheus(result.metrics);
+  EXPECT_NE(prom.find("# TYPE subscale_tcad_gummel_solves counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("subscale_tcad_gummel_solves 7"), std::string::npos);
+  EXPECT_NE(prom.find("subscale_exec_pool_utilization_pct 42.5"),
+            std::string::npos);
+  EXPECT_NE(prom.find("subscale_tcad_sweep_point_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("subscale_tcad_sweep_point_ms_count 3"),
+            std::string::npos);
+  EXPECT_NE(prom.find("subscale_tcad_sweep_point_ms_p99"),
+            std::string::npos);
+  // And identically so after the wire round-trip (the CLI's remote
+  // path renders from a parsed payload).
+  EXPECT_EQ(sv::metrics_to_prometheus(parsed.metrics), prom);
+}
+
+TEST(ServeMetrics, SnapshotSurfacesTraceRingDropAccounting) {
+  subscale::obs::MetricsRegistry registry;
+  subscale::obs::TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    ring.record(subscale::obs::TraceKind::kStageEnter, "stage");
+  }
+  ASSERT_GT(ring.dropped(), 0u);
+
+  sv::DispatcherOptions options;
+  options.run.metrics = &registry;
+  options.run.trace = &ring;
+  sv::Dispatcher dispatcher(options);
+  sv::Query q;
+  q.kind = sv::QueryKind::kMetrics;
+  const sv::Result result = dispatcher.dispatch(q);
+  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.metrics.has_trace);
+  EXPECT_EQ(result.metrics.trace.capacity, 4u);
+  EXPECT_EQ(result.metrics.trace.recorded, 10u);
+  EXPECT_EQ(result.metrics.trace.dropped, ring.dropped());
+
+  // The drop accounting survives the wire too.
+  sv::Result parsed;
+  ASSERT_TRUE(sv::parse_result(sv::result_to_json(result), parsed));
+  EXPECT_TRUE(parsed.metrics.has_trace);
+  EXPECT_EQ(parsed.metrics.trace.dropped, result.metrics.trace.dropped);
+}
+
+TEST(ServeMetrics, SnapshotCarriesProfilerRollupWhenWired) {
+  subscale::obs::MetricsRegistry registry;
+  subscale::obs::SpanProfiler profiler;
+  {
+    subscale::obs::ScopedSpan outer(&profiler, "outer");
+    subscale::obs::ScopedSpan inner(&profiler, "inner");
+  }
+
+  sv::DispatcherOptions options;
+  options.run.metrics = &registry;
+  options.run.profiler = &profiler;
+  sv::Dispatcher dispatcher(options);
+  sv::Query q;
+  q.kind = sv::QueryKind::kMetrics;
+  const sv::Result result = dispatcher.dispatch(q);
+  ASSERT_TRUE(result.ok);
+  ASSERT_TRUE(result.metrics.has_profiler);
+  EXPECT_EQ(result.metrics.profiler.spans, 2u);
+  ASSERT_FALSE(result.metrics.profiler.rollup.empty());
+  bool saw_outer = false;
+  for (const auto& row : result.metrics.profiler.rollup) {
+    if (row.label == "outer") {
+      saw_outer = true;
+      EXPECT_EQ(row.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+
+  // Without a profiler the block is absent, not zero-filled.
+  sv::DispatcherOptions bare;
+  bare.run.metrics = &registry;
+  sv::Dispatcher plain(bare);
+  EXPECT_FALSE(plain.dispatch(q).metrics.has_profiler);
 }

@@ -3,76 +3,39 @@
 # canonical metric schema (src/obs/names.h). Fails when:
 #   * a record has no "obs" block at all (telemetry was not wired in),
 #   * a required headline metric key is missing, or
-#   * the block contains a key outside the whitelist — renaming or adding
-#     a metric must touch BOTH src/obs/names.h and this list, on purpose.
+#   * the block contains a key outside the schema — a metric is declared
+#     ONCE, as an X(...) row in src/obs/names.h; this script derives its
+#     whitelist from that table, so adding a metric never touches it.
 #
 #   ./tools/bench_schema.sh BENCH_tcad_validation.json [more.json ...]
 #   ./tools/bench_schema.sh            # validates ./BENCH_*.json
 set -euo pipefail
 
-# Whitelist: keep in sync with src/obs/names.h (kebab of the constants)
-# plus the ".count"/".sum" flattening write_metrics_snapshot() applies
-# to histograms.
-allowed_keys="
-exec.pool.pools
-exec.pool.tasks_run
-exec.pool.queue_depth_max
-exec.pool.utilization_pct
-linalg.bicgstab.solves
-linalg.bicgstab.iterations
-linalg.bicgstab.breakdowns
-linalg.bicgstab.failures
-tcad.gummel.solves
-tcad.gummel.outer_iterations
-tcad.gummel.continuation_steps
-tcad.gummel.retries
-tcad.gummel.step_halvings
-tcad.gummel.damping_tightenings
-tcad.gummel.rollbacks
-tcad.gummel.faults_injected
-tcad.gummel.failed_solves
-tcad.gummel.last_residual
-tcad.gummel.iterations_per_solve.count
-tcad.gummel.iterations_per_solve.sum
-tcad.poisson.newton_iterations
-tcad.continuity.solves
-tcad.sweep.points_attempted
-tcad.sweep.points_converged
-tcad.sweep.points_failed
-tcad.sweep.point_ms.count
-tcad.sweep.point_ms.sum
-core.study.nodes_validated
-core.study.node_errors
-core.study.sweep_point_failures
-core.study.node_ms.count
-core.study.node_ms.sum
-cards.loads
-cards.backend_dispatches
-cache.hit
-cache.miss
-cache.store
-cache.evict
-cache.warmstart
-cache.corrupt
-orch.units_total
-orch.claimed
-orch.completed
-orch.reassigned
-orch.poisoned
-orch.worker_restarts
-serve.requests
-serve.executed
-serve.coalesced
-serve.errors
-serve.throttled
-serve.rejected
-serve.clients
-serve.queue_depth_max
-serve.request_ms.count
-serve.request_ms.sum
-obs.profiler.spans
-obs.profiler.spans_dropped
-"
+# The whitelist, derived from the SUBSCALE_OBS_SCHEMA X-macro rows
+# (one per line by contract — see the names.h file comment). Histogram
+# rows expand to the ".count"/".sum" pair write_metrics_snapshot()
+# flattens them into.
+names_h="$(dirname "$0")/../src/obs/names.h"
+if [[ ! -f "$names_h" ]]; then
+  echo "bench_schema: schema table not found: $names_h" >&2
+  exit 1
+fi
+allowed_keys="$(awk '
+  /^ *X\(k/ {
+    if (match($0, /"[^"]+"/)) {
+      name = substr($0, RSTART + 1, RLENGTH - 2)
+      if ($0 ~ /kLatencyHistogram|kIterationHistogram/) {
+        print name ".count"
+        print name ".sum"
+      } else {
+        print name
+      }
+    }
+  }' "$names_h")"
+if [[ -z "$allowed_keys" ]]; then
+  echo "bench_schema: no X(...) schema rows parsed from $names_h" >&2
+  exit 1
+fi
 
 # Every bench must carry at least these (the cross-PR trajectory keys).
 required_keys="
@@ -122,8 +85,8 @@ for f in "${files[@]}"; do
   fi
   while IFS= read -r key; do
     if ! grep -qxF "$key" <<< "$allowed_keys"; then
-      echo "bench_schema: $f: unknown metric key \"$key\" (update" \
-           "src/obs/names.h AND tools/bench_schema.sh together)" >&2
+      echo "bench_schema: $f: unknown metric key \"$key\" (declare it" \
+           "as an X(...) row in src/obs/names.h)" >&2
       status=1
     fi
   done <<< "$keys"

@@ -56,8 +56,11 @@ if [[ -z "$sanitize" ]]; then
   # SUBSCALE_CACHE_DIR exercises the env-installed solve cache along the
   # way: a cold run must publish records (cache.store > 0 in the bench
   # telemetry proves the wiring, not just that the env var was read).
+  # SUBSCALE_PERFDB_DIR exercises the bench-side perf-history wiring:
+  # the run must land in the store as an obs_trend-visible record.
   (cd "$bench_tmp" && SUBSCALE_PROFILE=1 \
       SUBSCALE_CACHE_DIR="$bench_tmp/cache" \
+      SUBSCALE_PERFDB_DIR="$bench_tmp/perfdb" \
       "$build_dir/bench/bench_tcad_validation" > /dev/null)
   "$repo_root/tools/bench_schema.sh" "$bench_tmp"/BENCH_*.json
   if ! grep -Eq '"cache\.store": [1-9]' "$bench_tmp"/BENCH_*.json; then
@@ -81,6 +84,41 @@ if [[ -z "$sanitize" ]]; then
     exit 1
   fi
   echo "obs_diff: regression gate trips on perturbed record (expected)"
+
+  # Perf-history round-trip smoke (src/perfdb + tools/obs_trend). First:
+  # the bench run above, with SUBSCALE_PERFDB_DIR set, must already have
+  # appended itself to the store.
+  if ! "$build_dir/tools/obs_trend" list --db "$bench_tmp/perfdb" \
+      | grep -q "tcad_validation"; then
+    echo "check.sh: bench run did not land in the perf-history store" >&2
+    exit 1
+  fi
+  # Then the trend gate both ways on a synthetic history: three appends
+  # of the same record form a flat baseline the gate must pass, and the
+  # perturbed record (same +50% effort counter as the obs_diff check)
+  # appended as the newest run must trip it.
+  trend_db="$bench_tmp/trend-db"
+  for i in 1 2 3; do
+    "$build_dir/tools/obs_trend" append --db "$trend_db" \
+        --ts "$((1000 + i))" --rev "self$i" "$record" > /dev/null
+  done
+  "$build_dir/tools/obs_trend" gate --db "$trend_db" \
+      --bench tcad_validation
+  "$build_dir/tools/obs_trend" append --db "$trend_db" --ts 2000 \
+      --rev drift "$bench_tmp/perturbed.json" > /dev/null
+  if "$build_dir/tools/obs_trend" gate --db "$trend_db" \
+      --bench tcad_validation; then
+    echo "check.sh: obs_trend failed to flag a 50% drift vs baseline" >&2
+    exit 1
+  fi
+  echo "obs_trend: trend gate trips on drifted history (expected)"
+  # Rollup query sanity: show must summarize the gated counter's series.
+  if ! "$build_dir/tools/obs_trend" show --db "$trend_db" \
+      --bench tcad_validation --metric tcad.gummel.outer_iterations \
+      | grep -q "median="; then
+    echo "check.sh: obs_trend show produced no rollup stats" >&2
+    exit 1
+  fi
   rm -rf "$bench_tmp"
 
   # Cache round-trip smoke: bench_ext_cache gates itself (warm replay
@@ -167,6 +205,15 @@ if [[ -z "$sanitize" ]]; then
   serve_roundtrip second
   info="$("$build_dir/tools/subscale_query" --kind server_info \
       --socket "$serve_tmp/sock")"
+  # Live telemetry export: the metrics query must answer from the daemon
+  # in both wire formats, and the Prometheus rendering must carry the
+  # serve-layer instruments.
+  metrics_prom="$("$build_dir/tools/subscale_query" --kind metrics \
+      --format prometheus --socket "$serve_tmp/sock")"
+  if ! grep -q "subscale_serve_requests" <<< "$metrics_prom"; then
+    echo "check.sh: daemon metrics export lacks serve instruments" >&2
+    exit 1
+  fi
   kill -TERM "$serve_pid"
   wait "$serve_pid" 2>/dev/null || true
   if [[ "$first" != "$second" ]]; then

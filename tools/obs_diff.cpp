@@ -8,41 +8,29 @@
 /// effort counters (gummel iterations, retries, linear solves, ...) are
 /// deterministic at any thread count, so a genuine increase means the
 /// change made the solver work harder — the gate catches that without
-/// timing noise. Excluded by default:
-///   * exec.pool.*          — thread-count-dependent by nature,
-///   * cache.*              — hit/miss/store totals depend on what past
-///                            runs left in SUBSCALE_CACHE_DIR, not on
-///                            the change under test,
-///   * orch.*               — claim/reassign/poison traffic depends on
-///                            scheduling, lease timeouts and chaos
-///                            policy, not solver effort,
-///   * serve.*              — request/throttle/coalesce traffic depends
-///                            on client arrival timing, not effort,
-///   * *_ms.sum             — wall-clock (opt back in: --include-timing),
-///   * *.last_residual      — a gauge of the final solve, not effort.
-/// A key present in OLD but missing in NEW also fails (schema drift).
+/// timing noise. Which keys participate is decided by the one shared
+/// schema table (src/obs/names.h, `obs::names::regression_gated`):
+/// environment-dependent families (exec.pool.*, cache.*, orch.*,
+/// serve.*), wall-clock sums (opt back in: --include-timing) and final
+/// residual gauges are exempt. A key present in OLD but missing in NEW
+/// also fails (schema drift).
+///
+/// This is the explicit PAIRWISE gate (two records, no history). For
+/// trend-aware gating against a rolling baseline, see tools/obs_trend.
 ///
 /// Exit codes: 0 = no regression, 1 = regression, 2 = usage/parse error.
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
 
+#include "obs/names.h"
+
 namespace {
-
-bool has_prefix(const std::string& s, const char* prefix) {
-  return s.rfind(prefix, 0) == 0;
-}
-
-bool has_suffix(const std::string& s, const char* suffix) {
-  const std::size_t n = std::strlen(suffix);
-  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
-}
 
 /// Extract the flat key -> number map of the record's "obs" block.
 /// The block is pretty-printed one "key": value pair per line (see
@@ -132,12 +120,9 @@ int main(int argc, char** argv) {
   int regressions = 0;
   std::size_t compared = 0;
   for (const auto& [key, old_value] : old_obs) {
-    if (has_prefix(key, "exec.pool.")) continue;
-    if (has_prefix(key, "cache.")) continue;
-    if (has_prefix(key, "orch.")) continue;
-    if (has_prefix(key, "serve.")) continue;
-    if (!include_timing && has_suffix(key, "_ms.sum")) continue;
-    if (has_suffix(key, ".last_residual")) continue;
+    if (!subscale::obs::names::regression_gated(key, include_timing)) {
+      continue;
+    }
 
     const auto it = new_obs.find(key);
     if (it == new_obs.end()) {

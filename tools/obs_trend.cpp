@@ -1,0 +1,328 @@
+/// obs_trend: the trend-aware regression gate over a perf-history store
+/// (src/perfdb), superseding pairwise obs_diff semantics for CI. Where
+/// obs_diff compares exactly two BENCH records, obs_trend gates the
+/// NEWEST run of a bench against the rolling baseline — the median of
+/// the last N prior runs — so slow multi-PR drift (3% per PR, never
+/// tripping a 10% pairwise diff) still fires once it accumulates.
+///
+///   obs_trend append --db DIR [--ts SECONDS] [--rev REV] BENCH.json...
+///   obs_trend gate   --db DIR --bench NAME [--window N] [--tolerance F]
+///                    [--metric-tolerance KEY=F]... [--include-timing]
+///                    [--wall] [--slope F]
+///   obs_trend show   --db DIR --bench NAME [--metric KEY]
+///   obs_trend list   --db DIR
+///
+/// `append` ingests BENCH_<name>.json documents (bench/common.h output)
+/// into the store, stamping timestamp and revision; the bench driver
+/// appends directly when SUBSCALE_PERFDB_DIR is set, so `append` mostly
+/// serves check.sh smokes and manual backfills. `gate` is the CI entry
+/// point; `show` prints per-metric rollup stats and the Theil–Sen trend;
+/// `list` names the benches with history.
+///
+/// Which keys gate comes from the one schema table in src/obs/names.h
+/// (obs::names::regression_gated) — the same policy obs_diff applies
+/// pairwise. Interrupted (signal-flushed) records never enter baselines.
+///
+/// Exit codes: 0 = pass, 1 = regression, 2 = usage/load error.
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "perfdb/record.h"
+#include "perfdb/rollup.h"
+#include "perfdb/store.h"
+
+namespace {
+
+using subscale::perfdb::MetricTrend;
+using subscale::perfdb::PerfDb;
+using subscale::perfdb::PerfRecord;
+using subscale::perfdb::TrendGateOptions;
+using subscale::perfdb::TrendReport;
+using subscale::perfdb::WindowStats;
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: obs_trend append --db DIR [--ts SECONDS] [--rev REV] "
+      "BENCH.json...\n"
+      "       obs_trend gate   --db DIR --bench NAME [--window N]\n"
+      "                        [--tolerance F] [--metric-tolerance KEY=F]...\n"
+      "                        [--include-timing] [--wall] [--slope F]\n"
+      "       obs_trend show   --db DIR --bench NAME [--metric KEY]\n"
+      "       obs_trend list   --db DIR\n");
+  return 2;
+}
+
+bool parse_double(const char* text, double& out) {
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+int cmd_append(const std::string& db_dir, std::uint64_t ts,
+               const std::string& rev,
+               const std::vector<std::string>& paths) {
+  PerfDb db(db_dir);
+  for (const std::string& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "obs_trend: cannot open %s\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    PerfRecord record;
+    std::string error;
+    if (!subscale::perfdb::record_from_bench_json(text.str(), record,
+                                                  &error)) {
+      std::fprintf(stderr, "obs_trend: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 2;
+    }
+    record.ts = ts;
+    record.rev = rev;
+    if (!db.append(record)) {
+      std::fprintf(stderr, "obs_trend: append to %s failed\n",
+                   db.path_for(record.bench).c_str());
+      return 2;
+    }
+    std::printf("appended %s -> %s\n", record.bench.c_str(),
+                db.path_for(record.bench).c_str());
+  }
+  return 0;
+}
+
+int cmd_gate(const std::string& db_dir, const std::string& bench,
+             const TrendGateOptions& options) {
+  PerfDb db(db_dir);
+  PerfDb::LoadStats stats;
+  const std::vector<PerfRecord> history = db.load(bench, &stats);
+  if (stats.corrupt > 0) {
+    std::fprintf(stderr, "obs_trend: %zu corrupt line(s) skipped in %s\n",
+                 stats.corrupt, db.path_for(bench).c_str());
+  }
+  if (history.size() < 2) {
+    std::printf(
+        "obs_trend: %s: %zu usable record(s) — nothing to gate yet "
+        "(trivial pass)\n",
+        bench.c_str(), history.size());
+    return 0;
+  }
+  const TrendReport report = subscale::perfdb::trend_gate(history, options);
+  for (const MetricTrend& m : report.metrics) {
+    if (m.missing) {
+      std::printf("MISSING  %-44s baseline=%g (key absent in newest)\n",
+                  m.key.c_str(), m.baseline);
+    } else if (m.regressed) {
+      std::printf("REGRESS  %-44s baseline=%g newest=%g (%+.1f%%, "
+                  "window=%zu, slope=%g/run)\n",
+                  m.key.c_str(), m.baseline, m.newest, 100.0 * m.change,
+                  m.window_n, m.trend.slope);
+    }
+  }
+  if (!report.ok()) {
+    std::printf(
+        "obs_trend: %zu regression(s) vs rolling baseline (%zu metrics "
+        "gated over %zu records, tolerance %.0f%%)\n",
+        report.regressions, report.compared, report.records,
+        100.0 * options.tolerance);
+    return 1;
+  }
+  std::printf(
+      "obs_trend: OK (%zu metrics gated over %zu records, tolerance "
+      "%.0f%%)\n",
+      report.compared, report.records, 100.0 * options.tolerance);
+  return 0;
+}
+
+int cmd_show(const std::string& db_dir, const std::string& bench,
+             const std::string& only_metric) {
+  PerfDb db(db_dir);
+  PerfDb::LoadStats stats;
+  const std::vector<PerfRecord> history = db.load(bench, &stats);
+  std::printf("%s: %zu record(s) (%zu corrupt, %zu interrupted skipped)\n",
+              bench.c_str(), history.size(), stats.corrupt,
+              stats.interrupted);
+  if (history.empty()) return 0;
+
+  // Every series-able key across the history: wall_ms + union of obs.
+  std::vector<std::string> keys;
+  keys.push_back("wall_ms");
+  for (const PerfRecord& r : history) {
+    for (const auto& [key, value] : r.obs) {
+      (void)value;
+      bool seen = false;
+      for (const std::string& k : keys) {
+        if (k == key) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) keys.push_back(key);
+    }
+  }
+
+  for (const std::string& key : keys) {
+    if (!only_metric.empty() && key != only_metric) continue;
+    const std::vector<double> series =
+        subscale::perfdb::metric_series(history, key);
+    if (series.empty()) continue;
+    const WindowStats stats_all = subscale::perfdb::window_stats(series);
+    const subscale::perfdb::TrendFit fit =
+        subscale::perfdb::robust_trend(series);
+    std::printf("%-46s n=%-3zu mean=%-12g median=%-12g min=%-12g max=%-12g "
+                "slope=%g/run\n",
+                key.c_str(), stats_all.n, stats_all.mean, stats_all.median,
+                stats_all.min, stats_all.max, fit.ok ? fit.slope : 0.0);
+  }
+  return 0;
+}
+
+int cmd_list(const std::string& db_dir) {
+  PerfDb db(db_dir);
+  for (const std::string& bench : db.benches()) {
+    PerfDb::LoadStats stats;
+    const std::vector<PerfRecord> history = db.load(bench, &stats);
+    std::printf("%-32s %zu record(s)\n", bench.c_str(), history.size());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+
+  std::string db_dir;
+  std::string bench;
+  std::string only_metric;
+  std::string rev;
+  std::uint64_t ts = static_cast<std::uint64_t>(std::time(nullptr));
+  TrendGateOptions options;
+  std::vector<std::string> paths;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "obs_trend: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--db") {
+      const char* v = need_value("--db");
+      if (v == nullptr) return 2;
+      db_dir = v;
+    } else if (arg == "--bench") {
+      const char* v = need_value("--bench");
+      if (v == nullptr) return 2;
+      bench = v;
+    } else if (arg == "--metric") {
+      const char* v = need_value("--metric");
+      if (v == nullptr) return 2;
+      only_metric = v;
+    } else if (arg == "--ts") {
+      const char* v = need_value("--ts");
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      ts = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "obs_trend: bad --ts %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--rev") {
+      const char* v = need_value("--rev");
+      if (v == nullptr) return 2;
+      rev = v;
+    } else if (arg == "--window") {
+      const char* v = need_value("--window");
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n == 0) {
+        std::fprintf(stderr, "obs_trend: bad --window %s\n", v);
+        return 2;
+      }
+      options.window = static_cast<std::size_t>(n);
+    } else if (arg == "--tolerance") {
+      const char* v = need_value("--tolerance");
+      if (v == nullptr) return 2;
+      if (!parse_double(v, options.tolerance) ||
+          !(options.tolerance >= 0.0)) {
+        std::fprintf(stderr, "obs_trend: bad --tolerance %s\n", v);
+        return 2;
+      }
+    } else if (arg == "--metric-tolerance") {
+      const char* v = need_value("--metric-tolerance");
+      if (v == nullptr) return 2;
+      const std::string spec = v;
+      const std::size_t eq = spec.find('=');
+      double tol = 0.0;
+      if (eq == std::string::npos || eq == 0 ||
+          !parse_double(spec.c_str() + eq + 1, tol) || !(tol >= 0.0)) {
+        std::fprintf(stderr,
+                     "obs_trend: --metric-tolerance wants KEY=F, got %s\n",
+                     v);
+        return 2;
+      }
+      options.tolerance_overrides.emplace_back(spec.substr(0, eq), tol);
+    } else if (arg == "--include-timing") {
+      options.include_timing = true;
+    } else if (arg == "--wall") {
+      options.gate_wall_ms = true;
+    } else if (arg == "--slope") {
+      const char* v = need_value("--slope");
+      if (v == nullptr) return 2;
+      if (!parse_double(v, options.slope_tolerance) ||
+          !(options.slope_tolerance >= 0.0)) {
+        std::fprintf(stderr, "obs_trend: bad --slope %s\n", v);
+        return 2;
+      }
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "obs_trend: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (db_dir.empty()) {
+    std::fprintf(stderr, "obs_trend: --db is required\n");
+    return usage();
+  }
+
+  if (cmd == "append") {
+    if (paths.empty()) {
+      std::fprintf(stderr, "obs_trend: append wants BENCH.json paths\n");
+      return usage();
+    }
+    return cmd_append(db_dir, ts, rev, paths);
+  }
+  if (cmd == "gate") {
+    if (bench.empty()) {
+      std::fprintf(stderr, "obs_trend: gate wants --bench\n");
+      return usage();
+    }
+    return cmd_gate(db_dir, bench, options);
+  }
+  if (cmd == "show") {
+    if (bench.empty()) {
+      std::fprintf(stderr, "obs_trend: show wants --bench\n");
+      return usage();
+    }
+    return cmd_show(db_dir, bench, only_metric);
+  }
+  if (cmd == "list") {
+    return cmd_list(db_dir);
+  }
+  std::fprintf(stderr, "obs_trend: unknown command %s\n", cmd.c_str());
+  return usage();
+}

@@ -10,13 +10,18 @@
 //     running subscale_serve daemon and print the response frame
 //     byte-for-byte.
 //
-//   subscale_query [--kind design|sweep|figure|server_info]
+//   subscale_query [--kind design|sweep|figure|server_info|metrics]
 //                  [--card ID_OR_FILE] [--strategy supervth|subvth]
 //                  [--node N] [--vd V] [--vg-start V] [--vg-stop V]
 //                  [--points N] [--coarse-mesh] [--figure ss|tau|...]
-//                  [--id TAG] [--json FILE|-]
+//                  [--id TAG] [--json FILE|-] [--format json|prometheus]
 //                  [--cache-dir DIR]                 (local mode)
 //                  [--socket PATH | --host H --port N]  (remote mode)
+//
+// --format prometheus renders an ok `metrics` response in the
+// Prometheus text exposition format instead of JSON (same payload, same
+// bytes whether the query went to a daemon or dispatched locally —
+// metrics_to_prometheus is a pure function of the payload).
 //
 // Exit status: 0 = ok response, 1 = error response or I/O failure,
 // 2 = usage. The response document goes to stdout either way.
@@ -41,12 +46,13 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--kind design|sweep|figure|server_info]\n"
+      "usage: %s [--kind design|sweep|figure|server_info|metrics]\n"
       "          [--card ID_OR_FILE] [--strategy supervth|subvth]\n"
       "          [--node N] [--vd V] [--vg-start V] [--vg-stop V]\n"
       "          [--points N] [--coarse-mesh] [--figure ss|tau|ioff|vth|"
       "lpoly]\n"
-      "          [--id TAG] [--json FILE|-] [--cache-dir DIR]\n"
+      "          [--id TAG] [--json FILE|-] [--format json|prometheus]\n"
+      "          [--cache-dir DIR]\n"
       "          [--socket PATH | --host H --port N]\n",
       argv0);
   return 2;
@@ -75,12 +81,28 @@ int finish(const std::string& response_text, bool ok) {
   return ok ? 0 : 1;
 }
 
+/// Format-aware finish: an ok metrics response under --format
+/// prometheus prints the text exposition (already newline-terminated);
+/// everything else prints the JSON document.
+int finish_result(const serve::Result& result,
+                  const std::string& response_text,
+                  const std::string& format) {
+  if (format == "prometheus" && result.ok &&
+      result.kind == serve::QueryKind::kMetrics) {
+    const std::string text = serve::metrics_to_prometheus(result.metrics);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+  }
+  return finish(response_text, result.ok);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   serve::Query query;
   query.kind = serve::QueryKind::kDesign;
   std::string json_source;
+  std::string format = "json";
   std::string cache_dir;
   std::string socket_path;
   std::string host = "127.0.0.1";
@@ -116,6 +138,9 @@ int main(int argc, char** argv) {
       query.id = v;
     } else if (arg == "--json" && (v = next())) {
       json_source = v;
+    } else if (arg == "--format" && (v = next())) {
+      format = v;
+      if (format != "json" && format != "prometheus") return usage(argv[0]);
     } else if (arg == "--cache-dir" && (v = next())) {
       cache_dir = v;
     } else if (arg == "--socket" && (v = next())) {
@@ -162,7 +187,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "subscale_query: %s\n", client.error().c_str());
       return 1;
     }
-    return finish(client.last_response_text(), result.ok);
+    return finish_result(result, client.last_response_text(), format);
   }
 
   obs::MetricsRegistry registry;
@@ -180,7 +205,7 @@ int main(int argc, char** argv) {
   try {
     serve::Dispatcher dispatcher(options);
     const serve::Result result = dispatcher.dispatch(query);
-    return finish(serve::result_to_json(result), result.ok);
+    return finish_result(result, serve::result_to_json(result), format);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "subscale_query: %s\n", e.what());
     return 1;
