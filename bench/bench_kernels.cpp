@@ -4,6 +4,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
 #include <random>
 
 #include "circuits/delay.h"
@@ -11,8 +14,10 @@
 #include "circuits/vtc.h"
 #include "compact/mosfet.h"
 #include "linalg/banded.h"
+#include "linalg/banded_reference.h"
 #include "opt/golden_section.h"
 #include "scaling/supervth_strategy.h"
+#include "tcad/continuity.h"
 #include "tcad/gummel.h"
 
 using namespace subscale;
@@ -43,6 +48,104 @@ void BM_BandedLuFactorSolve(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BandedLuFactorSolve)->Arg(400)->Arg(1000)->Arg(2000);
+
+// The blocked forward-elimination in BandedLu is pinned bitwise to the
+// textbook loop nest in ReferenceBandedLu (tier-1: test_linalg
+// BandedReference.BlockedEliminationMatchesReferenceBitwise). These two
+// benchmarks measure the speed side of that equivalence; the abort
+// below makes a silent numerical drift impossible to misread as a win.
+linalg::BandedMatrix make_bench_banded(std::size_t n, std::size_t bw) {
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  linalg::BandedMatrix a(n, bw, bw);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = (i > bw ? i - bw : 0); j <= std::min(n - 1, i + bw);
+         ++j) {
+      a.at(i, j) = (i == j) ? 8.0 + dist(rng) : dist(rng);
+    }
+  }
+  return a;
+}
+
+void check_bitwise(const std::vector<double>& fast,
+                   const std::vector<double>& ref, const char* what) {
+  if (fast.size() != ref.size()) {
+    std::fprintf(stderr, "BITWISE MISMATCH (%s): size\n", what);
+    std::abort();
+  }
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    if (std::memcmp(&fast[i], &ref[i], sizeof(double)) != 0) {
+      std::fprintf(stderr, "BITWISE MISMATCH (%s): index %zu %.17g vs %.17g\n",
+                   what, i, fast[i], ref[i]);
+      std::abort();
+    }
+  }
+}
+
+void BM_BandedLuReferenceSolve(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const linalg::BandedMatrix a = make_bench_banded(n, 41);
+  std::vector<double> b(n, 1.0);
+  check_bitwise(linalg::BandedLu(a).solve(b),
+                linalg::ReferenceBandedLu(a).solve(b), "banded lu");
+  for (auto _ : state) {
+    linalg::ReferenceBandedLu lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_BandedLuReferenceSolve)->Arg(400)->Arg(1000)->Arg(2000);
+
+// Scharfetter–Gummel assembly, fresh-buffers vs SgWorkspace reuse. The
+// workspace caches edge geometry + zero-field mobilities across solves;
+// its output is asserted bitwise-equal to the workspace-free path on
+// the same Gummel iterate before timing either variant.
+struct SgBenchFixture {
+  tcad::DeviceStructure dev{spec_90()};
+  std::vector<double> psi, n0, p0;
+  SgBenchFixture() {
+    tcad::DriftDiffusionSolver solver(dev);
+    solver.solve_equilibrium();
+    psi = solver.psi();
+    n0 = solver.electron_density();
+    p0 = solver.hole_density();
+  }
+};
+
+SgBenchFixture& sg_fixture() {
+  static SgBenchFixture fx;
+  return fx;
+}
+
+void BM_SgAssemblyFresh(benchmark::State& state) {
+  auto& fx = sg_fixture();
+  std::vector<double> n = fx.n0;
+  for (auto _ : state) {
+    n = fx.n0;
+    tcad::solve_continuity(fx.dev, physics::Carrier::kElectron, fx.psi,
+                           fx.p0, n);
+    benchmark::DoNotOptimize(n.data());
+  }
+}
+BENCHMARK(BM_SgAssemblyFresh)->Unit(benchmark::kMicrosecond);
+
+void BM_SgAssemblyWorkspace(benchmark::State& state) {
+  auto& fx = sg_fixture();
+  std::vector<double> n_ref = fx.n0;
+  tcad::solve_continuity(fx.dev, physics::Carrier::kElectron, fx.psi, fx.p0,
+                         n_ref);
+  tcad::SgWorkspace ws;
+  std::vector<double> n = fx.n0;
+  tcad::solve_continuity(fx.dev, physics::Carrier::kElectron, fx.psi, fx.p0,
+                         n, {}, nullptr, &ws);
+  check_bitwise(n, n_ref, "sg workspace");
+  for (auto _ : state) {
+    n = fx.n0;
+    tcad::solve_continuity(fx.dev, physics::Carrier::kElectron, fx.psi,
+                           fx.p0, n, {}, nullptr, &ws);
+    benchmark::DoNotOptimize(n.data());
+  }
+}
+BENCHMARK(BM_SgAssemblyWorkspace)->Unit(benchmark::kMicrosecond);
 
 void BM_CompactModelConstruction(benchmark::State& state) {
   const auto spec = spec_90();

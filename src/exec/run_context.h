@@ -56,6 +56,10 @@ struct RunContext {
   obs::SpanProfiler* profiler = nullptr;
   obs::ConvergenceRecorder* convergence = nullptr;
   cache::SolveCache* cache = nullptr;
+  /// Opt out of the default-cache fallback entirely (cache_sink() then
+  /// resolves to null even when an env cache is installed). Benches use
+  /// this to measure genuinely cold solves under SUBSCALE_CACHE_DIR.
+  bool no_cache = false;
   bool strict = false;
 
   /// Fat-finger guard on explicit thread counts (a request for tens of
@@ -84,6 +88,7 @@ struct RunContext {
   /// the process default, else null (caching off). Resolved once at
   /// component construction, like the metrics sink.
   cache::SolveCache* cache_sink() const {
+    if (no_cache) return nullptr;
     return cache != nullptr ? cache : cache::default_cache();
   }
 

@@ -74,38 +74,50 @@ BandedLu::BandedLu(BandedMatrix a)
   // kl + ku; the storage already reserves that room (2*kl + ku + 1 rows).
   const std::size_t ku_eff = kl + ku;
 
+  // Band storage is contiguous in r for fixed c (stride 1 down a column),
+  // so the trailing rank-1 update runs column-outer / row-inner: each inner
+  // loop is a unit-stride axpy the compiler can vectorize. Every element
+  // still receives exactly one `a -= factor * u` with the same operands as
+  // the row-outer form, so the factorization is bitwise identical to the
+  // reference (see banded_reference.h and the bench_kernels assertions).
+  double* ab = lu_.ab_.data();
+  const std::size_t ldab = lu_.ldab_;
+  const std::size_t band0 = kl + ku;  // storage row of the main diagonal
+
   for (std::size_t k = 0; k < n; ++k) {
     // Pivot search in column k, rows k .. min(n-1, k+kl).
     const std::size_t r_hi = std::min(n - 1, k + kl);
-    std::size_t pivot_row = k;
-    double pivot_mag = std::abs(lu_.storage(k, k));
-    for (std::size_t r = k + 1; r <= r_hi; ++r) {
-      const double mag = std::abs(lu_.storage(r, k));
+    const std::size_t nr = r_hi - k;           // rows strictly below the pivot
+    double* colk = ab + k * ldab + band0;      // colk[i] = storage(k+i, k)
+    std::size_t pivot_off = 0;
+    double pivot_mag = std::abs(colk[0]);
+    for (std::size_t i = 1; i <= nr; ++i) {
+      const double mag = std::abs(colk[i]);
       if (mag > pivot_mag) {
         pivot_mag = mag;
-        pivot_row = r;
+        pivot_off = i;
       }
     }
     if (pivot_mag == 0.0 || !std::isfinite(pivot_mag)) {
       throw std::runtime_error("BandedLu: singular matrix");
     }
+    const std::size_t pivot_row = k + pivot_off;
     ipiv_[k] = pivot_row;
+    const std::size_t c_hi = std::min(n - 1, k + ku_eff);
     if (pivot_row != k) {
       // Swap rows k and pivot_row across the accessible band columns.
-      const std::size_t c_hi = std::min(n - 1, k + ku_eff);
       for (std::size_t c = k; c <= c_hi; ++c) {
-        std::swap(lu_.storage(k, c), lu_.storage(pivot_row, c));
+        double* colc = ab + c * ldab + (band0 + k - c);
+        std::swap(colc[0], colc[pivot_off]);
       }
     }
-    const double pivot = lu_.storage(k, k);
-    const std::size_t c_hi = std::min(n - 1, k + ku_eff);
-    for (std::size_t r = k + 1; r <= r_hi; ++r) {
-      const double factor = lu_.storage(r, k) / pivot;
-      lu_.storage(r, k) = factor;
-      if (factor == 0.0) continue;
-      for (std::size_t c = k + 1; c <= c_hi; ++c) {
-        lu_.storage(r, c) -= factor * lu_.storage(k, c);
-      }
+    const double pivot = colk[0];
+    for (std::size_t i = 1; i <= nr; ++i) colk[i] /= pivot;
+    for (std::size_t c = k + 1; c <= c_hi; ++c) {
+      double* colc = ab + c * ldab + (band0 + k - c);  // colc[i] = storage(k+i, c)
+      const double u = colc[0];
+      if (u == 0.0) continue;
+      for (std::size_t i = 1; i <= nr; ++i) colc[i] -= colk[i] * u;
     }
   }
 }
@@ -120,13 +132,19 @@ std::vector<double> BandedLu::solve(const std::vector<double>& b) const {
   std::vector<double> x = b;
   for (std::size_t r = 0; r < n; ++r) x[r] *= row_scale_[r];
 
-  // Apply row interchanges and forward-substitute with unit-lower L.
+  // Apply row interchanges and forward-substitute with unit-lower L. The
+  // multipliers for column k sit contiguously in band storage, so the inner
+  // loop is a unit-stride axpy (same ops as the element-wise form).
+  const double* ab = lu_.ab_.data();
+  const std::size_t ldab = lu_.ldab_;
+  const std::size_t band0 = kl + lu_.ku_;
   for (std::size_t k = 0; k < n; ++k) {
     if (ipiv_[k] != k) std::swap(x[k], x[ipiv_[k]]);
-    const std::size_t r_hi = std::min(n - 1, k + kl);
-    for (std::size_t r = k + 1; r <= r_hi; ++r) {
-      x[r] -= lu_.storage(r, k) * x[k];
-    }
+    const std::size_t nr = std::min(n - 1, k + kl) - k;
+    const double* colk = ab + k * ldab + band0;  // colk[i] = storage(k+i, k)
+    const double xk = x[k];
+    double* xr = x.data() + k;
+    for (std::size_t i = 1; i <= nr; ++i) xr[i] -= colk[i] * xk;
   }
   // Back substitution with U.
   for (std::size_t kk = n; kk-- > 0;) {

@@ -1,0 +1,100 @@
+#include "linalg/banded_reference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace subscale::linalg {
+
+ReferenceBandedLu::ReferenceBandedLu(const BandedMatrix& a)
+    : n_(a.size()),
+      kl_(a.lower_bandwidth()),
+      ku_(a.upper_bandwidth()),
+      dense_(n_ * n_, 0.0),
+      ipiv_(n_),
+      row_scale_(n_, 1.0) {
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c_lo = (r > kl_) ? r - kl_ : 0;
+    const std::size_t c_hi = std::min(n_ - 1, r + ku_);
+    for (std::size_t c = c_lo; c <= c_hi; ++c) at(r, c) = a.at(r, c);
+  }
+
+  // Row equilibration: scale every row so its largest entry is ~1.
+  for (std::size_t r = 0; r < n_; ++r) {
+    const std::size_t c_lo = (r > kl_) ? r - kl_ : 0;
+    const std::size_t c_hi = std::min(n_ - 1, r + ku_);
+    double max_abs = 0.0;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) {
+      max_abs = std::max(max_abs, std::abs(at(r, c)));
+    }
+    if (max_abs == 0.0 || !std::isfinite(max_abs)) {
+      throw std::runtime_error("ReferenceBandedLu: zero or non-finite row");
+    }
+    row_scale_[r] = 1.0 / max_abs;
+    for (std::size_t c = c_lo; c <= c_hi; ++c) at(r, c) *= row_scale_[r];
+  }
+
+  const std::size_t ku_eff = kl_ + ku_;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const std::size_t r_hi = std::min(n_ - 1, k + kl_);
+    std::size_t pivot_row = k;
+    double pivot_mag = std::abs(at(k, k));
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      const double mag = std::abs(at(r, k));
+      if (mag > pivot_mag) {
+        pivot_mag = mag;
+        pivot_row = r;
+      }
+    }
+    if (pivot_mag == 0.0 || !std::isfinite(pivot_mag)) {
+      throw std::runtime_error("ReferenceBandedLu: singular matrix");
+    }
+    ipiv_[k] = pivot_row;
+    const std::size_t c_hi = std::min(n_ - 1, k + ku_eff);
+    if (pivot_row != k) {
+      for (std::size_t c = k; c <= c_hi; ++c) {
+        std::swap(at(k, c), at(pivot_row, c));
+      }
+    }
+    const double pivot = at(k, k);
+    for (std::size_t r = k + 1; r <= r_hi; ++r) at(r, k) /= pivot;
+    // Row-outer trailing update; skips the same zero-u columns as the
+    // vectorized version so both perform identical element operations.
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      const double factor = at(r, k);
+      for (std::size_t c = k + 1; c <= c_hi; ++c) {
+        const double u = at(k, c);
+        if (u == 0.0) continue;
+        at(r, c) -= factor * u;
+      }
+    }
+  }
+}
+
+std::vector<double> ReferenceBandedLu::solve(const std::vector<double>& b) const {
+  if (b.size() != n_) {
+    throw std::invalid_argument("ReferenceBandedLu::solve: size mismatch");
+  }
+  const std::size_t ku_eff = kl_ + ku_;
+  std::vector<double> x = b;
+  for (std::size_t r = 0; r < n_; ++r) x[r] *= row_scale_[r];
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    if (ipiv_[k] != k) std::swap(x[k], x[ipiv_[k]]);
+    const std::size_t r_hi = std::min(n_ - 1, k + kl_);
+    for (std::size_t r = k + 1; r <= r_hi; ++r) {
+      x[r] -= at(r, k) * x[k];
+    }
+  }
+  for (std::size_t kk = n_; kk-- > 0;) {
+    const std::size_t c_hi = std::min(n_ - 1, kk + ku_eff);
+    double acc = x[kk];
+    for (std::size_t c = kk + 1; c <= c_hi; ++c) {
+      acc -= at(kk, c) * x[c];
+    }
+    x[kk] = acc / at(kk, kk);
+  }
+  return x;
+}
+
+}  // namespace subscale::linalg

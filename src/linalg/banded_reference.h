@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file banded_reference.h
+/// Straight-line, element-at-a-time reference implementation of the banded
+/// LU factorization in banded.h. The production BandedLu restructures the
+/// elimination loops for unit-stride vector access; this reference keeps the
+/// textbook row-outer order. Both perform the identical set of element-wise
+/// operations (one `a -= factor * u` per in-band element per pivot, same
+/// operands), so their factors and solutions must agree BITWISE — the
+/// differential kernel tests in tests/test_linalg.cpp and bench_kernels
+/// enforce exactly that. This class exists for those tests and as the
+/// baseline side of the blocked-vs-reference benchmark; production code
+/// should use BandedLu.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/banded.h"
+
+namespace subscale::linalg {
+
+/// Reference banded LU with row equilibration and partial pivoting,
+/// operating on a dense copy restricted to the band. Mirrors BandedLu's
+/// numerical behaviour operation-for-operation.
+class ReferenceBandedLu {
+ public:
+  explicit ReferenceBandedLu(const BandedMatrix& a);
+
+  /// Solve A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+ private:
+  std::size_t n_;
+  std::size_t kl_;
+  std::size_t ku_;
+  std::vector<double> dense_;  // row-major n x n; out-of-band entries stay 0
+  std::vector<std::size_t> ipiv_;
+  std::vector<double> row_scale_;
+
+  double& at(std::size_t r, std::size_t c) { return dense_[r * n_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return dense_[r * n_ + c]; }
+};
+
+}  // namespace subscale::linalg

@@ -75,6 +75,13 @@ enum class GatePolicy { kGated, kExempt };
   X(kGummelIterationsPerSolve, "tcad.gummel.iterations_per_solve", kIterationHistogram, kGated) \
   X(kPoissonNewtonIterations, "tcad.poisson.newton_iterations", kCounter, kGated) \
   X(kContinuitySolves, "tcad.continuity.solves", kCounter, kGated)            \
+  /* tcad layer — coupled Newton solver and mesh continuation */              \
+  X(kNewtonSolves, "tcad.newton.solves", kCounter, kGated)                    \
+  X(kNewtonIterations, "tcad.newton.iterations", kCounter, kGated)            \
+  X(kNewtonFallbacks, "tcad.newton.fallbacks", kCounter, kGated)              \
+  X(kMeshContLevels, "tcad.meshcont.levels", kCounter, kGated)                \
+  X(kMeshContProlongations, "tcad.meshcont.prolongations", kCounter, kGated)  \
+  X(kMeshContFallbacks, "tcad.meshcont.fallbacks", kCounter, kGated)          \
   /* tcad layer — bias sweeps */                                              \
   X(kSweepPointsAttempted, "tcad.sweep.points_attempted", kCounter, kGated)   \
   X(kSweepPointsConverged, "tcad.sweep.points_converged", kCounter, kGated)   \
@@ -233,6 +240,9 @@ inline constexpr const char* kGummelBiasRamp = "tcad.gummel.bias_ramp";
 inline constexpr const char* kGummelSolve = "tcad.gummel.solve";
 inline constexpr const char* kGummelPoisson = "tcad.gummel.poisson";
 inline constexpr const char* kGummelContinuity = "tcad.gummel.continuity";
+inline constexpr const char* kNewtonSolve = "tcad.newton.solve";
+inline constexpr const char* kMeshContCoarse = "tcad.meshcont.coarse_solve";
+inline constexpr const char* kMeshContProlong = "tcad.meshcont.prolong";
 inline constexpr const char* kBandedLuSolve = "linalg.banded_lu.solve";
 inline constexpr const char* kBicgstabSolve = "linalg.bicgstab.solve";
 inline constexpr const char* kCacheLookup = "cache.lookup";

@@ -77,7 +77,7 @@ bool decode_sweep(const std::vector<std::uint8_t>& bytes, SweepResult& out) {
 std::vector<std::uint8_t> encode_state(
     const std::map<std::string, double>& biases,
     const std::vector<double>& psi, const std::vector<double>& n,
-    const std::vector<double>& p) {
+    const std::vector<double>& p, std::uint64_t strategy_stamp) {
   cache::ByteWriter w;
   w.u64(biases.size());
   for (const auto& [name, v] : biases) {
@@ -87,13 +87,19 @@ std::vector<std::uint8_t> encode_state(
   w.f64_vector(psi);
   w.f64_vector(n);
   w.f64_vector(p);
+  // Provenance trailer: which solver configuration produced this state
+  // (strategy | levels << 8). The key already discriminates configs;
+  // the stamp makes a record auditable on its own, and its absence
+  // makes any pre-stamp record fail decode_state's exhausted() check
+  // (a clean miss, never a misread).
+  w.u64(strategy_stamp);
   return w.take();
 }
 
 bool decode_state(const std::vector<std::uint8_t>& bytes,
                   std::map<std::string, double>& biases,
                   std::vector<double>& psi, std::vector<double>& n,
-                  std::vector<double>& p) {
+                  std::vector<double>& p, std::uint64_t& strategy_stamp) {
   cache::ByteReader r(bytes);
   std::uint64_t n_contacts = 0;
   if (!r.u64(n_contacts) || n_contacts > 16) return false;
@@ -106,6 +112,7 @@ bool decode_state(const std::vector<std::uint8_t>& bytes,
   if (!r.f64_vector(psi) || !r.f64_vector(n) || !r.f64_vector(p)) {
     return false;
   }
+  if (!r.u64(strategy_stamp)) return false;
   return r.exhausted();
 }
 
@@ -150,9 +157,26 @@ TcadDevice::TcadDevice(const compact::DeviceSpec& spec,
                        const exec::RunContext& ctx)
     : dev_(make_device_structure(spec, mesh_options)),
       run_(ctx),
+      gummel_options_(gummel_options),
       solver_(dev_, gummel_options, ctx) {
   run_.validate();
   sign_ = (spec.polarity == doping::Polarity::kNfet) ? 1.0 : -1.0;
+  strategy_stamp_ = static_cast<std::uint64_t>(gummel_options.strategy) |
+                    (static_cast<std::uint64_t>(
+                         gummel_options.mesh_continuation_levels)
+                     << 8);
+  if (gummel_options.mesh_continuation_levels > 0) {
+    try {
+      meshcont_ = std::make_unique<MeshContinuation>(spec, mesh_options,
+                                                     gummel_options, ctx);
+    } catch (const std::exception&) {
+      // A spec whose coarse replica cannot even be meshed just loses
+      // the accelerator (counted), never the solve.
+      if (obs::MetricsRegistry* sink = run_.sink(); sink != nullptr) {
+        sink->counter(obs::names::kMeshContFallbacks).add(1);
+      }
+    }
+  }
   // Fault injection exercises the recovery paths; replaying cached
   // results (or publishing fault-shaped ones) would defeat it.
   if (gummel_options.fault.stage == SolveStage::kNone) {
@@ -164,16 +188,61 @@ TcadDevice::TcadDevice(const compact::DeviceSpec& spec,
     const cache::HashKey eq_key =
         cache::state_key(device_key_, 0.0, 0.0, 0.0, 0.0);
     if (restore_cached_state(eq_key)) return;
-    solver_.solve_equilibrium();
+    cold_equilibrium();
     const obs::ScopedSpan span(run_.span_sink(),
                                obs::names::spans::kCachePublish);
     cache_->store(eq_key, cache::PayloadKind::kState,
                   encode_state(solver_.biases(), solver_.psi(),
                                solver_.electron_density(),
-                               solver_.hole_density()));
+                               solver_.hole_density(), strategy_stamp_));
     return;
   }
+  cold_equilibrium();
+}
+
+void TcadDevice::cold_equilibrium() {
+  if (meshcont_ != nullptr) {
+    std::vector<double> psi;
+    std::vector<double> n;
+    std::vector<double> p;
+    if (meshcont_->equilibrium_guess(dev_, psi, n, p)) {
+      if (!solver_.solve_equilibrium_with_guess(psi, n, p)) {
+        // Converged anyway (via the neutral-guess ladder) — the seed
+        // just didn't help; record that it fell back.
+        if (obs::MetricsRegistry* sink = run_.sink(); sink != nullptr) {
+          sink->counter(obs::names::kMeshContFallbacks).add(1);
+        }
+      }
+      return;
+    }
+  }
   solver_.solve_equilibrium();
+}
+
+const SolverReport& TcadDevice::solve_point(double svg, double svd) {
+  if (meshcont_ != nullptr) {
+    const std::map<std::string, double>& cur = solver_.biases();
+    const double gap = std::max(std::abs(svg - bias_of(cur, "gate")),
+                                std::abs(svd - bias_of(cur, "drain")));
+    // A gap the fine ramp covers in one or two steps is cheaper solved
+    // directly than via the coarse cascade.
+    if (gap > 2.0 * gummel_options_.bias_step) {
+      std::vector<double> psi;
+      std::vector<double> n;
+      std::vector<double> p;
+      if (meshcont_->bias_guess(svg, svd, 0.0, 0.0, dev_, psi, n, p)) {
+        const SolverReport& report =
+            solver_.try_solve_bias_seeded(svg, svd, 0.0, 0.0, psi, n, p);
+        if (!report.seed_used) {
+          if (obs::MetricsRegistry* sink = run_.sink(); sink != nullptr) {
+            sink->counter(obs::names::kMeshContFallbacks).add(1);
+          }
+        }
+        return report;
+      }
+    }
+  }
+  return solver_.try_solve_bias(svg, svd, 0.0, 0.0);
 }
 
 bool TcadDevice::restore_cached_state(const cache::HashKey& key) {
@@ -186,7 +255,8 @@ bool TcadDevice::restore_cached_state(const cache::HashKey& key) {
   std::vector<double> psi;
   std::vector<double> n;
   std::vector<double> p;
-  if (!decode_state(payload->bytes, biases, psi, n, p)) return false;
+  std::uint64_t stamp = 0;
+  if (!decode_state(payload->bytes, biases, psi, n, p, stamp)) return false;
   return solver_.adopt_state(biases, std::move(psi), std::move(n),
                              std::move(p));
 }
@@ -201,7 +271,7 @@ void TcadDevice::publish_state() {
       cache::state_key(device_key_, at.vg, at.vd, at.vs, at.vb),
       cache::PayloadKind::kState,
       encode_state(biases, solver_.psi(), solver_.electron_density(),
-                   solver_.hole_density()));
+                   solver_.hole_density(), strategy_stamp_));
 
   // Register the point in the per-device warm-start index
   // (read-modify-write; concurrent writers last-win, which at worst
@@ -259,7 +329,8 @@ void TcadDevice::warm_start_toward(double vg, double vd) {
 }
 
 double TcadDevice::id_at(double vg, double vd) {
-  solver_.solve_bias(sign_ * vg, sign_ * vd, 0.0, 0.0);
+  const SolverReport& report = solve_point(sign_ * vg, sign_ * vd);
+  if (!report.converged) throw SolverError(report);
   return sign_ * solver_.terminal_current("drain");
 }
 
@@ -310,8 +381,7 @@ SweepResult TcadDevice::id_vg(double vd, double vg_start, double vg_stop,
     }
     const obs::ScopedSpan point_span(prof, obs::names::spans::kSweepPoint);
     obs::ScopedTimer timer(sink, obs::names::kSweepPointMs);
-    const SolverReport& report =
-        solver_.try_solve_bias(sign_ * vg, sign_ * vd, 0.0, 0.0);
+    const SolverReport& report = solve_point(sign_ * vg, sign_ * vd);
     const double wall_ms = timer.stop();
     result.timings.push_back({vg, wall_ms, report.total_gummel_iterations,
                               report.retries, report.converged});

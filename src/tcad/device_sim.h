@@ -39,11 +39,14 @@
 /// replaying cached results would mask the recovery paths faults exist
 /// to exercise.
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/hash.h"
 #include "exec/run_context.h"
 #include "tcad/gummel.h"
+#include "tcad/mesh_continuation.h"
 
 namespace subscale::tcad {
 
@@ -127,6 +130,13 @@ class TcadDevice {
   cache::SolveCache* solve_cache() const { return cache_; }
   const cache::HashKey& device_key() const { return device_key_; }
 
+  /// The mesh-continuation cascade (null when
+  /// GummelOptions::mesh_continuation_levels == 0 or coarse replica
+  /// construction failed) — test observability.
+  const MeshContinuation* mesh_continuation() const {
+    return meshcont_.get();
+  }
+
  private:
   /// Restore solver state from the cache record at `key`; false on
   /// miss or on a record that fails validation.
@@ -138,13 +148,23 @@ class TcadDevice {
   /// target (solver-frame volts), if one is strictly nearer than the
   /// state the solver already holds.
   void warm_start_toward(double vg, double vd);
+  /// Equilibrium with mesh-continuation seeding when configured; plain
+  /// solve_equilibrium otherwise.
+  void cold_equilibrium();
+  /// One bias point (solver-frame volts): routes through the
+  /// mesh-continuation seeded path when the bias gap is large enough to
+  /// need a multi-step fine ramp, else plain try_solve_bias.
+  const SolverReport& solve_point(double svg, double svd);
 
   DeviceStructure dev_;
   exec::RunContext run_;
+  GummelOptions gummel_options_;
   DriftDiffusionSolver solver_;
+  std::unique_ptr<MeshContinuation> meshcont_;
   double sign_ = 1.0;
   cache::SolveCache* cache_ = nullptr;
   cache::HashKey device_key_{};
+  std::uint64_t strategy_stamp_ = 0;
 };
 
 }  // namespace subscale::tcad

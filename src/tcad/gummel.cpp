@@ -11,6 +11,15 @@
 
 namespace subscale::tcad {
 
+const char* to_string(SolverStrategy strategy) {
+  switch (strategy) {
+    case SolverStrategy::kGummel: return "gummel";
+    case SolverStrategy::kNewton: return "newton";
+    case SolverStrategy::kHybrid: return "hybrid";
+  }
+  return "unknown";
+}
+
 void GummelOptions::validate() const {
   const auto fail = [](const char* msg) {
     throw std::invalid_argument(std::string("GummelOptions: ") + msg);
@@ -51,6 +60,23 @@ void GummelOptions::validate() const {
     fail("poisson.divergence_threshold must be > 0");
   }
   if (!(continuity.tau_srh > 0.0)) fail("continuity.tau_srh must be > 0");
+  if (newton.max_iterations == 0) {
+    fail("newton.max_iterations must be positive");
+  }
+  if (!(newton.update_tolerance > 0.0)) {
+    fail("newton.update_tolerance must be > 0");
+  }
+  if (!(newton.divergence_threshold > 0.0)) {
+    fail("newton.divergence_threshold must be > 0");
+  }
+  if (density_tolerance < 0.0) {
+    fail("density_tolerance must be >= 0 (0 disables the density stop)");
+  }
+  if (mesh_continuation_levels > 4) {
+    fail("mesh_continuation_levels must be <= 4 (each level halves the "
+         "mesh resolution; beyond 4 the coarse device no longer "
+         "resembles the fine one)");
+  }
   if (fault.stage != SolveStage::kNone) {
     if (fault.count < 0) fail("fault.count must be >= 0");
     if (fault.min_bias < 0.0) fail("fault.min_bias must be >= 0");
@@ -86,12 +112,20 @@ DriftDiffusionSolver::DriftDiffusionSolver(const DeviceStructure& dev,
     ins_.poisson_newton_iterations =
         &sink->counter(names::kPoissonNewtonIterations);
     ins_.continuity_solves = &sink->counter(names::kContinuitySolves);
+    ins_.newton_solves = &sink->counter(names::kNewtonSolves);
+    ins_.newton_iterations = &sink->counter(names::kNewtonIterations);
+    ins_.newton_fallbacks = &sink->counter(names::kNewtonFallbacks);
     ins_.last_residual = &sink->gauge(names::kGummelLastResidual);
     ins_.iterations_per_solve = &sink->histogram(
         names::kGummelIterationsPerSolve, obs::buckets::kIterations);
   }
+  // A coarse_only fault never arms in the solver holding it — mesh
+  // continuation re-arms it (with the flag cleared) inside the coarse
+  // level solvers it builds.
   fault_budget_ =
-      options_.fault.stage == SolveStage::kNone ? 0 : options_.fault.count;
+      options_.fault.stage == SolveStage::kNone || options_.fault.coarse_only
+          ? 0
+          : options_.fault.count;
   const std::size_t n_nodes = dev_.mesh().node_count();
   psi_.assign(n_nodes, 0.0);
   n_.assign(n_nodes, 0.0);
@@ -258,7 +292,7 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
     const std::vector<double> snap_psi = psi_;
     const std::vector<double> snap_n = n_;
     const std::vector<double> snap_p = p_;
-    const GummelOutcome out = gummel_at(trial, damping);
+    const GummelOutcome out = point_solve(trial, damping);
     report_.total_gummel_iterations += out.iterations;
     report_.final_residual = out.residual;
     if (out.status == SolveStatus::kConverged) {
@@ -314,6 +348,184 @@ const SolverReport& DriftDiffusionSolver::try_solve_bias(double vg,
   return report_;
 }
 
+namespace {
+
+bool guess_matches_mesh(std::size_t n_nodes, const std::vector<double>& psi,
+                        const std::vector<double>& n,
+                        const std::vector<double>& p) {
+  if (psi.size() != n_nodes || n.size() != n_nodes || p.size() != n_nodes) {
+    return false;
+  }
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    if (!std::isfinite(psi[idx]) || !std::isfinite(n[idx]) ||
+        !std::isfinite(p[idx])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool DriftDiffusionSolver::solve_equilibrium_with_guess(
+    const std::vector<double>& psi, const std::vector<double>& n,
+    const std::vector<double>& p) {
+  if (guess_matches_mesh(dev_.mesh().node_count(), psi, n, p)) {
+    const obs::ScopedSpan span(prof_,
+                               obs::names::spans::kGummelEquilibrium);
+    biases_ = {{"gate", 0.0}, {"drain", 0.0}, {"source", 0.0},
+               {"bulk", 0.0}};
+    report_ = SolverReport{};
+    report_.target = biases_;
+    psi_ = psi;
+    n_ = n;
+    p_ = p;
+    // Equilibrium stays a Gummel solve under every strategy (it is the
+    // anchor state all strategies share); the guess only shortens it.
+    const GummelOutcome out = gummel_at(biases_, options_.damping);
+    report_.total_gummel_iterations = out.iterations;
+    report_.final_residual = out.residual;
+    report_.final_damping = options_.damping;
+    if (out.status == SolveStatus::kConverged) {
+      solved_ = true;
+      report_.seed_used = true;
+      trace(obs::TraceKind::kStageExit, "equilibrium_seed",
+            static_cast<double>(out.iterations), out.residual);
+      return true;
+    }
+    trace(obs::TraceKind::kRetry, "equilibrium_seed",
+          static_cast<double>(out.iterations), out.residual);
+  }
+  // The cold ladder rebuilds its own neutral guess, so a failed or
+  // malformed seed costs nothing but the attempt.
+  solve_equilibrium();
+  return false;
+}
+
+const SolverReport& DriftDiffusionSolver::try_solve_bias_seeded(
+    double vg, double vd, double vs, double vb,
+    const std::vector<double>& psi, const std::vector<double>& n,
+    const std::vector<double>& p) {
+  if (!solved_) solve_equilibrium();
+  if (guess_matches_mesh(dev_.mesh().node_count(), psi, n, p)) {
+    const obs::ScopedSpan span(prof_, obs::names::spans::kGummelBiasRamp);
+    const std::map<std::string, double> target = {
+        {"gate", vg}, {"drain", vd}, {"source", vs}, {"bulk", vb}};
+    const std::vector<double> snap_psi = std::move(psi_);
+    const std::vector<double> snap_n = std::move(n_);
+    const std::vector<double> snap_p = std::move(p_);
+    const std::map<std::string, double> snap_biases = biases_;
+    psi_ = psi;
+    n_ = n;
+    p_ = p;
+    report_ = SolverReport{};
+    report_.target = target;
+    trace(obs::TraceKind::kStageEnter, "bias_seed");
+    const GummelOutcome out = point_solve(target, options_.damping);
+    report_.total_gummel_iterations = out.iterations;
+    report_.final_residual = out.residual;
+    report_.final_bias_step = options_.bias_step;
+    report_.final_damping = options_.damping;
+    if (out.status == SolveStatus::kConverged) {
+      biases_ = target;
+      report_.continuation_steps = 1;
+      report_.seed_used = true;
+      if (ins_.continuation_steps != nullptr) ins_.continuation_steps->add(1);
+      trace(obs::TraceKind::kStageExit, "bias_seed",
+            static_cast<double>(out.iterations), out.residual);
+      return report_;
+    }
+    psi_ = snap_psi;
+    n_ = snap_n;
+    p_ = snap_p;
+    biases_ = snap_biases;
+    if (ins_.rollbacks != nullptr) ins_.rollbacks->add(1);
+    trace(obs::TraceKind::kRollback, "bias_seed",
+          static_cast<double>(out.iterations), out.residual);
+  }
+  return try_solve_bias(vg, vd, vs, vb);
+}
+
+DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::newton_at(
+    const std::map<std::string, double>& biases) {
+  if (fault_fires(SolveStage::kNewton, 0, biases)) {
+    return {SolveStatus::kStalled, SolveStage::kNewton, 0, 0, 0.0};
+  }
+  NewtonDdOptions nopt = options_.newton;
+  // The coupled solve must land at least as close as the Gummel outer
+  // tolerance, or the polish pass below would do real work and the
+  // "Newton did the heavy lifting" premise breaks.
+  nopt.update_tolerance =
+      std::min(nopt.update_tolerance, options_.psi_tolerance);
+  nopt.divergence_threshold =
+      std::min(nopt.divergence_threshold, options_.divergence_threshold);
+  const NewtonDdResult res = solve_newton_dd(dev_, biases, psi_, n_, p_,
+                                             nopt, options_.continuity,
+                                             prof_);
+  if (ins_.newton_solves != nullptr) {
+    ins_.newton_solves->add(1);
+    ins_.newton_iterations->add(res.iterations);
+  }
+  trace(res.status == SolveStatus::kConverged ? obs::TraceKind::kStageExit
+                                              : obs::TraceKind::kRetry,
+        "newton", static_cast<double>(res.iterations), res.residual);
+  if (res.status != SolveStatus::kConverged) {
+    return {res.status, SolveStage::kNewton, 0, res.iterations, res.residual};
+  }
+  // Certify the Newton state on the Gummel manifold: from this close a
+  // start the polish converges in one or two cheap outer iterations,
+  // and afterwards the state satisfies the exact same fixed-point
+  // criterion every other strategy satisfies (the equivalence tier's
+  // anchor). Full damping — we are inside the basin.
+  GummelOutcome polish = gummel_at(biases, 1.0);
+  if (polish.status == SolveStatus::kConverged) {
+    polish.stage_iterations = res.iterations;
+  }
+  return polish;
+}
+
+DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::point_solve(
+    const std::map<std::string, double>& biases, double damping) {
+  switch (options_.strategy) {
+    case SolverStrategy::kGummel:
+      return gummel_at(biases, damping);
+    case SolverStrategy::kNewton: {
+      const std::vector<double> snap_psi = psi_;
+      const std::vector<double> snap_n = n_;
+      const std::vector<double> snap_p = p_;
+      const GummelOutcome out = newton_at(biases);
+      if (out.status == SolveStatus::kConverged) return out;
+      psi_ = snap_psi;
+      n_ = snap_n;
+      p_ = snap_p;
+      if (ins_.newton_fallbacks != nullptr) ins_.newton_fallbacks->add(1);
+      trace(obs::TraceKind::kRetry, "newton_fallback");
+      return gummel_at(biases, damping);
+    }
+    case SolverStrategy::kHybrid: {
+      const std::vector<double> snap_psi = psi_;
+      const std::vector<double> snap_n = n_;
+      const std::vector<double> snap_p = p_;
+      const GummelOutcome out = gummel_at(biases, damping);
+      if (out.status == SolveStatus::kConverged) return out;
+      // Newton rescue from the pre-attempt state; if it fails too, the
+      // original Gummel outcome drives the ramp's retry ladder.
+      psi_ = snap_psi;
+      n_ = snap_n;
+      p_ = snap_p;
+      const GummelOutcome rescue = newton_at(biases);
+      if (rescue.status == SolveStatus::kConverged) return rescue;
+      psi_ = snap_psi;
+      n_ = snap_n;
+      p_ = snap_p;
+      if (ins_.newton_fallbacks != nullptr) ins_.newton_fallbacks->add(1);
+      trace(obs::TraceKind::kRetry, "newton_fallback");
+      return out;
+    }
+  }
+  return gummel_at(biases, damping);
+}
+
 DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at(
     const std::map<std::string, double>& biases, double damping) {
   const obs::ScopedSpan span(prof_, obs::names::spans::kGummelSolve);
@@ -353,6 +565,8 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
   std::vector<double> phi_n(n_nodes, 0.0);
   std::vector<double> phi_p(n_nodes, 0.0);
   std::vector<double> psi_prev(n_nodes, 0.0);
+  const bool density_stop = options_.density_tolerance > 0.0;
+  std::vector<double> n_prev, p_prev;
 
   double dpsi = 0.0;
   for (std::size_t it = 0; it < options_.max_iterations; ++it) {
@@ -409,15 +623,19 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
       }
     }
 
+    if (density_stop) {
+      n_prev = n_;
+      p_prev = p_;
+    }
     const auto [rn, rp] = [&] {
       const obs::ScopedSpan continuity_span(
           prof_, obs::names::spans::kGummelContinuity);
       ContinuityResult electron =
           solve_continuity(dev_, physics::Carrier::kElectron, psi_, p_, n_,
-                           options_.continuity, prof_);
+                           options_.continuity, prof_, &sg_workspace_);
       const ContinuityResult hole =
           solve_continuity(dev_, physics::Carrier::kHole, psi_, n_, p_,
-                           options_.continuity, prof_);
+                           options_.continuity, prof_, &sg_workspace_);
       return std::make_pair(electron, hole);
     }();
     sample.continuity_max_density = std::max(rn.max_density, rp.max_density);
@@ -441,6 +659,15 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
       dpsi = std::max(dpsi, std::abs(psi_[idx] - psi_prev[idx]));
       max_psi = std::max(max_psi, std::abs(psi_[idx]));
     }
+    double dcarrier = 0.0;
+    if (density_stop) {
+      for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+        dcarrier = std::max(
+            dcarrier, std::abs(n_[idx] - n_prev[idx]) / (n_prev[idx] + ni));
+        dcarrier = std::max(
+            dcarrier, std::abs(p_[idx] - p_prev[idx]) / (p_prev[idx] + ni));
+      }
+    }
     sample.psi_update = dpsi;
     if (trajectory != nullptr) trajectory->samples.push_back(sample);
     last_iterations_ = it + 1;
@@ -452,7 +679,8 @@ DriftDiffusionSolver::GummelOutcome DriftDiffusionSolver::gummel_at_impl(
       return {SolveStatus::kDiverged, SolveStage::kGummel, it + 1, it + 1,
               dpsi};
     }
-    if (dpsi < options_.psi_tolerance) {
+    if (dpsi < options_.psi_tolerance &&
+        (!density_stop || dcarrier < options_.density_tolerance)) {
       if (fault_fires(SolveStage::kGummel, it, biases)) {
         return {SolveStatus::kStalled, SolveStage::kGummel, it + 1, it + 1,
                 dpsi};

@@ -1,0 +1,433 @@
+#include "tcad/newton_dd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/block_banded.h"
+#include "obs/names.h"
+#include "obs/profiler.h"
+#include "physics/constants.h"
+#include "physics/fermi.h"
+
+namespace subscale::tcad {
+
+namespace {
+
+/// Per-node unknown ordering within a block: [psi, n, p]. Density
+/// unknowns are solved in units of ni (columns scaled by ni), which
+/// keeps the block Jacobian's columns within a few orders of each other
+/// before the factorization's row equilibration takes over.
+constexpr std::size_t kPsi = 0;
+constexpr std::size_t kN = 1;
+constexpr std::size_t kP = 2;
+
+struct DirichletInfo {
+  std::vector<char> psi_fixed_mask;
+  std::vector<double> psi_fixed;
+  std::vector<char> carrier_fixed_mask;  ///< oxide or ohmic contact
+  std::vector<double> n_fixed;
+  std::vector<double> p_fixed;
+};
+
+DirichletInfo resolve_dirichlet(const DeviceStructure& dev,
+                                const std::map<std::string, double>& biases) {
+  const auto& m = dev.mesh();
+  const std::size_t n_nodes = m.node_count();
+  DirichletInfo d;
+  d.psi_fixed_mask.assign(n_nodes, 0);
+  d.psi_fixed.assign(n_nodes, 0.0);
+  d.carrier_fixed_mask.assign(n_nodes, 0);
+  d.n_fixed.assign(n_nodes, 0.0);
+  d.p_fixed.assign(n_nodes, 0.0);
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    const std::string& c = m.contact_of(idx);
+    if (!c.empty()) {
+      const auto it = biases.find(c);
+      if (it == biases.end()) {
+        throw std::invalid_argument(
+            "solve_newton_dd: missing bias for contact " + c);
+      }
+      d.psi_fixed_mask[idx] = 1;
+      d.psi_fixed[idx] = dev.contact_potential(idx, it->second);
+    }
+    if (!dev.is_silicon(idx)) {
+      d.carrier_fixed_mask[idx] = 1;  // no carriers in the oxide
+    } else if (!c.empty()) {
+      d.carrier_fixed_mask[idx] = 1;  // ohmic contact densities
+      dev.ohmic_carriers(idx, &d.n_fixed[idx], &d.p_fixed[idx]);
+    }
+  }
+  return d;
+}
+
+/// Assemble the residual (and per-row term-magnitude normalization) of
+/// the coupled system; when `jac` is non-null, also the Jacobian with
+/// density columns scaled by ni. One function so the solver's Jacobian,
+/// the line-search merit, and the FD test all probe the same F.
+void assemble(const DeviceStructure& dev, const DirichletInfo& d,
+              const std::vector<double>& psi, const std::vector<double>& n,
+              const std::vector<double>& p,
+              const ContinuityOptions& continuity,
+              std::vector<double>& residual, std::vector<double>& row_mag,
+              linalg::BlockBandedMatrix* jac) {
+  const auto& m = dev.mesh();
+  const std::size_t n_nodes = m.node_count();
+  const std::size_t nx = m.nx();
+  const double ni = dev.ni();
+  const double vt = dev.vt();
+  const double tau = continuity.tau_srh;
+
+  residual.assign(3 * n_nodes, 0.0);
+  row_mag.assign(3 * n_nodes, 0.0);
+  if (jac != nullptr) jac->set_zero();
+
+  const auto eps_of_edge = [&](std::size_t a, std::size_t b) {
+    const bool ox = !dev.is_silicon(a) || !dev.is_silicon(b);
+    return ox ? physics::kEpsSiO2 : physics::kEpsSi;
+  };
+  const auto J = [&](std::size_t bi, std::size_t bj, std::size_t r,
+                     std::size_t c, double v) {
+    // Density columns carry the ni scaling (unknowns are n/ni, p/ni).
+    jac->add(bi, bj, r, c, c == kPsi ? v : v * ni);
+  };
+
+  for (std::size_t j = 0; j < m.ny(); ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t idx = m.index(i, j);
+      const std::size_t row = 3 * idx;
+
+      // ---- psi row: box Poisson (or Dirichlet at contacts) ----------
+      if (d.psi_fixed_mask[idx]) {
+        residual[row + kPsi] = psi[idx] - d.psi_fixed[idx];
+        row_mag[row + kPsi] = 1.0;
+        if (jac != nullptr) J(idx, idx, kPsi, kPsi, 1.0);
+      } else {
+        double f = 0.0;
+        double mag = 0.0;
+        double diag = 0.0;
+        double ksum = 0.0;
+        const auto psi_edge = [&](std::size_t nb, double dist, double area) {
+          const double k = eps_of_edge(idx, nb) * area / dist;
+          const double term = k * (psi[nb] - psi[idx]);
+          f += term;
+          mag += std::abs(term);
+          ksum += k;
+          diag -= k;
+          if (jac != nullptr) J(idx, nb, kPsi, kPsi, k);
+        };
+        if (i > 0) {
+          psi_edge(m.index(i - 1, j), m.x(i) - m.x(i - 1),
+                   m.dy_minus(j) + m.dy_plus(j));
+        }
+        if (i + 1 < nx) {
+          psi_edge(m.index(i + 1, j), m.x(i + 1) - m.x(i),
+                   m.dy_minus(j) + m.dy_plus(j));
+        }
+        if (j > 0) {
+          psi_edge(m.index(i, j - 1), m.y(j) - m.y(j - 1),
+                   m.dx_minus(i) + m.dx_plus(i));
+        }
+        if (j + 1 < m.ny()) {
+          psi_edge(m.index(i, j + 1), m.y(j + 1) - m.y(j),
+                   m.dx_minus(i) + m.dx_plus(i));
+        }
+        if (dev.is_silicon(idx)) {
+          const double qbox = physics::kQ * m.box_area(i, j);
+          f += qbox * (p[idx] - n[idx] + dev.net_doping()[idx]);
+          mag += qbox * (p[idx] + n[idx] + std::abs(dev.net_doping()[idx]));
+          if (jac != nullptr) {
+            J(idx, idx, kPsi, kN, -qbox);
+            J(idx, idx, kPsi, kP, qbox);
+          }
+        }
+        if (jac != nullptr) J(idx, idx, kPsi, kPsi, diag);
+        residual[row + kPsi] = f;
+        // Absolute floor at the thermal-voltage scale: a Poisson row
+        // whose edge terms all share a sign (a local extremum of psi)
+        // would otherwise normalize a vanishing residual by itself and
+        // report O(1) no matter how converged the row is.
+        row_mag[row + kPsi] = mag + ksum * vt;
+      }
+
+      // ---- carrier rows --------------------------------------------
+      if (d.carrier_fixed_mask[idx]) {
+        residual[row + kN] = n[idx] - d.n_fixed[idx];
+        residual[row + kP] = p[idx] - d.p_fixed[idx];
+        row_mag[row + kN] = n[idx] + d.n_fixed[idx] + ni;
+        row_mag[row + kP] = p[idx] + d.p_fixed[idx] + ni;
+        if (jac != nullptr) {
+          J(idx, idx, kN, kN, 1.0);
+          J(idx, idx, kP, kP, 1.0);
+        }
+        continue;
+      }
+
+      double fn = 0.0, fp = 0.0, mag_n = 0.0, mag_p = 0.0;
+      double diag_nn = 0.0, diag_pp = 0.0;
+      double ksum_n = 0.0, ksum_p = 0.0;
+      const auto carrier_edge = [&](std::size_t nb, double dist,
+                                    double area) {
+        if (!dev.silicon_edge(idx, nb)) return;
+        const double dpsi = (psi[nb] - psi[idx]) / vt;
+        const double bp = physics::bernoulli(dpsi);
+        const double bm = physics::bernoulli(-dpsi);
+        const double mu_n = edge_mobility(dev, physics::Carrier::kElectron,
+                                          psi, idx, nb, dist, continuity);
+        const double mu_p = edge_mobility(dev, physics::Carrier::kHole, psi,
+                                          idx, nb, dist, continuity);
+        const double kn = mu_n * vt * area / dist;
+        const double kp = mu_p * vt * area / dist;
+        // Electron flux: kn [ n_nb B(d) - n_idx B(-d) ].
+        fn += kn * (n[nb] * bp - n[idx] * bm);
+        mag_n += kn * (n[nb] * bp + n[idx] * bm);
+        // Hole flux: kp [ p_idx B(d) - p_nb B(-d) ].
+        fp += kp * (p[idx] * bp - p[nb] * bm);
+        mag_p += kp * (p[idx] * bp + p[nb] * bm);
+        ksum_n += kn * (bp + bm);
+        ksum_p += kp * (bp + bm);
+        diag_nn -= kn * bm;
+        diag_pp += kp * bp;
+        if (jac != nullptr) {
+          const double bpd = physics::bernoulli_derivative(dpsi);
+          const double bmd = physics::bernoulli_derivative(-dpsi);
+          J(idx, nb, kN, kN, kn * bp);
+          J(idx, nb, kP, kP, -kp * bm);
+          // d(flux)/d(psi_nb) = +coupling; d/d(psi_idx) = -coupling
+          // (the flux depends on psi only through psi_nb - psi_idx).
+          const double cn = kn / vt * (n[nb] * bpd + n[idx] * bmd);
+          const double cp = kp / vt * (p[idx] * bpd + p[nb] * bmd);
+          J(idx, nb, kN, kPsi, cn);
+          J(idx, idx, kN, kPsi, -cn);
+          J(idx, nb, kP, kPsi, cp);
+          J(idx, idx, kP, kPsi, -cp);
+        }
+      };
+      if (i > 0) {
+        carrier_edge(m.index(i - 1, j), m.x(i) - m.x(i - 1),
+                     m.dy_minus(j) + m.dy_plus(j));
+      }
+      if (i + 1 < nx) {
+        carrier_edge(m.index(i + 1, j), m.x(i + 1) - m.x(i),
+                     m.dy_minus(j) + m.dy_plus(j));
+      }
+      if (j > 0) {
+        carrier_edge(m.index(i, j - 1), m.y(j) - m.y(j - 1),
+                     m.dx_minus(i) + m.dx_plus(i));
+      }
+      if (j + 1 < m.ny()) {
+        carrier_edge(m.index(i, j + 1), m.y(j + 1) - m.y(j),
+                     m.dx_minus(i) + m.dx_plus(i));
+      }
+
+      // SRH with the *current* densities in the denominator — Gummel
+      // lags them, but at the fixed point lagged == current, so the
+      // two solvers share their converged solution.
+      const double box = m.box_area(i, j);
+      const double denom = tau * (n[idx] + ni) + tau * (p[idx] + ni);
+      const double r_srh = (n[idx] * p[idx] - ni * ni) / denom;
+      const double drdn =
+          p[idx] / denom - (n[idx] * p[idx] - ni * ni) * tau / (denom * denom);
+      const double drdp =
+          n[idx] / denom - (n[idx] * p[idx] - ni * ni) * tau / (denom * denom);
+      fn -= box * r_srh;
+      fp += box * r_srh;
+      const double mag_srh = box * (n[idx] * p[idx] + ni * ni) / denom;
+      mag_n += mag_srh;
+      mag_p += mag_srh;
+      residual[row + kN] = fn;
+      residual[row + kP] = fp;
+      // Absolute floor at the intrinsic-density transport scale (the SG
+      // flux and SRH rate evaluated with every density at ni): minority
+      // rows in heavily doped regions sit at the continuity solver's
+      // density floor — their residual IS their magnitude, which would
+      // otherwise pin the normalized merit at 1 however good the step.
+      const double floor_c = box * ni / tau;
+      row_mag[row + kN] = mag_n + ksum_n * ni + floor_c;
+      row_mag[row + kP] = mag_p + ksum_p * ni + floor_c;
+      if (jac != nullptr) {
+        J(idx, idx, kN, kN, diag_nn - box * drdn);
+        J(idx, idx, kN, kP, -box * drdp);
+        J(idx, idx, kP, kN, box * drdn);
+        J(idx, idx, kP, kP, diag_pp + box * drdp);
+      }
+    }
+  }
+}
+
+/// Row-normalized residual RMS: sqrt(mean_i (F_i / w_i)^2). An RMS
+/// instead of an inf-norm so one degenerate row (a minority density
+/// held at the continuity floor whose equation cannot be satisfied by
+/// any nearby state) contributes a bounded constant instead of pinning
+/// the whole merit; the line search then still sees the progress every
+/// other row makes. The weights are the row magnitudes of the CURRENT
+/// iterate, frozen across the backtracking trials, so the line search
+/// minimizes a fixed function of the step length.
+double merit_of(const std::vector<double>& residual,
+                const std::vector<double>& weights) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < residual.size(); ++i) {
+    const double q = residual[i] / std::max(weights[i], 1e-300);
+    sum += q * q;
+  }
+  return std::sqrt(sum / static_cast<double>(residual.size()));
+}
+
+}  // namespace
+
+void newton_dd_residual(const DeviceStructure& dev,
+                        const std::map<std::string, double>& biases,
+                        const std::vector<double>& psi,
+                        const std::vector<double>& n,
+                        const std::vector<double>& p,
+                        const ContinuityOptions& continuity,
+                        std::vector<double>& residual,
+                        std::vector<double>& row_magnitude) {
+  const DirichletInfo d = resolve_dirichlet(dev, biases);
+  assemble(dev, d, psi, n, p, continuity, residual, row_magnitude, nullptr);
+}
+
+void newton_dd_jacobian_product(const DeviceStructure& dev,
+                                const std::map<std::string, double>& biases,
+                                const std::vector<double>& psi,
+                                const std::vector<double>& n,
+                                const std::vector<double>& p,
+                                const ContinuityOptions& continuity,
+                                const std::vector<double>& dx,
+                                std::vector<double>& out) {
+  const auto& m = dev.mesh();
+  const std::size_t n_nodes = m.node_count();
+  if (dx.size() != 3 * n_nodes) {
+    throw std::invalid_argument(
+        "newton_dd_jacobian_product: dx size mismatch");
+  }
+  const DirichletInfo d = resolve_dirichlet(dev, biases);
+  linalg::BlockBandedMatrix jac(n_nodes, 3, m.nx());
+  std::vector<double> residual;
+  std::vector<double> row_mag;
+  assemble(dev, d, psi, n, p, continuity, residual, row_mag, &jac);
+  // The stored density columns are scaled by ni (unknowns are n/ni);
+  // feed the matrix the scaled perturbation so the product is physical.
+  std::vector<double> v(dx);
+  const double ni = dev.ni();
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    v[3 * idx + kN] /= ni;
+    v[3 * idx + kP] /= ni;
+  }
+  out = jac.scalar().multiply(v);
+}
+
+NewtonDdResult solve_newton_dd(const DeviceStructure& dev,
+                               const std::map<std::string, double>& biases,
+                               std::vector<double>& psi,
+                               std::vector<double>& n,
+                               std::vector<double>& p,
+                               const NewtonDdOptions& options,
+                               const ContinuityOptions& continuity,
+                               obs::SpanProfiler* profiler) {
+  const obs::ScopedSpan span(profiler, obs::names::spans::kNewtonSolve);
+  const auto& m = dev.mesh();
+  const std::size_t n_nodes = m.node_count();
+  if (psi.size() != n_nodes || n.size() != n_nodes || p.size() != n_nodes) {
+    throw std::invalid_argument("solve_newton_dd: state size mismatch");
+  }
+  const double ni = dev.ni();
+  const double floor = 1e-20 * ni;
+  const DirichletInfo d = resolve_dirichlet(dev, biases);
+
+  // Impose the Dirichlet values up front (the ramped guess normally has
+  // them already; a prolonged coarse guess may not, exactly).
+  for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+    if (d.psi_fixed_mask[idx]) psi[idx] = d.psi_fixed[idx];
+    if (d.carrier_fixed_mask[idx]) {
+      n[idx] = d.n_fixed[idx];
+      p[idx] = d.p_fixed[idx];
+    } else {
+      n[idx] = std::max(n[idx], floor);
+      p[idx] = std::max(p[idx], floor);
+    }
+  }
+
+  linalg::BlockBandedMatrix jac(n_nodes, 3, m.nx());
+  std::vector<double> residual, row_mag, trial_res, trial_mag;
+  std::vector<double> rhs(3 * n_nodes, 0.0);
+  std::vector<double> psi_t(n_nodes), n_t(n_nodes), p_t(n_nodes);
+
+  NewtonDdResult result;
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    assemble(dev, d, psi, n, p, continuity, residual, row_mag, &jac);
+    const double merit = merit_of(residual, row_mag);
+    for (std::size_t r = 0; r < rhs.size(); ++r) rhs[r] = -residual[r];
+
+    std::vector<double> delta;
+    try {
+      const obs::ScopedSpan lu_span(profiler,
+                                    obs::names::spans::kBandedLuSolve);
+      delta = linalg::BlockBandedLu(jac).solve(rhs);
+    } catch (const std::runtime_error&) {
+      result.status = SolveStatus::kNonFinite;  // singular/non-finite pivot
+      return result;
+    }
+
+    // Backtracking line search on the frozen-weight residual RMS
+    // (row_mag of the current iterate, NOT of the trial state).
+    double t = 1.0;
+    bool accepted = false;
+    for (std::size_t ls = 0; ls <= options.max_line_search; ++ls) {
+      for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+        const std::size_t row = 3 * idx;
+        psi_t[idx] = psi[idx] + t * delta[row + kPsi];
+        if (d.carrier_fixed_mask[idx]) {
+          n_t[idx] = n[idx];
+          p_t[idx] = p[idx];
+        } else {
+          n_t[idx] = std::max(floor, n[idx] + t * ni * delta[row + kN]);
+          p_t[idx] = std::max(floor, p[idx] + t * ni * delta[row + kP]);
+        }
+      }
+      assemble(dev, d, psi_t, n_t, p_t, continuity, trial_res, trial_mag,
+               nullptr);
+      const double trial_merit = merit_of(trial_res, row_mag);
+      if (std::isfinite(trial_merit) &&
+          trial_merit < merit * (1.0 - 1e-4 * t)) {
+        accepted = true;
+        break;
+      }
+      t *= 0.5;
+    }
+    if (!accepted) {
+      result.status = SolveStatus::kDiverged;
+      result.residual = merit;
+      return result;
+    }
+
+    double max_dpsi = 0.0;
+    double max_psi = 0.0;
+    for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+      max_dpsi = std::max(max_dpsi, std::abs(psi_t[idx] - psi[idx]));
+      max_psi = std::max(max_psi, std::abs(psi_t[idx]));
+    }
+    psi.swap(psi_t);
+    n.swap(n_t);
+    p.swap(p_t);
+    result.residual = max_dpsi;
+    if (!std::isfinite(max_dpsi) || !std::isfinite(max_psi)) {
+      result.status = SolveStatus::kNonFinite;
+      return result;
+    }
+    if (max_psi > options.divergence_threshold) {
+      result.status = SolveStatus::kDiverged;
+      return result;
+    }
+    // Converged: a full, undamped step that barely moved the potential.
+    if (t == 1.0 && max_dpsi < options.update_tolerance) {
+      result.status = SolveStatus::kConverged;
+      return result;
+    }
+  }
+  result.status = SolveStatus::kStalled;
+  return result;
+}
+
+}  // namespace subscale::tcad

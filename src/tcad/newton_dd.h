@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file newton_dd.h
+/// Coupled Newton drift–diffusion solver: one Newton iteration updates
+/// {psi, n, p} simultaneously from the block-banded Jacobian of the
+/// SAME discrete system whose fixed point the Gummel iteration finds —
+/// box-method Poisson with the actual carrier densities, Scharfetter–
+/// Gummel continuity fluxes, and SRH recombination with the *current*
+/// densities in the denominator (the Gummel solver lags that
+/// denominator, but lagged equals current at the fixed point, so the
+/// two solvers converge to the same solution). That shared fixed point
+/// is what the differential-equivalence tier (tests/
+/// test_solver_equivalence.cpp) pins at 1e-9.
+///
+/// Near a good initial guess Newton converges quadratically where
+/// Gummel's decoupled sweep plods linearly — the win on the hard
+/// high-bias points where bias continuation otherwise does step-halving
+/// retries. Robustness comes from a backtracking line search on a
+/// row-normalized residual RMS (weights frozen at the current iterate,
+/// with absolute don't-care floors per row class); a solve that still
+/// diverges reports it and the caller (DriftDiffusionSolver) falls
+/// back to Gummel, counted in tcad.newton.fallbacks.
+///
+/// The Jacobian freezes edge mobility at the current potential
+/// (quasi-Newton: the Caughey–Thomas field dependence contributes no
+/// derivative terms), but the RESIDUAL is exact, so the converged
+/// solution is exact. With velocity_saturation off the Jacobian itself
+/// is exact, which the finite-difference Jacobian test exploits.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tcad/continuity.h"
+#include "tcad/device_structure.h"
+#include "tcad/solver_status.h"
+
+namespace subscale::obs {
+class SpanProfiler;
+}  // namespace subscale::obs
+
+namespace subscale::tcad {
+
+struct NewtonDdOptions {
+  std::size_t max_iterations = 30;
+  double update_tolerance = 1e-7;  ///< on max |delta psi| per step [V]
+  double divergence_threshold = 50.0;  ///< max |psi| before giving up [V]
+  std::size_t max_line_search = 10;    ///< backtracking halvings per step
+};
+
+struct NewtonDdResult {
+  SolveStatus status = SolveStatus::kStalled;
+  std::size_t iterations = 0;  ///< Newton steps taken
+  double residual = 0.0;       ///< final max |delta psi| [V]
+};
+
+/// One coupled Newton solve at a fixed bias point, updating psi/n/p in
+/// place. On any non-converged status the state vectors are NOT
+/// restored — the caller owns snapshotting (DriftDiffusionSolver
+/// already snapshots around every point solve).
+NewtonDdResult solve_newton_dd(const DeviceStructure& dev,
+                               const std::map<std::string, double>& biases,
+                               std::vector<double>& psi,
+                               std::vector<double>& n,
+                               std::vector<double>& p,
+                               const NewtonDdOptions& options,
+                               const ContinuityOptions& continuity,
+                               obs::SpanProfiler* profiler = nullptr);
+
+/// Assemble the raw residual F(psi, n, p) of the coupled system (3
+/// entries per node, ordered [psi, n, p] node-major) and, per row, the
+/// sum of absolute magnitudes of its assembled terms plus an absolute
+/// don't-care floor (thermal-voltage scale for Poisson rows,
+/// intrinsic-density transport scale for carrier rows) — the
+/// normalization the line-search merit divides by. Exposed so the
+/// finite-difference Jacobian test can probe the exact function the
+/// solver differentiates. Dirichlet rows (contact psi, ohmic/oxide
+/// carriers) carry the imposed-value mismatch.
+void newton_dd_residual(const DeviceStructure& dev,
+                        const std::map<std::string, double>& biases,
+                        const std::vector<double>& psi,
+                        const std::vector<double>& n,
+                        const std::vector<double>& p,
+                        const ContinuityOptions& continuity,
+                        std::vector<double>& residual,
+                        std::vector<double>& row_magnitude);
+
+/// J(psi, n, p) * dx for the assembled Jacobian, with `dx` and the
+/// result in PHYSICAL units ([V, m^-3, m^-3] per node) — the internal
+/// units-of-ni column scaling is applied and removed inside. Test hook
+/// for the finite-difference Jacobian check: with velocity_saturation
+/// off the assembled Jacobian is exact, so (F(x+h) - F(x-h)) / 2 must
+/// match J*h to discretization accuracy.
+void newton_dd_jacobian_product(const DeviceStructure& dev,
+                                const std::map<std::string, double>& biases,
+                                const std::vector<double>& psi,
+                                const std::vector<double>& n,
+                                const std::vector<double>& p,
+                                const ContinuityOptions& continuity,
+                                const std::vector<double>& dx,
+                                std::vector<double>& out);
+
+}  // namespace subscale::tcad

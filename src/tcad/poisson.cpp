@@ -1,6 +1,7 @@
 #include "tcad/poisson.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <stdexcept>
 
@@ -67,54 +68,87 @@ PoissonResult solve_poisson(const DeviceStructure& dev,
     return ox ? physics::kEpsSiO2 : physics::kEpsSi;
   };
 
+  // The edge conductances eps*area/dist and the charge prefactor q*box
+  // depend only on the mesh and material map, not on psi — compute them
+  // once instead of once per Newton iteration. Values are formed by the
+  // exact expressions the in-loop assembly used (left-to-right products
+  // unchanged), so the assembled system is bitwise-identical.
+  struct NodeStencil {
+    std::array<std::size_t, 4> nb{};  // west, east, south, north
+    std::array<double, 4> k{};        // edge conductances (0 = no edge)
+    std::array<char, 4> has{};
+    double qbox = 0.0;  // q * box_area, 0 for non-silicon nodes
+    double doping = 0.0;
+  };
+  std::vector<NodeStencil> stencil(n_nodes);
+  for (std::size_t j = 0; j < m.ny(); ++j) {
+    for (std::size_t i = 0; i < nx; ++i) {
+      const std::size_t idx = m.index(i, j);
+      NodeStencil& s = stencil[idx];
+      const auto set_edge = [&](std::size_t slot, std::size_t nb,
+                                double dist, double area) {
+        s.nb[slot] = nb;
+        s.k[slot] = eps_of_edge(idx, nb) * area / dist;
+        s.has[slot] = 1;
+      };
+      if (i > 0) {
+        set_edge(0, m.index(i - 1, j), m.x(i) - m.x(i - 1),
+                 m.dy_minus(j) + m.dy_plus(j));
+      }
+      if (i + 1 < nx) {
+        set_edge(1, m.index(i + 1, j), m.x(i + 1) - m.x(i),
+                 m.dy_minus(j) + m.dy_plus(j));
+      }
+      if (j > 0) {
+        set_edge(2, m.index(i, j - 1), m.y(j) - m.y(j - 1),
+                 m.dx_minus(i) + m.dx_plus(i));
+      }
+      if (j + 1 < m.ny()) {
+        set_edge(3, m.index(i, j + 1), m.y(j + 1) - m.y(j),
+                 m.dx_minus(i) + m.dx_plus(i));
+      }
+      if (dev.is_silicon(idx)) {
+        s.qbox = physics::kQ * m.box_area(i, j);
+        s.doping = dev.net_doping()[idx];
+      }
+    }
+  }
+
+  // Assembly workspace hoisted out of the Newton loop: zero + refill is
+  // bitwise-identical to fresh construction and avoids reallocating the
+  // band storage (the largest transient allocation in the solver) every
+  // iteration.
+  linalg::BandedMatrix jac(n_nodes, nx, nx);
+  std::vector<double> rhs(n_nodes, 0.0);
+
   PoissonResult result;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    linalg::BandedMatrix jac(n_nodes, nx, nx);
-    std::vector<double> rhs(n_nodes, 0.0);
+    jac.set_zero();
 
-    for (std::size_t j = 0; j < m.ny(); ++j) {
-      for (std::size_t i = 0; i < nx; ++i) {
-        const std::size_t idx = m.index(i, j);
-        if (dirichlet[idx]) {
-          jac.at(idx, idx) = 1.0;
-          rhs[idx] = 0.0;  // already imposed
-          continue;
-        }
-        double f = 0.0;
-        double diag = 0.0;
-        const auto add_edge = [&](std::size_t nb, double dist, double area) {
-          const double k = eps_of_edge(idx, nb) * area / dist;
-          f += k * (psi[nb] - psi[idx]);
-          diag -= k;
-          jac.at(idx, nb) = k;
-        };
-        if (i > 0) {
-          add_edge(m.index(i - 1, j), m.x(i) - m.x(i - 1),
-                   m.dy_minus(j) + m.dy_plus(j));
-        }
-        if (i + 1 < nx) {
-          add_edge(m.index(i + 1, j), m.x(i + 1) - m.x(i),
-                   m.dy_minus(j) + m.dy_plus(j));
-        }
-        if (j > 0) {
-          add_edge(m.index(i, j - 1), m.y(j) - m.y(j - 1),
-                   m.dx_minus(i) + m.dx_plus(i));
-        }
-        if (j + 1 < m.ny()) {
-          add_edge(m.index(i, j + 1), m.y(j + 1) - m.y(j),
-                   m.dx_minus(i) + m.dx_plus(i));
-        }
-        if (dev.is_silicon(idx)) {
-          const double box = m.box_area(i, j);
-          const double nn = boltzmann_n(psi[idx], phi_n[idx], ni, vt);
-          const double pp = boltzmann_p(psi[idx], phi_p[idx], ni, vt);
-          f += physics::kQ * box *
-               (pp - nn + dev.net_doping()[idx]);
-          diag -= physics::kQ * box * (nn + pp) / vt;
-        }
-        jac.at(idx, idx) = diag;
-        rhs[idx] = -f;
+    for (std::size_t idx = 0; idx < n_nodes; ++idx) {
+      if (dirichlet[idx]) {
+        jac.at(idx, idx) = 1.0;
+        rhs[idx] = 0.0;  // already imposed
+        continue;
       }
+      const NodeStencil& s = stencil[idx];
+      double f = 0.0;
+      double diag = 0.0;
+      for (std::size_t e = 0; e < 4; ++e) {
+        if (!s.has[e]) continue;
+        const double k = s.k[e];
+        f += k * (psi[s.nb[e]] - psi[idx]);
+        diag -= k;
+        jac.at(idx, s.nb[e]) = k;
+      }
+      if (s.qbox != 0.0) {
+        const double nn = boltzmann_n(psi[idx], phi_n[idx], ni, vt);
+        const double pp = boltzmann_p(psi[idx], phi_p[idx], ni, vt);
+        f += s.qbox * (pp - nn + s.doping);
+        diag -= s.qbox * (nn + pp) / vt;
+      }
+      jac.at(idx, idx) = diag;
+      rhs[idx] = -f;
     }
 
     const std::vector<double> delta = [&] {

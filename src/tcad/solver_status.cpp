@@ -14,6 +14,8 @@ const char* to_string(SolveStage stage) {
       return "continuity";
     case SolveStage::kGummel:
       return "Gummel";
+    case SolveStage::kNewton:
+      return "Newton";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@ enum class SolveStage {
   kPoisson,     ///< nonlinear Poisson (inner Newton)
   kContinuity,  ///< electron/hole continuity linear solve
   kGummel,      ///< the outer decoupled iteration
+  kNewton,      ///< the coupled Newton drift–diffusion solve
 };
 
 /// How a stage finished.
@@ -63,6 +64,9 @@ struct SolverReport {
   double final_residual = 0.0;   ///< max |dpsi| of the last attempt [V]
   double final_bias_step = 0.0;  ///< continuation step when finishing [V]
   double final_damping = 1.0;    ///< under-relaxation when finishing
+  /// True when a seeded single-shot solve (mesh-continuation prolonged
+  /// guess) converged directly, skipping the continuation ramp.
+  bool seed_used = false;
   std::vector<AttemptRecord> failures;  ///< every rejected attempt
 
   /// One-line human-readable digest, e.g.

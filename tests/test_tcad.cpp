@@ -1,17 +1,27 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "compact/device_spec.h"
 #include "compact/mosfet.h"
 #include "exec/run_context.h"
+#include "mesh/mesh2d.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "physics/units.h"
 #include "tcad/device_sim.h"
 #include "tcad/extract.h"
+#include "tcad/mesh_continuation.h"
+#include "tcad/newton_dd.h"
 
 namespace se = subscale::exec;
+namespace sm = subscale::mesh;
+namespace so = subscale::obs;
 namespace st = subscale::tcad;
 namespace sc = subscale::compact;
 namespace sd = subscale::doping;
@@ -465,4 +475,220 @@ TEST(TcadPaperTrend, LongerGateImprovesSwing) {
       st::extract_from_sweep(long_dev.id_vg(0.25, 0.0, 0.40, 11), window);
 
   EXPECT_GT(short_ex.ss, long_ex.ss);
+}
+
+// ---- mesh-continuation prolongation properties -------------------------------
+
+namespace {
+
+/// Uniform tensor mesh with spacing `h` (coordinates in metres; the
+/// prolongation operators are pure interpolation, so simple grids
+/// exercise them fully).
+sm::TensorMesh2d uniform_mesh(std::size_t nx, std::size_t ny, double h) {
+  std::vector<double> xs(nx), ys(ny);
+  for (std::size_t i = 0; i < nx; ++i) xs[i] = static_cast<double>(i) * h;
+  for (std::size_t j = 0; j < ny; ++j) ys[j] = static_cast<double>(j) * h;
+  return sm::TensorMesh2d(sm::Grid1d(std::move(xs)),
+                          sm::Grid1d(std::move(ys)));
+}
+
+/// The same span at twice the resolution (contains every coarse line).
+sm::TensorMesh2d refined_mesh(std::size_t nx, std::size_t ny, double h) {
+  return uniform_mesh(2 * nx - 1, 2 * ny - 1, 0.5 * h);
+}
+
+}  // namespace
+
+TEST(MeshContinuationProlongation, BilinearIsExactOnCoincidentNodes) {
+  const auto coarse = uniform_mesh(5, 4, 1e-9);
+  const auto fine = refined_mesh(5, 4, 1e-9);
+  std::vector<double> f(coarse.node_count());
+  for (std::size_t idx = 0; idx < f.size(); ++idx) {
+    f[idx] = 0.25 * static_cast<double>(idx) - 3.0;
+  }
+  const auto pf = st::prolong_bilinear(coarse, fine, f);
+  ASSERT_EQ(pf.size(), fine.node_count());
+  for (std::size_t j = 0; j < coarse.ny(); ++j) {
+    for (std::size_t i = 0; i < coarse.nx(); ++i) {
+      // Coarse node (i, j) coincides with fine node (2i, 2j).
+      EXPECT_DOUBLE_EQ(pf[fine.index(2 * i, 2 * j)], f[coarse.index(i, j)]);
+    }
+  }
+}
+
+TEST(MeshContinuationProlongation, BilinearIsBoundedAndMonotone) {
+  const auto coarse = uniform_mesh(6, 5, 2e-9);
+  const auto fine = refined_mesh(6, 5, 2e-9);
+  // Monotone-in-x field with cross-row variation.
+  std::vector<double> f(coarse.node_count());
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t j = 0; j < coarse.ny(); ++j) {
+    for (std::size_t i = 0; i < coarse.nx(); ++i) {
+      f[coarse.index(i, j)] =
+          static_cast<double>(i * i) + 0.1 * static_cast<double>(j);
+      lo = std::min(lo, f[coarse.index(i, j)]);
+      hi = std::max(hi, f[coarse.index(i, j)]);
+    }
+  }
+  const auto pf = st::prolong_bilinear(coarse, fine, f);
+  for (const double v : pf) {
+    EXPECT_GE(v, lo);  // convex weights: no overshoot
+    EXPECT_LE(v, hi);
+  }
+  for (std::size_t j = 0; j < fine.ny(); ++j) {
+    for (std::size_t i = 0; i + 1 < fine.nx(); ++i) {
+      // Per-axis monotonicity is preserved along every fine row.
+      EXPECT_LE(pf[fine.index(i, j)], pf[fine.index(i + 1, j)]);
+    }
+  }
+}
+
+TEST(MeshContinuationProlongation, LogDensityBlendsGeometricallyAndFloors) {
+  const auto coarse = uniform_mesh(3, 2, 1e-9);
+  const auto fine = refined_mesh(3, 2, 1e-9);
+  const double floor = 1e6;
+  // Two decades-apart values and a zero (oxide) node per row.
+  std::vector<double> rho(coarse.node_count());
+  for (std::size_t j = 0; j < coarse.ny(); ++j) {
+    rho[coarse.index(0, j)] = 1e10;
+    rho[coarse.index(1, j)] = 1e20;
+    rho[coarse.index(2, j)] = 0.0;
+  }
+  const auto pr = st::prolong_log_density(coarse, fine, rho, floor);
+  ASSERT_EQ(pr.size(), fine.node_count());
+  for (const double v : pr) {
+    // exp(log(floor)) can land one ulp under the floor.
+    EXPECT_GE(v, floor * (1.0 - 1e-12));  // zeros floored, never -inf
+    EXPECT_LE(v, 1e20 * (1.0 + 1e-12));
+  }
+  // Midpoint between 1e10 and 1e20 blends geometrically: sqrt product.
+  EXPECT_NEAR(std::log10(pr[fine.index(1, 0)]), 15.0, 1e-9);
+  // A node coincident with the zeroed coarse node lands at the floor.
+  EXPECT_NEAR(pr[fine.index(4, 0)], floor, 1e-9 * floor);
+}
+
+TEST(MeshContinuationProlongation, SameMeshRoundTripReconvergesImmediately) {
+  // A converged state prolonged onto its own mesh is an identity: a
+  // fresh solver seeded with it must certify the point in at most two
+  // outer iterations (one to verify, one of slack) rather than re-run
+  // the continuation ramp.
+  st::TcadDevice dev(nfet_90(), coarse_mesh());
+  dev.id_at(0.3, 0.25);
+  const auto& m = dev.structure().mesh();
+  const auto psi = st::prolong_bilinear(m, m, dev.solver().psi());
+  const double floor = 1e-20 * dev.structure().ni();
+  const auto n =
+      st::prolong_log_density(m, m, dev.solver().electron_density(), floor);
+  const auto p =
+      st::prolong_log_density(m, m, dev.solver().hole_density(), floor);
+
+  st::DriftDiffusionSolver fresh(dev.structure());
+  const auto& report = fresh.try_solve_bias_seeded(0.3, 0.25, 0.0, 0.0,
+                                                   psi, n, p);
+  EXPECT_TRUE(report.seed_used);
+  EXPECT_LE(report.total_gummel_iterations, 2u);
+}
+
+TEST(MeshContinuationProlongation, CoarseOnlyFaultFallsBackToColdPath) {
+  // A coarse cascade that cannot converge must be a counted
+  // no-op — the fine solve runs the ordinary cold path and produces
+  // the identical answer.
+  so::MetricsRegistry reg;
+  se::RunContext ctx;
+  ctx.metrics = &reg;
+  st::GummelOptions opt;
+  opt.mesh_continuation_levels = 2;
+  opt.fault.stage = st::SolveStage::kPoisson;
+  opt.fault.count = 1'000'000'000;
+  opt.fault.coarse_only = true;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), opt, ctx);
+  EXPECT_DOUBLE_EQ(dev.id_at(0.3, 0.25), reference_id());
+  EXPECT_GT(reg.counter(so::names::kMeshContFallbacks).value(), 0u);
+}
+
+// ---- coupled Newton: Jacobian exactness and fallback -------------------------
+
+TEST(NewtonDd, JacobianMatchesFiniteDifferences) {
+  // With velocity_saturation off the assembled Jacobian is exact (no
+  // frozen-mobility approximation), so J*dx must match the central
+  // difference of the residual to FD accuracy. Perturbations scale with
+  // each unknown's own magnitude; agreement is judged against the
+  // row-magnitude normalization the solver itself uses, so huge rows
+  // cannot hide errors in small ones and vice versa.
+  st::GummelOptions opt;
+  opt.continuity.velocity_saturation = false;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), opt);
+  const auto& structure = dev.structure();
+  const auto& biases = dev.solver().biases();
+  const std::vector<double> psi = dev.solver().psi();
+  const std::vector<double> n = dev.solver().electron_density();
+  const std::vector<double> p = dev.solver().hole_density();
+  const std::size_t n_nodes = structure.mesh().node_count();
+  const double ni = structure.ni();
+
+  std::vector<double> dx(3 * n_nodes);
+  const double rel = 1e-6;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const double s = std::sin(0.7 * static_cast<double>(i) + 0.3);
+    dx[3 * i + 0] = rel * s;                        // psi [V]
+    dx[3 * i + 1] = rel * (n[i] + ni) * s;          // n [m^-3]
+    dx[3 * i + 2] = rel * (p[i] + ni) * (-s);       // p [m^-3]
+  }
+
+  std::vector<double> jdx;
+  st::newton_dd_jacobian_product(structure, biases, psi, n, p,
+                                 opt.continuity, dx, jdx);
+
+  const auto shifted = [&](double sign) {
+    std::vector<double> sp = psi, sn = n, spp = p;
+    for (std::size_t i = 0; i < n_nodes; ++i) {
+      sp[i] += sign * dx[3 * i + 0];
+      sn[i] += sign * dx[3 * i + 1];
+      spp[i] += sign * dx[3 * i + 2];
+    }
+    std::vector<double> r, mag;
+    st::newton_dd_residual(structure, biases, sp, sn, spp, opt.continuity, r,
+                           mag);
+    return r;
+  };
+  const std::vector<double> r_plus = shifted(1.0);
+  const std::vector<double> r_minus = shifted(-1.0);
+  std::vector<double> r0, row_magnitude;
+  st::newton_dd_residual(structure, biases, psi, n, p, opt.continuity, r0,
+                         row_magnitude);
+
+  ASSERT_EQ(jdx.size(), 3 * n_nodes);
+  ASSERT_EQ(r_plus.size(), 3 * n_nodes);
+  double worst = 0.0;
+  for (std::size_t r = 0; r < jdx.size(); ++r) {
+    const double fd = 0.5 * (r_plus[r] - r_minus[r]);
+    worst = std::max(worst, std::abs(fd - jdx[r]) / row_magnitude[r]);
+  }
+  // FD truncation is O(rel^2) and roundoff O(eps/rel) relative to the
+  // row scale — both orders below this bound.
+  EXPECT_LE(worst, 5e-7);
+}
+
+TEST(NewtonDd, InjectedNewtonFaultFallsBackToGummel) {
+  // Forcing the coupled solve to fail must degrade to the seed Gummel
+  // path — counted, converged, and with SolveStatus evidence in the
+  // trajectory rather than a thrown error.
+  so::MetricsRegistry reg;
+  se::RunContext ctx;
+  ctx.metrics = &reg;
+  st::GummelOptions opt;
+  opt.strategy = st::SolverStrategy::kNewton;
+  opt.fault.stage = st::SolveStage::kNewton;
+  opt.fault.count = 1;
+  opt.fault.contact = "gate";
+  opt.fault.min_bias = 0.18;
+  opt.fault.max_bias = 0.22;
+  st::TcadDevice dev(nfet_90(), coarse_mesh(), opt, ctx);
+  const double id = dev.id_at(0.3, 0.25);  // ramp crosses the window
+  EXPECT_TRUE(std::isfinite(id));
+  EXPECT_TRUE(dev.solver().last_report().converged);
+  EXPECT_GE(reg.counter(so::names::kNewtonFallbacks).value(), 1u);
+  EXPECT_EQ(dev.solver().pending_faults(), 0);  // the fault did fire
+  // The fallback answer is still the shared fixed point.
+  EXPECT_NEAR(id, reference_id(), 1e-3 * std::abs(reference_id()));
 }

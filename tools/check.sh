@@ -119,6 +119,30 @@ if [[ -z "$sanitize" ]]; then
     echo "check.sh: obs_trend show produced no rollup stats" >&2
     exit 1
   fi
+
+  # Cold-solve acceleration budget. The bench already self-gates the
+  # >=3x speedup inside its shape verdict; this enforces the same floor
+  # a second time at the perf-history level (obs_trend --metric-min on
+  # the recorded headline number) plus a generous absolute wall ceiling
+  # on the accelerated cold solve, so a pathological slowdown fails
+  # even on a run where the ratio happens to hold. Then the gate is
+  # proven live by demanding an impossible floor trips it.
+  "$build_dir/tools/obs_trend" gate --db "$bench_tmp/perfdb" \
+      --bench tcad_validation --metric-min cold_speedup=3.0 \
+      --metric-max cold_solve_ms_accel=30000
+  if "$build_dir/tools/obs_trend" gate --db "$bench_tmp/perfdb" \
+      --bench tcad_validation --metric-min cold_speedup=1000000 \
+      > /dev/null; then
+    echo "check.sh: obs_trend budget gate failed to trip" >&2
+    exit 1
+  fi
+  if ! "$build_dir/tools/obs_trend" show --db "$bench_tmp/perfdb" \
+      --bench tcad_validation --metric cold_solve_ms_accel \
+      | grep -q "median="; then
+    echo "check.sh: cold-solve series missing from perf history" >&2
+    exit 1
+  fi
+  echo "obs_trend: cold-solve budget gate enforced"
   rm -rf "$bench_tmp"
 
   # Cache round-trip smoke: bench_ext_cache gates itself (warm replay

@@ -54,6 +54,7 @@ int usage() {
       "       obs_trend gate   --db DIR --bench NAME [--window N]\n"
       "                        [--tolerance F] [--metric-tolerance KEY=F]...\n"
       "                        [--include-timing] [--wall] [--slope F]\n"
+      "                        [--metric-min KEY=F]... [--metric-max KEY=F]...\n"
       "       obs_trend show   --db DIR --bench NAME [--metric KEY]\n"
       "       obs_trend list   --db DIR\n");
   return 2;
@@ -98,8 +99,50 @@ int cmd_append(const std::string& db_dir, std::uint64_t ts,
   return 0;
 }
 
+/// Absolute budgets on the newest record (headline metrics included —
+/// the trend gate deliberately skips those, but a bench-chosen number
+/// like cold_solve_ms_accel or cold_speedup can still carry a hard
+/// floor/ceiling the CI run must honor). A budgeted key missing from
+/// the newest record fails, same stance as the trend gate's MISSING.
+int check_budgets(
+    const PerfRecord& newest,
+    const std::vector<std::pair<std::string, double>>& metric_mins,
+    const std::vector<std::pair<std::string, double>>& metric_maxs) {
+  int violations = 0;
+  const auto value_of = [&newest](const std::string& key, double& out) {
+    return newest.find(key, out);
+  };
+  for (const auto& [key, floor] : metric_mins) {
+    double v = 0.0;
+    if (!value_of(key, v)) {
+      std::printf("BUDGET   %-44s MISSING (wanted >= %g)\n", key.c_str(),
+                  floor);
+      ++violations;
+    } else if (v < floor) {
+      std::printf("BUDGET   %-44s newest=%g below floor %g\n", key.c_str(),
+                  v, floor);
+      ++violations;
+    }
+  }
+  for (const auto& [key, cap] : metric_maxs) {
+    double v = 0.0;
+    if (!value_of(key, v)) {
+      std::printf("BUDGET   %-44s MISSING (wanted <= %g)\n", key.c_str(),
+                  cap);
+      ++violations;
+    } else if (v > cap) {
+      std::printf("BUDGET   %-44s newest=%g over budget %g\n", key.c_str(),
+                  v, cap);
+      ++violations;
+    }
+  }
+  return violations;
+}
+
 int cmd_gate(const std::string& db_dir, const std::string& bench,
-             const TrendGateOptions& options) {
+             const TrendGateOptions& options,
+             const std::vector<std::pair<std::string, double>>& metric_mins,
+             const std::vector<std::pair<std::string, double>>& metric_maxs) {
   PerfDb db(db_dir);
   PerfDb::LoadStats stats;
   const std::vector<PerfRecord> history = db.load(bench, &stats);
@@ -107,11 +150,28 @@ int cmd_gate(const std::string& db_dir, const std::string& bench,
     std::fprintf(stderr, "obs_trend: %zu corrupt line(s) skipped in %s\n",
                  stats.corrupt, db.path_for(bench).c_str());
   }
+  const bool budgeted = !metric_mins.empty() || !metric_maxs.empty();
+  if (budgeted && history.empty()) {
+    std::fprintf(stderr,
+                 "obs_trend: %s: no usable records to budget-check\n",
+                 bench.c_str());
+    return 1;
+  }
   if (history.size() < 2) {
+    // Budgets are absolute — one record is enough to check them; only
+    // the relative trend gate needs history.
+    if (budgeted) {
+      const int violations =
+          check_budgets(history.back(), metric_mins, metric_maxs);
+      if (violations > 0) {
+        std::printf("obs_trend: %d budget violation(s)\n", violations);
+        return 1;
+      }
+    }
     std::printf(
         "obs_trend: %s: %zu usable record(s) — nothing to gate yet "
-        "(trivial pass)\n",
-        bench.c_str(), history.size());
+        "(trivial pass%s)\n",
+        bench.c_str(), history.size(), budgeted ? ", budgets OK" : "");
     return 0;
   }
   const TrendReport report = subscale::perfdb::trend_gate(history, options);
@@ -126,18 +186,21 @@ int cmd_gate(const std::string& db_dir, const std::string& bench,
                   m.window_n, m.trend.slope);
     }
   }
-  if (!report.ok()) {
+  const int budget_violations =
+      check_budgets(history.back(), metric_mins, metric_maxs);
+  if (!report.ok() || budget_violations > 0) {
     std::printf(
-        "obs_trend: %zu regression(s) vs rolling baseline (%zu metrics "
-        "gated over %zu records, tolerance %.0f%%)\n",
-        report.regressions, report.compared, report.records,
-        100.0 * options.tolerance);
+        "obs_trend: %zu regression(s), %d budget violation(s) vs rolling "
+        "baseline (%zu metrics gated over %zu records, tolerance %.0f%%)\n",
+        report.regressions, budget_violations, report.compared,
+        report.records, 100.0 * options.tolerance);
     return 1;
   }
   std::printf(
       "obs_trend: OK (%zu metrics gated over %zu records, tolerance "
-      "%.0f%%)\n",
-      report.compared, report.records, 100.0 * options.tolerance);
+      "%.0f%%%s)\n",
+      report.compared, report.records, 100.0 * options.tolerance,
+      budgeted ? ", budgets OK" : "");
   return 0;
 }
 
@@ -154,17 +217,22 @@ int cmd_show(const std::string& db_dir, const std::string& bench,
   // Every series-able key across the history: wall_ms + union of obs.
   std::vector<std::string> keys;
   keys.push_back("wall_ms");
+  const auto add_key = [&keys](const std::string& key) {
+    for (const std::string& k : keys) {
+      if (k == key) return;
+    }
+    keys.push_back(key);
+  };
   for (const PerfRecord& r : history) {
     for (const auto& [key, value] : r.obs) {
       (void)value;
-      bool seen = false;
-      for (const std::string& k : keys) {
-        if (k == key) {
-          seen = true;
-          break;
-        }
-      }
-      if (!seen) keys.push_back(key);
+      add_key(key);
+    }
+    // Headline metrics chart too (obs wins on collision, same order
+    // PerfRecord::find resolves them).
+    for (const auto& [key, value] : r.metrics) {
+      (void)value;
+      add_key(key);
     }
   }
 
@@ -206,6 +274,8 @@ int main(int argc, char** argv) {
   std::string rev;
   std::uint64_t ts = static_cast<std::uint64_t>(std::time(nullptr));
   TrendGateOptions options;
+  std::vector<std::pair<std::string, double>> metric_mins;
+  std::vector<std::pair<std::string, double>> metric_maxs;
   std::vector<std::string> paths;
 
   for (int i = 2; i < argc; ++i) {
@@ -274,6 +344,20 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.tolerance_overrides.emplace_back(spec.substr(0, eq), tol);
+    } else if (arg == "--metric-min" || arg == "--metric-max") {
+      const char* v = need_value(arg.c_str());
+      if (v == nullptr) return 2;
+      const std::string spec = v;
+      const std::size_t eq = spec.find('=');
+      double bound = 0.0;
+      if (eq == std::string::npos || eq == 0 ||
+          !parse_double(spec.c_str() + eq + 1, bound)) {
+        std::fprintf(stderr, "obs_trend: %s wants KEY=F, got %s\n",
+                     arg.c_str(), v);
+        return 2;
+      }
+      (arg == "--metric-min" ? metric_mins : metric_maxs)
+          .emplace_back(spec.substr(0, eq), bound);
     } else if (arg == "--include-timing") {
       options.include_timing = true;
     } else if (arg == "--wall") {
@@ -311,7 +395,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "obs_trend: gate wants --bench\n");
       return usage();
     }
-    return cmd_gate(db_dir, bench, options);
+    return cmd_gate(db_dir, bench, options, metric_mins, metric_maxs);
   }
   if (cmd == "show") {
     if (bench.empty()) {
